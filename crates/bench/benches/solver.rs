@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the analysis pipeline: busy-period moment
+//! calculus, three-moment matching, the `R`-matrix algorithms (logarithmic
+//! reduction vs functional iteration), and the end-to-end policy analyses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cyclesteal_core::{cs_cq, cs_id, dedicated, SystemParams};
+use cyclesteal_dist::{busy, match3, Moments3};
+use cyclesteal_linalg::Matrix;
+use cyclesteal_markov::qbd::{Qbd, RAlgorithm};
+
+fn params() -> SystemParams {
+    let longs = Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap();
+    SystemParams::from_loads(1.2, 1.0, 0.5, longs).unwrap()
+}
+
+/// An M/PH/1 QBD with a 2-phase Coxian service law, used to benchmark the
+/// two `R` algorithms on identical inputs.
+fn mph1_qbd(rho: f64) -> Qbd {
+    let lambda = rho / 1.0;
+    let (mu1, p, mu2) = (2.0, 0.5, 1.0);
+    let alpha = [1.0, 0.0];
+    let exit = [mu1 * (1.0 - p), mu2];
+    let a0 = Matrix::from_diag(&[lambda, lambda]);
+    let t = Matrix::from_rows(&[&[-mu1, p * mu1], &[0.0, -mu2]]).unwrap();
+    let mut a1 = t;
+    for i in 0..2 {
+        a1[(i, i)] -= lambda;
+    }
+    let mut a2 = Matrix::zeros(2, 2);
+    for i in 0..2 {
+        for j in 0..2 {
+            a2[(i, j)] = exit[i] * alpha[j];
+        }
+    }
+    let b00 = Matrix::from_vec(1, 1, vec![-lambda]);
+    let b01 = Matrix::from_vec(1, 2, vec![lambda, 0.0]);
+    let b10 = Matrix::from_vec(2, 1, vec![exit[0], exit[1]]);
+    Qbd::new(b00, b01, b10, a0, a1, a2).unwrap()
+}
+
+fn bench_busy_calculus(c: &mut Criterion) {
+    let job = Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap();
+    c.bench_function("busy/mg1_busy_moments", |b| {
+        b.iter(|| busy::mg1_busy(black_box(0.5), black_box(job)).unwrap())
+    });
+    c.bench_function("busy/bn1_moments", |b| {
+        b.iter(|| busy::bn1(black_box(0.5), black_box(job), black_box(2.0)).unwrap())
+    });
+}
+
+fn bench_moment_matching(c: &mut Criterion) {
+    let b_l = busy::mg1_busy(0.5, Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap()).unwrap();
+    c.bench_function("match3/fit_ph_busy_period", |b| {
+        b.iter(|| match3::fit_ph(black_box(b_l)).unwrap())
+    });
+}
+
+fn bench_r_algorithms(c: &mut Criterion) {
+    for rho in [0.5, 0.9, 0.99] {
+        let qbd = mph1_qbd(rho);
+        c.bench_function(&format!("qbd/logarithmic_reduction/rho_{rho}"), |b| {
+            b.iter(|| qbd.r_logarithmic_reduction().unwrap())
+        });
+        c.bench_function(&format!("qbd/functional_iteration/rho_{rho}"), |b| {
+            b.iter(|| qbd.r_functional_iteration().unwrap())
+        });
+        c.bench_function(&format!("qbd/full_solve/rho_{rho}"), |b| {
+            b.iter(|| qbd.solve_with(RAlgorithm::LogarithmicReduction).unwrap())
+        });
+    }
+}
+
+fn bench_policy_analyses(c: &mut Criterion) {
+    let p = params();
+    c.bench_function("analysis/dedicated", |b| {
+        let p_stable = SystemParams::exponential(0.9, 1.0, 0.5, 1.0).unwrap();
+        b.iter(|| dedicated::analyze(black_box(&p_stable)).unwrap())
+    });
+    c.bench_function("analysis/cs_id", |b| {
+        b.iter(|| cs_id::analyze(black_box(&p)).unwrap())
+    });
+    c.bench_function("analysis/cs_cq", |b| {
+        b.iter(|| cs_cq::analyze(black_box(&p)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_busy_calculus,
+    bench_moment_matching,
+    bench_r_algorithms,
+    bench_policy_analyses
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 5: the Figure-4 sweeps with *highly variable* long jobs — a
+//! Coxian with squared coefficient of variation `C² = 8` (balanced-means
+//! third moment) — shorts still exponential, `ρ_L = 0.5`.
+//!
+//! Run with: `cargo run --release -p cyclesteal-bench --bin fig5_coxian`
+
+use cyclesteal_bench::figures::response_vs_rho_s;
+use cyclesteal_bench::linspace;
+use cyclesteal_dist::Moments3;
+
+fn main() {
+    let rho_l = 0.5;
+    let sweep = linspace(0.05, 1.45, 29);
+
+    for (col, mean_s, mean_l) in [("a", 1.0, 1.0), ("b", 1.0, 10.0), ("c", 10.0, 1.0)] {
+        let long = Moments3::from_mean_scv_balanced(mean_l, 8.0).expect("valid moments");
+        println!(
+            "--- Figure 5({col}): shorts mean {mean_s}, longs mean {mean_l} (C^2 = 8), \
+             rho_l = {rho_l} ---"
+        );
+        let (shorts, longs) = response_vs_rho_s(&format!("fig5{col}"), mean_s, long, rho_l, &sweep);
+        shorts.emit();
+        longs.emit();
+    }
+
+    println!(
+        "Shape checks from the paper: the shorts' benefit is essentially unchanged from\n\
+         Figure 4; long responses are higher in absolute terms (their own variability)\n\
+         but the *relative* stealing penalty shrinks — under ~5% for CS-CQ in column (a)\n\
+         and under ~1% in column (b) even as rho_s approaches saturation."
+    );
+}

@@ -1,0 +1,58 @@
+//! Section 6: comparison against M/G/2/SJF — a central queue where both
+//! hosts serve any class and the smaller-mean class has non-preemptive
+//! priority. The paper: "M/G/2/SJF sometimes outperforms our cycle
+//! stealing algorithms and sometimes does worse, depending on λ_S, λ_L,
+//! and the job size distributions."
+//!
+//! Run with: `cargo run --release -p cyclesteal-bench --bin mg2sjf_comparison`
+
+use cyclesteal_bench::{Cell, Table};
+use cyclesteal_dist::Exp;
+use cyclesteal_sim::{simulate, PolicyKind, SimConfig, SimParams};
+
+fn main() {
+    let shorts = Exp::with_mean(1.0).unwrap();
+    let longs = Exp::with_mean(10.0).unwrap();
+    let config = SimConfig {
+        seed: 0x5F6,
+        total_jobs: 1_000_000,
+        ..SimConfig::default()
+    };
+
+    let mut table = Table::new(
+        "mg2sjf_comparison",
+        &["rho_s", "rho_l", "cq_Ts", "sjf_Ts", "cq_Tl", "sjf_Tl"],
+    );
+    for &(rho_s, rho_l) in &[
+        (0.2, 0.2),
+        (0.3, 0.7),
+        (0.7, 0.3),
+        (0.7, 0.7),
+        (0.9, 0.5),
+        (1.1, 0.4),
+        (1.2, 0.3),
+    ] {
+        let params = SimParams::new(rho_s, rho_l / 10.0, &shorts, &longs).unwrap();
+        let cq = simulate(PolicyKind::CsCq, &params, &config);
+        let sjf = simulate(PolicyKind::PriorityCentral, &params, &config);
+        table.push(
+            rho_s,
+            vec![
+                Cell::Value(rho_l),
+                Cell::Value(cq.short.mean),
+                Cell::Value(sjf.short.mean),
+                Cell::Value(cq.long.mean),
+                Cell::Value(sjf.long.mean),
+            ],
+        );
+    }
+    table.emit();
+
+    println!(
+        "Reading the table (shorts Exp(1), longs Exp(10), simulation): at low-to-moderate\n\
+         loads CS-CQ's dedicated short host wins for shorts (SJF shorts can find both\n\
+         hosts wedged behind longs), while SJF longs benefit from capturing both hosts;\n\
+         at high rho_s the two-priority-server advantage flips the short comparison —\n\
+         exactly the 'sometimes better, sometimes worse' trade-off of the paper."
+    );
+}

@@ -1,0 +1,72 @@
+//! The paper's motivation story (Introduction / related work), rebuilt by
+//! simulation: class-blind policies (Round-Robin, Shortest-Queue, central
+//! M/G/2 ≡ Least-Work-Remaining) do fine under exponential sizes but
+//! collapse for short jobs as size variability grows, while size-based
+//! segregation (Dedicated) protects the shorts — and cycle stealing then
+//! recovers the utilization Dedicated wastes.
+//!
+//! Run with: `cargo run --release -p cyclesteal-bench --bin motivation`
+
+use cyclesteal_bench::{Cell, Table};
+use cyclesteal_dist::{Distribution, Exp, HyperExp2};
+use cyclesteal_sim::{simulate, PolicyKind, SimConfig, SimParams};
+
+fn main() {
+    let shorts = Exp::with_mean(1.0).unwrap();
+    let config = SimConfig {
+        seed: 0x1111,
+        total_jobs: 1_000_000,
+        ..SimConfig::default()
+    };
+
+    // Shorts mean 1 at rho_s = 0.5; longs mean 10 at rho_l = 0.5; the long
+    // size variability sweeps from exponential to extreme.
+    let mut table = Table::new(
+        "motivation_short_response",
+        &[
+            "C2_long",
+            "RoundRobin",
+            "ShortestQ",
+            "M/G/2",
+            "TAGS",
+            "Dedicated",
+            "CS-CQ",
+        ],
+    );
+    for scv in [1.0, 4.0, 8.0, 32.0] {
+        let le;
+        let lh;
+        let long_dist: &dyn Distribution = if scv == 1.0 {
+            le = Exp::with_mean(10.0).unwrap();
+            &le
+        } else {
+            lh = HyperExp2::balanced_means(10.0, scv).unwrap();
+            &lh
+        };
+        let params = SimParams::new(0.5, 0.05, &shorts, long_dist).unwrap();
+        let mean_of = |kind: PolicyKind| Cell::Value(simulate(kind, &params, &config).short.mean);
+        table.push(
+            scv,
+            vec![
+                mean_of(PolicyKind::RoundRobin),
+                mean_of(PolicyKind::ShortestQueue),
+                mean_of(PolicyKind::CentralFcfs),
+                // Cutoff between the short mode (mean 1) and long mode
+                // (mean 10) -- TAGS cannot see sizes but can guess them.
+                mean_of(PolicyKind::Tags { cutoff: 5.0 }),
+                mean_of(PolicyKind::Dedicated),
+                mean_of(PolicyKind::CsCq),
+            ],
+        );
+    }
+    table.emit();
+
+    println!(
+        "Mean short-job response under each policy as long-job variability grows\n\
+         (shorts Exp(1) at rho_s = 0.5; longs mean 10 at rho_l = 0.5). The class-blind\n\
+         policies degrade steeply with C^2 — shorts get stuck behind enormous longs —\n\
+         while TAGS (which only guesses sizes via a kill-and-restart cutoff) tracks\n\
+         Dedicated closely, Dedicated is flat by construction, and CS-CQ is flat *and*\n\
+         strictly better: exactly the related-work story the paper builds on."
+    );
+}

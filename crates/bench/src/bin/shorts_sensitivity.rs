@@ -1,0 +1,86 @@
+//! How load-bearing is the chain's exponential-shorts assumption?
+//!
+//! The paper's Markov chain takes the short jobs exponential ("although
+//! this is straightforward to generalize using any phase-type
+//! distribution"). The memorylessness is genuinely load-bearing for two of
+//! its ingredients — the `Exp(2μ_S)` region-5 interval and the setup
+//! residual — so this harness measures, by simulation, how far the
+//! exponential-shorts analysis drifts when the *actual* short jobs are more
+//! or less variable at the same mean.
+//!
+//! Run with: `cargo run --release -p cyclesteal-bench --bin shorts_sensitivity`
+
+use cyclesteal_bench::{Cell, Table};
+use cyclesteal_core::{cs_cq, SystemParams};
+use cyclesteal_dist::{Distribution, Erlang, Exp, HyperExp2};
+use cyclesteal_sim::{simulate, PolicyKind, SimConfig, SimParams};
+
+fn main() {
+    let longs = Exp::with_mean(1.0).unwrap();
+    let (rho_s, rho_l) = (0.9, 0.5);
+    let params = SystemParams::exponential(rho_s, 1.0, rho_l, 1.0).unwrap();
+    let ana = cs_cq::analyze(&params).unwrap();
+
+    let shorts: Vec<(&str, f64, Box<dyn Distribution>)> = vec![
+        ("Erlang-4", 0.25, Box::new(Erlang::new(4, 4.0).unwrap())),
+        ("Erlang-2", 0.5, Box::new(Erlang::new(2, 2.0).unwrap())),
+        ("Exponential", 1.0, Box::new(Exp::with_mean(1.0).unwrap())),
+        (
+            "H2 C2=2",
+            2.0,
+            Box::new(HyperExp2::balanced_means(1.0, 2.0).unwrap()),
+        ),
+        (
+            "H2 C2=4",
+            4.0,
+            Box::new(HyperExp2::balanced_means(1.0, 4.0).unwrap()),
+        ),
+    ];
+
+    let mut table = Table::new(
+        "shorts_sensitivity",
+        &[
+            "C2_short",
+            "sim_Ts",
+            "ana_exp_Ts",
+            "errTs%",
+            "sim_Tl",
+            "ana_exp_Tl",
+            "errTl%",
+        ],
+    );
+    for (name, scv, dist) in &shorts {
+        let sp = SimParams::new(rho_s, rho_l, dist.as_ref(), &longs).unwrap();
+        let sim = simulate(
+            PolicyKind::CsCq,
+            &sp,
+            &SimConfig {
+                seed: 0x5E5,
+                total_jobs: 2_000_000,
+                ..SimConfig::default()
+            },
+        );
+        let _ = name;
+        table.push(
+            *scv,
+            vec![
+                Cell::Value(sim.short.mean),
+                Cell::Value(ana.short_response),
+                Cell::Value(100.0 * (ana.short_response - sim.short.mean) / sim.short.mean),
+                Cell::Value(sim.long.mean),
+                Cell::Value(ana.long_response),
+                Cell::Value(100.0 * (ana.long_response - sim.long.mean) / sim.long.mean),
+            ],
+        );
+    }
+    table.emit();
+
+    println!(
+        "CS-CQ at rho_s = 0.9, rho_l = 0.5, longs Exp(1); the *analysis column never\n\
+         changes* (it assumes exponential shorts), while the simulation uses the true\n\
+         short-job law. The error at C^2_short = 1 is the method's intrinsic accuracy;\n\
+         the growth away from 1 prices the exponential-shorts assumption — and shows\n\
+         why the paper's suggested phase-type generalization would carry real weight\n\
+         for low- or high-variability short jobs."
+    );
+}

@@ -1,0 +1,70 @@
+//! The paper's Section-4 caveat, quantified: "Simulations are limited only
+//! by the fact that simulation accuracy decreases as the relative traffic
+//! intensities approach saturation" (citing Asmussen and Whitt).
+//!
+//! This harness runs independent replications of CS-CQ at increasing
+//! relative load and reports how the across-replication confidence interval
+//! (at a *fixed* simulation budget) blows up — while the matrix-analytic
+//! solution stays exact and microsecond-fast at every point.
+//!
+//! Run with: `cargo run --release -p cyclesteal-bench --bin sim_accuracy`
+
+use cyclesteal_bench::{Cell, Table};
+use cyclesteal_core::{cs_cq, SystemParams};
+use cyclesteal_dist::Exp;
+use cyclesteal_sim::{replicate, PolicyKind, SimConfig, SimParams};
+
+fn main() {
+    let shorts = Exp::with_mean(1.0).unwrap();
+    let longs = Exp::with_mean(1.0).unwrap();
+    let rho_l = 0.5;
+    let frontier = 2.0 - rho_l;
+
+    let mut table = Table::new(
+        "sim_accuracy",
+        &[
+            "rho_s",
+            "rel_load%",
+            "analysis",
+            "sim_mean",
+            "sim_ci95",
+            "rel_ci%",
+        ],
+    );
+    for &rho_s in &[0.75, 1.05, 1.2, 1.35, 1.425, 1.46] {
+        let rel = rho_s / frontier;
+        let params = SystemParams::exponential(rho_s, 1.0, rho_l, 1.0).unwrap();
+        let ana = cs_cq::analyze(&params).unwrap().short_response;
+
+        let sp = SimParams::new(rho_s, rho_l, &shorts, &longs).unwrap();
+        let rep = replicate(
+            PolicyKind::CsCq,
+            &sp,
+            &SimConfig {
+                seed: 0xACC,
+                total_jobs: 250_000, // fixed budget per replication
+                ..SimConfig::default()
+            },
+            8,
+        );
+        table.push(
+            rho_s,
+            vec![
+                Cell::Value(100.0 * rel),
+                Cell::Value(ana),
+                Cell::Value(rep.short.mean),
+                Cell::Value(rep.short.ci_half),
+                Cell::Value(100.0 * rep.short.relative_precision()),
+            ],
+        );
+    }
+    table.emit();
+
+    println!(
+        "Eight replications of 250k jobs each, CS-CQ shorts at rho_l = 0.5. As the\n\
+         relative load climbs toward the stability frontier (rho_s -> 1.5), the\n\
+         fixed-budget confidence interval degrades by an order of magnitude — the\n\
+         quantitative form of the paper's Asmussen/Whitt remark, and the reason the\n\
+         authors (and we) validate the *analysis* and then trust it near saturation."
+    );
+}

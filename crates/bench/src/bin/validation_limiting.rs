@@ -1,0 +1,76 @@
+//! Section 4, "Validation against known limiting cases": as one class's
+//! traffic vanishes (or the shorts saturate), the CS-CQ analysis must agree
+//! with exact classical results — M/M/2, M/G/1, and M/G/1-with-setup.
+//!
+//! Run with: `cargo run --release -p cyclesteal-bench --bin validation_limiting`
+
+use cyclesteal_bench::{Cell, Table};
+use cyclesteal_core::{cs_cq, SystemParams};
+use cyclesteal_dist::Moments3;
+use cyclesteal_mg1::{mg1, mmc};
+
+fn main() {
+    // Limit 1: lambda_l -> 0; shorts see M/M/2.
+    let mut t1 = Table::new(
+        "validation_mm2_limit",
+        &["rho_s", "CS-CQ analysis", "M/M/2 exact", "rel err"],
+    );
+    for rho_s in [0.3, 0.7, 1.1, 1.5, 1.9] {
+        let p = SystemParams::exponential(rho_s, 1.0, 1e-8, 1.0).unwrap();
+        let got = cs_cq::analyze(&p).unwrap().short_response;
+        let want = mmc::mean_response(2, rho_s, 1.0).unwrap();
+        t1.push(
+            rho_s,
+            vec![
+                Cell::Value(got),
+                Cell::Value(want),
+                Cell::Value((got - want).abs() / want),
+            ],
+        );
+    }
+    t1.emit();
+
+    // Limit 2: lambda_s -> 0; longs see a plain M/G/1 (C^2 = 8 longs).
+    let longs = Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap();
+    let mut t2 = Table::new(
+        "validation_mg1_limit",
+        &["rho_l", "CS-CQ analysis", "M/G/1 exact", "rel err"],
+    );
+    for rho_l in [0.2, 0.4, 0.6, 0.8, 0.9] {
+        let p = SystemParams::from_loads(1e-8, 1.0, rho_l, longs).unwrap();
+        let got = cs_cq::analyze(&p).unwrap().long_response;
+        let want = mg1::mean_response(rho_l, longs).unwrap();
+        t2.push(
+            rho_l,
+            vec![
+                Cell::Value(got),
+                Cell::Value(want),
+                Cell::Value((got - want).abs() / want),
+            ],
+        );
+    }
+    t2.emit();
+
+    // Limit 3: shorts saturate; longs see M/G/1 with an Exp(2 mu_s) setup.
+    let mut t3 = Table::new(
+        "validation_setup_limit",
+        &["rho_s", "CS-CQ analysis", "M/G/1+setup exact", "gap"],
+    );
+    let want =
+        mg1::mean_response_with_setup(0.5, Moments3::exponential(1.0).unwrap(), 0.5, 0.5).unwrap();
+    for rho_s in [1.0, 1.2, 1.35, 1.45, 1.49] {
+        let p = SystemParams::exponential(rho_s, 1.0, 0.5, 1.0).unwrap();
+        let got = cs_cq::analyze(&p).unwrap().long_response;
+        t3.push(
+            rho_s,
+            vec![Cell::Value(got), Cell::Value(want), Cell::Value(want - got)],
+        );
+    }
+    t3.emit();
+
+    println!(
+        "The paper reports this validation as 'perfect'; the tables above show the\n\
+         analysis hitting each exact limit (the setup limit is approached from below\n\
+         as rho_s climbs toward 2 - rho_l)."
+    );
+}

@@ -1,0 +1,130 @@
+//! Shared sweep logic for the response-time figures (Figures 4–6).
+
+use cyclesteal_core::{cs_cq, cs_id, dedicated, SystemParams};
+use cyclesteal_dist::Moments3;
+
+use crate::{Cell, Table};
+
+/// One column of Figures 4–5: short and long mean response times versus
+/// `ρ_S` at fixed `ρ_L`, for all three policies. Returns the
+/// `(shorts, longs)` tables.
+///
+/// # Panics
+///
+/// Panics on invalid workload parameters (the harness passes literals).
+pub fn response_vs_rho_s(
+    name: &str,
+    mean_s: f64,
+    long: Moments3,
+    rho_l: f64,
+    sweep: &[f64],
+) -> (Table, Table) {
+    let headers = ["rho_s", "Dedicated", "CS-Immed-Disp", "CS-Central-Q"];
+    let mut shorts = Table::new(format!("{name}_shorts"), &headers);
+    let mut longs = Table::new(format!("{name}_longs"), &headers);
+    for &rho_s in sweep {
+        let params = SystemParams::from_loads(rho_s, mean_s, rho_l, long)
+            .expect("harness parameters are valid");
+        let ded = dedicated::analyze(&params);
+        let id = cs_id::analyze(&params);
+        let cq = cs_cq::analyze(&params);
+        shorts.push(
+            rho_s,
+            vec![
+                Cell::from_result(ded.as_ref().map(|r| r.short_response).map_err(|_| ())),
+                Cell::from_result(id.as_ref().map(|r| r.short_response).map_err(|_| ())),
+                Cell::from_result(cq.as_ref().map(|r| r.short_response).map_err(|_| ())),
+            ],
+        );
+        longs.push(
+            rho_s,
+            vec![
+                Cell::from_result(ded.as_ref().map(|r| r.long_response).map_err(|_| ())),
+                Cell::from_result(id.as_ref().map(|r| r.long_response).map_err(|_| ())),
+                Cell::from_result(cq.as_ref().map(|r| r.long_response).map_err(|_| ())),
+            ],
+        );
+    }
+    (shorts, longs)
+}
+
+/// One column of Figure 6: response times versus `ρ_L` at fixed `ρ_S`.
+/// Short-job curves end at each policy's stability asymptote; long-job
+/// curves extend across all `ρ_L < 1` (Dedicated's long host is oblivious
+/// to the shorts; the cycle stealers use the saturated-shorts limit beyond
+/// their short-class asymptote, as in the paper).
+pub fn response_vs_rho_l(
+    name: &str,
+    mean_s: f64,
+    long: Moments3,
+    rho_s: f64,
+    sweep_shorts: &[f64],
+    sweep_longs: &[f64],
+) -> (Table, Table) {
+    let mut shorts = Table::new(
+        format!("{name}_shorts"),
+        &["rho_l", "CS-Immed-Disp", "CS-Central-Q"],
+    );
+    for &rho_l in sweep_shorts {
+        let params = SystemParams::from_loads(rho_s, mean_s, rho_l, long)
+            .expect("harness parameters are valid");
+        shorts.push(
+            rho_l,
+            vec![
+                Cell::from_result(cs_id::analyze(&params).map(|r| r.short_response)),
+                Cell::from_result(cs_cq::analyze(&params).map(|r| r.short_response)),
+            ],
+        );
+    }
+
+    let mut longs = Table::new(
+        format!("{name}_longs"),
+        &["rho_l", "Dedicated", "CS-Immed-Disp", "CS-Central-Q"],
+    );
+    for &rho_l in sweep_longs {
+        let params = SystemParams::from_loads(rho_s, mean_s, rho_l, long)
+            .expect("harness parameters are valid");
+        longs.push(
+            rho_l,
+            vec![
+                Cell::from_result(dedicated::long_response(&params)),
+                Cell::from_result(cs_id::long_response(&params)),
+                Cell::from_result(cs_cq::long_response_auto(&params)),
+            ],
+        );
+    }
+    (shorts, longs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_column_has_expected_shape() {
+        let long = Moments3::exponential(1.0).unwrap();
+        let (shorts, longs) = response_vs_rho_s("test_fig4a", 1.0, long, 0.5, &[0.5, 0.9, 1.2]);
+        assert_eq!(shorts.rows.len(), 3);
+        // At rho_s = 1.2 Dedicated is unstable, the stealers are not.
+        let last = &shorts.rows[2].1;
+        assert_eq!(last[0], Cell::Unstable);
+        assert!(matches!(last[1], Cell::Value(_)));
+        assert!(matches!(last[2], Cell::Value(_)));
+        // Long responses are all defined at rho_s below CS-ID's asymptote.
+        assert!(longs.rows[0].1.iter().all(|c| matches!(c, Cell::Value(_))));
+    }
+
+    #[test]
+    fn fig6_column_extends_longs_past_short_asymptote() {
+        let long = Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap();
+        let (shorts, longs) =
+            response_vs_rho_l("test_fig6a", 1.0, long, 1.5, &[0.1, 0.4], &[0.4, 0.9]);
+        // rho_l = 0.4 exceeds CS-ID's asymptote (1/6) but not CS-CQ's (0.5).
+        assert_eq!(shorts.rows[1].1[0], Cell::Unstable);
+        assert!(matches!(shorts.rows[1].1[1], Cell::Value(_)));
+        // Long curves are defined everywhere below rho_l = 1.
+        for (_, cells) in &longs.rows {
+            assert!(cells.iter().all(|c| matches!(c, Cell::Value(_))));
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Shared harness utilities for the figure- and table-regeneration
+//! binaries (one binary per paper figure/table; see `src/bin/`).
+//!
+//! Each binary prints an aligned table to stdout — the same rows/series the
+//! paper plots — and writes a CSV next to it under the `results/` directory
+//! (override with the `CYCLESTEAL_RESULTS` environment variable) so the
+//! curves can be re-plotted with any tool.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A value cell in a result table: a number, or a policy that is unstable
+/// (or otherwise undefined) at this parameter point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cell {
+    /// A measured/computed value.
+    Value(f64),
+    /// The policy is unstable here — the paper's curves end at asymptotes.
+    Unstable,
+}
+
+impl Cell {
+    /// Formats for the aligned stdout table.
+    pub fn fmt_table(&self) -> String {
+        match self {
+            Cell::Value(v) => format!("{v:>12.4}"),
+            Cell::Unstable => format!("{:>12}", "-"),
+        }
+    }
+
+    /// Formats for CSV (empty field when unstable).
+    pub fn fmt_csv(&self) -> String {
+        match self {
+            Cell::Value(v) => format!("{v}"),
+            Cell::Unstable => String::new(),
+        }
+    }
+
+    /// Wraps a fallible analysis: `Err` means the point is off the curve.
+    pub fn from_result<E>(r: Result<f64, E>) -> Cell {
+        match r {
+            Ok(v) => Cell::Value(v),
+            Err(_) => Cell::Unstable,
+        }
+    }
+}
+
+/// A result table: one experiment's series.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. `fig4a_shorts`.
+    pub name: String,
+    /// Column headers, starting with the x-axis.
+    pub headers: Vec<String>,
+    /// Rows: x value followed by one cell per series.
+    pub rows: Vec<(f64, Vec<Cell>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            name: name.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, x: f64, cells: Vec<Cell>) {
+        assert_eq!(
+            cells.len() + 1,
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push((x, cells));
+    }
+
+    /// Renders the aligned stdout table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.name);
+        let mut header = format!("{:>8}", self.headers[0]);
+        for h in &self.headers[1..] {
+            let _ = write!(header, " {h:>12}");
+        }
+        let _ = writeln!(out, "{header}");
+        for (x, cells) in &self.rows {
+            let mut line = format!("{x:>8.3}");
+            for c in cells {
+                let _ = write!(line, " {}", c.fmt_table());
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// Writes `results/<name>.csv` (directory from `CYCLESTEAL_RESULTS`,
+    /// default `results/`). Returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self) -> std::io::Result<PathBuf> {
+        let dir =
+            PathBuf::from(std::env::var("CYCLESTEAL_RESULTS").unwrap_or_else(|_| "results".into()));
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut body = self.headers.join(",");
+        body.push('\n');
+        for (x, cells) in &self.rows {
+            let mut line = format!("{x}");
+            for c in cells {
+                line.push(',');
+                line.push_str(&c.fmt_csv());
+            }
+            body.push_str(&line);
+            body.push('\n');
+        }
+        fs::write(&path, body)?;
+        Ok(path)
+    }
+
+    /// Renders, prints, and persists the table; the common tail of every
+    /// harness binary.
+    pub fn emit(&self) {
+        print!("{}", self.render());
+        match self.write_csv() {
+            Ok(p) => println!("   -> {}\n", p.display()),
+            Err(e) => println!("   (csv not written: {e})\n"),
+        }
+    }
+}
+
+/// An inclusive linear sweep with `n` points.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "need at least two sweep points");
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_formatting() {
+        assert_eq!(Cell::Value(1.5).fmt_csv(), "1.5");
+        assert_eq!(Cell::Unstable.fmt_csv(), "");
+        assert!(Cell::Value(2.0).fmt_table().contains("2.0000"));
+        assert!(Cell::Unstable.fmt_table().contains('-'));
+        let ok: Result<f64, ()> = Ok(3.0);
+        assert_eq!(Cell::from_result(ok), Cell::Value(3.0));
+        let err: Result<f64, ()> = Err(());
+        assert_eq!(Cell::from_result(err), Cell::Unstable);
+    }
+
+    #[test]
+    fn table_render_and_csv() {
+        let mut t = Table::new("unit_test_table", &["x", "a", "b"]);
+        t.push(0.5, vec![Cell::Value(1.0), Cell::Unstable]);
+        let s = t.render();
+        assert!(s.contains("unit_test_table"));
+        assert!(s.contains("1.0000"));
+        std::env::set_var(
+            "CYCLESTEAL_RESULTS",
+            std::env::temp_dir().join("cs_results"),
+        );
+        let p = t.write_csv().unwrap();
+        let body = std::fs::read_to_string(p).unwrap();
+        assert!(body.starts_with("x,a,b\n"));
+        assert!(body.contains("0.5,1,"));
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let v = linspace(0.0, 1.0, 5);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[4], 1.0);
+        assert!((v[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("bad", &["x", "a"]);
+        t.push(0.0, vec![]);
+    }
+}

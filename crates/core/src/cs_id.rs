@@ -1,0 +1,644 @@
+//! Cycle stealing with immediate dispatch (CS-ID), analyzed by the
+//! decomposition of the companion paper (\[9\], Harchol-Balter et al.,
+//! CMU-CS-02-158): the system splits into two stochastic processes.
+//!
+//! # The long host (exact for exponential shorts)
+//!
+//! Long jobs queue FCFS at the long host; a short is admitted only when the
+//! host is *completely idle*. A "no-long" period therefore lasts
+//! `Exp(λ_L)` (the memoryless wait for the next long), during which the
+//! host is a two-state CTMC — `idle ⇄ serving-one-short` with rates `λ_S`
+//! and `μ_S` — started at `idle` and killed by the long arrival. The killed
+//! chain yields `P(short in service at the kill) = λ_S/(λ_L+λ_S+μ_S)`, and
+//! the residual short is `Exp(μ_S)` by memorylessness: the long host is an
+//! **M/G/1 queue with setup** `K = Exp(μ_S)` with that probability, else 0.
+//!
+//! # The short host (Markov-modulated overflow)
+//!
+//! A short is stolen iff it arrives while the long host is completely idle;
+//! otherwise it joins the short host. The overflow stream is therefore *not*
+//! Poisson — it is on exactly while the long host is busy, and those on/off
+//! periods are long-job busy periods. Following the busy-period-transition
+//! methodology, the long host is summarized by an autonomous CTMC
+//!
+//! ```text
+//! I  --λ_S-->  S          (idle host admits a short)
+//! I  --λ_L-->  B          (ordinary long busy period B_L, PH-matched)
+//! S  --μ_S-->  I          (short finishes before any long shows up)
+//! S  --λ_L-->  S'         (a long now waits behind the short)
+//! S' --μ_S-->  B''        (busy period of the N+1 accumulated longs,
+//!                          N = long arrivals during Exp(μ_S); PH-matched)
+//! B, B'' --exit--> I
+//! ```
+//!
+//! and the short host becomes an **MMPP/M/1 queue** — a QBD whose level is
+//! the short-host queue length and whose phases are the long-host states,
+//! with arrival rate `λ_S` in every phase except `I`. The stationary
+//! probability of `I` depends only on mean sojourns, so the steal
+//! probability `q` is *exact* and satisfies the work-conservation identity
+//! `q = (1−ρ_L)/(1+ρ_S)` to machine precision (tested); the queue-length
+//! distribution inherits the three-moment busy-period approximation, the
+//! same order of approximation the paper uses for CS-CQ.
+
+use cyclesteal_dist::{busy, match3, Map, Moments3, Ph};
+use cyclesteal_linalg::Matrix;
+use cyclesteal_markov::{ctmc, Qbd};
+use cyclesteal_mg1::{mg1, mm1};
+
+use crate::stability::{self, Policy};
+use crate::{AnalysisError, PolicyMeans, SystemParams};
+
+/// Full CS-ID analysis output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsIdReport {
+    /// Mean response time of short jobs.
+    pub short_response: f64,
+    /// Mean response time of long jobs.
+    pub long_response: f64,
+    /// Probability an arriving short finds the long host idle (and steals).
+    pub steal_probability: f64,
+    /// Probability the first long of a busy period finds a short in service
+    /// (the setup probability).
+    pub setup_probability: f64,
+}
+
+impl From<CsIdReport> for PolicyMeans {
+    fn from(r: CsIdReport) -> Self {
+        PolicyMeans {
+            short_response: r.short_response,
+            long_response: r.long_response,
+        }
+    }
+}
+
+/// Analyzes CS-ID with the Markov-modulated short-host model.
+///
+/// # Errors
+///
+/// [`AnalysisError::Unstable`] outside the Theorem-1 region
+/// (`ρ_L < 1` and `ρ_S(ρ_S+ρ_L)/(1+ρ_S) < 1`);
+/// [`AnalysisError::Chain`]/[`AnalysisError::Param`] on numerical failure
+/// (not expected for valid inputs).
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_core::{cs_id, SystemParams};
+///
+/// # fn main() -> Result<(), cyclesteal_core::AnalysisError> {
+/// // rho_s = 1.2 is unstable under Dedicated but fine under CS-ID.
+/// let p = SystemParams::exponential(1.2, 1.0, 0.3, 1.0)?;
+/// let r = cs_id::analyze(&p)?;
+/// assert!(r.short_response.is_finite() && r.short_response > 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze(params: &SystemParams) -> Result<CsIdReport, AnalysisError> {
+    let (rho_s, rho_l) = (params.rho_s(), params.rho_l());
+    if !stability::is_stable(Policy::CsId, rho_s, rho_l) {
+        return Err(AnalysisError::Unstable {
+            policy: "CS-ID",
+            rho_s,
+            rho_l,
+            rho_s_max: stability::max_rho_s(Policy::CsId, rho_l),
+        });
+    }
+    let longs = long_host(params)?;
+    let short_response = short_host_mmpp(params)?;
+    Ok(CsIdReport {
+        short_response: short_response.response,
+        long_response: longs.response,
+        steal_probability: short_response.q_idle,
+        setup_probability: longs.p_setup,
+    })
+}
+
+/// The naive decomposition in which the overflow stream is treated as a
+/// thinned *Poisson* process of rate `λ_S(1−q)`. Kept as an ablation
+/// baseline: it underestimates short delay noticeably (the overflow stream
+/// is bursty), which is exactly why the Markov-modulated model of
+/// [`analyze`] exists.
+///
+/// # Errors
+///
+/// As for [`analyze`].
+pub fn analyze_thinned_poisson(params: &SystemParams) -> Result<CsIdReport, AnalysisError> {
+    let (rho_s, rho_l) = (params.rho_s(), params.rho_l());
+    if !stability::is_stable(Policy::CsId, rho_s, rho_l) {
+        return Err(AnalysisError::Unstable {
+            policy: "CS-ID",
+            rho_s,
+            rho_l,
+            rho_s_max: stability::max_rho_s(Policy::CsId, rho_l),
+        });
+    }
+    let longs = long_host(params)?;
+    let q = (1.0 - rho_l) / (1.0 + rho_s);
+    let overflow = params.lambda_s() * (1.0 - q);
+    let short_response =
+        q * params.mean_s() + (1.0 - q) * mm1::mean_response(overflow, params.mu_s())?;
+    Ok(CsIdReport {
+        short_response,
+        long_response: longs.response,
+        steal_probability: q,
+        setup_probability: longs.p_setup,
+    })
+}
+
+/// Mean response time of long jobs under CS-ID, defined for any `ρ_L < 1`
+/// even when the short host is overloaded (the long host never sees the
+/// short queue). Used for the Figure 6 long-job panels.
+///
+/// # Errors
+///
+/// [`AnalysisError::Param`] if `ρ_L ≥ 1`.
+pub fn long_response(params: &SystemParams) -> Result<f64, AnalysisError> {
+    Ok(long_host(params)?.response)
+}
+
+struct LongHost {
+    response: f64,
+    p_setup: f64,
+}
+
+fn long_host(params: &SystemParams) -> Result<LongHost, AnalysisError> {
+    let (lambda_s, mu_s, lambda_l) = (params.lambda_s(), params.mu_s(), params.lambda_l());
+    if params.rho_l() >= 1.0 {
+        return Err(AnalysisError::Param(
+            cyclesteal_dist::DistError::Inconsistent {
+                reason: "long host requires rho_l < 1",
+            },
+        ));
+    }
+
+    // Two-state no-long chain {idle, short}, killed at rate lambda_l.
+    let q_chain =
+        Matrix::from_rows(&[&[-lambda_s, lambda_s], &[mu_s, -mu_s]]).expect("2x2 literal");
+    let killed = ctmc::killed_occupancy(&q_chain, lambda_l, 0)?;
+    let p_setup = killed.kill_state_probs()[1];
+
+    // Setup K = Exp(mu_s) with probability p_setup (memoryless residual).
+    let k1 = p_setup / mu_s;
+    let k2 = 2.0 * p_setup / (mu_s * mu_s);
+    let response = mg1::mean_response_with_setup(lambda_l, params.long_moments(), k1, k2)?;
+
+    Ok(LongHost { response, p_setup })
+}
+
+struct ShortHost {
+    response: f64,
+    q_idle: f64,
+}
+
+/// Long-host state indices inside the modulating chain.
+struct ModLayout {
+    kb: usize,
+    kn: usize,
+}
+
+impl ModLayout {
+    const IDLE: usize = 0;
+    const SHORT: usize = 1;
+    const SHORT_PENDING: usize = 2;
+
+    fn b(&self, i: usize) -> usize {
+        3 + i
+    }
+
+    fn bpp(&self, i: usize) -> usize {
+        3 + self.kb + i
+    }
+
+    fn dim(&self) -> usize {
+        3 + self.kb + self.kn
+    }
+}
+
+/// Builds the autonomous long-host chain with PH-matched busy periods and
+/// returns `(generator, layout)`.
+fn modulating_chain(params: &SystemParams) -> Result<(Matrix, ModLayout), AnalysisError> {
+    let (lambda_s, mu_s, lambda_l) = (params.lambda_s(), params.mu_s(), params.lambda_l());
+    let bl = fit(busy::mg1_busy(lambda_l, params.long_moments())?)?;
+    // Busy period started by the longs accumulated behind one short:
+    // theta = mu_s (a single short occupies the host in CS-ID).
+    let bpp = fit(busy::bn1(lambda_l, params.long_moments(), mu_s)?)?;
+    let layout = ModLayout {
+        kb: bl.dim(),
+        kn: bpp.dim(),
+    };
+    let n = layout.dim();
+    let mut q = Matrix::zeros(n, n);
+    q[(ModLayout::IDLE, ModLayout::SHORT)] = lambda_s;
+    for j in 0..layout.kb {
+        q[(ModLayout::IDLE, layout.b(j))] = lambda_l * bl.initial()[j];
+    }
+    q[(ModLayout::SHORT, ModLayout::IDLE)] = mu_s;
+    q[(ModLayout::SHORT, ModLayout::SHORT_PENDING)] = lambda_l;
+    for j in 0..layout.kn {
+        q[(ModLayout::SHORT_PENDING, layout.bpp(j))] = mu_s * bpp.initial()[j];
+    }
+    for i in 0..layout.kb {
+        for j in 0..layout.kb {
+            if i != j {
+                q[(layout.b(i), layout.b(j))] = bl.subgenerator()[(i, j)];
+            }
+        }
+        q[(layout.b(i), ModLayout::IDLE)] = bl.exit_rates()[i];
+    }
+    for i in 0..layout.kn {
+        for j in 0..layout.kn {
+            if i != j {
+                q[(layout.bpp(i), layout.bpp(j))] = bpp.subgenerator()[(i, j)];
+            }
+        }
+        q[(layout.bpp(i), ModLayout::IDLE)] = bpp.exit_rates()[i];
+    }
+    // Diagonal: conservative rows.
+    for i in 0..n {
+        let s: f64 = (0..n).filter(|&j| j != i).map(|j| q[(i, j)]).sum();
+        q[(i, i)] = -s;
+    }
+    Ok((q, layout))
+}
+
+fn fit(m: Moments3) -> Result<Ph, AnalysisError> {
+    Ok(match3::fit_ph(m)?.ph)
+}
+
+fn short_host_mmpp(params: &SystemParams) -> Result<ShortHost, AnalysisError> {
+    let (lambda_s, mu_s) = (params.lambda_s(), params.mu_s());
+    let (q, layout) = modulating_chain(params)?;
+    let n = layout.dim();
+
+    let q_idle = ctmc::stationary(&q)?[ModLayout::IDLE];
+
+    // MMPP/M/1: arrivals at rate lambda_s in every phase except IDLE.
+    let mut rates = vec![lambda_s; n];
+    rates[ModLayout::IDLE] = 0.0;
+    let a0 = Matrix::from_diag(&rates);
+    let a2 = Matrix::from_diag(&vec![mu_s; n]);
+    let mut a1 = q.clone();
+    for i in 0..n {
+        a1[(i, i)] -= rates[i] + mu_s;
+    }
+    // Boundary: empty short host; same phases, no departures.
+    let mut b00 = q;
+    for i in 0..n {
+        b00[(i, i)] -= rates[i];
+    }
+    let b01 = a0.clone();
+    let b10 = a2.clone();
+
+    let qbd = Qbd::new(b00, b01, b10, a0, a1, a2)?;
+    let sol = qbd.solve()?;
+    // Repeating level k = k+1 jobs at the short host.
+    let mean_jobs = sol.repeating_mass() + sol.expected_level_index();
+    let overflow_rate = lambda_s * (1.0 - q_idle);
+    let t_short_host = mean_jobs / overflow_rate;
+
+    Ok(ShortHost {
+        response: q_idle * params.mean_s() + (1.0 - q_idle) * t_short_host,
+        q_idle,
+    })
+}
+
+/// Analyzes CS-ID with **MAP short arrivals**. The modulating chain
+/// becomes the product of the long-host states and the MAP phases; an
+/// arrival fired from a `D1` transition is *stolen* (turns the idle host's
+/// state `I` into `S` without joining the short host) exactly when the long
+/// host is idle, so the steal probability is the *arrival-weighted*
+/// probability of `I` — MAP arrivals do not see time averages, and the
+/// analysis accounts for that.
+///
+/// # Errors
+///
+/// [`AnalysisError::Param`] if the MAP rate disagrees with
+/// `params.lambda_s()`; [`AnalysisError::Unstable`] if `ρ_L ≥ 1` or the
+/// overflow stream overloads the short host; otherwise as [`analyze`].
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_core::{cs_id, SystemParams};
+/// use cyclesteal_dist::Map;
+///
+/// # fn main() -> Result<(), cyclesteal_core::AnalysisError> {
+/// let p = SystemParams::exponential(0.8, 1.0, 0.4, 1.0)?;
+/// let bursty = Map::bursty(0.8, 9.0, 10.0)?;
+/// let burst = cs_id::analyze_map(&p, &bursty)?;
+/// let smooth = cs_id::analyze(&p)?;
+/// assert!(burst.short_response > smooth.short_response);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_map(params: &SystemParams, arrivals: &Map) -> Result<CsIdReport, AnalysisError> {
+    if (arrivals.rate() - params.lambda_s()).abs() > 1e-9 * params.lambda_s() {
+        return Err(AnalysisError::Param(
+            cyclesteal_dist::DistError::Inconsistent {
+                reason: "MAP arrival rate must equal params.lambda_s()",
+            },
+        ));
+    }
+    let (mu_s, lambda_l, rho_l) = (params.mu_s(), params.lambda_l(), params.rho_l());
+    if rho_l >= 1.0 {
+        return Err(AnalysisError::Unstable {
+            policy: "CS-ID",
+            rho_s: params.rho_s(),
+            rho_l,
+            rho_s_max: 0.0,
+        });
+    }
+
+    // Long-host PH pieces (identical to the Poisson case: they only involve
+    // the Poisson longs and the exponential short in service).
+    let bl = fit(busy::mg1_busy(lambda_l, params.long_moments())?)?;
+    let bpp = fit(busy::bn1(lambda_l, params.long_moments(), mu_s)?)?;
+    let (kb, kn) = (bl.dim(), bpp.dim());
+    let n_lh = 3 + kb + kn; // I, S, S', B.., B''..
+    let ka = arrivals.dim();
+    let n = n_lh * ka;
+    const I: usize = 0;
+    const S: usize = 1;
+    const SP: usize = 2;
+    let b_at = |i: usize| 3 + i;
+    let bpp_at = |i: usize| 3 + kb + i;
+
+    // `a0` holds level-up transitions (arrivals joining the short host);
+    // `rest` all other phase transitions.
+    let mut a0 = Matrix::zeros(n, n);
+    let mut rest = Matrix::zeros(n, n);
+    for lh in 0..n_lh {
+        for a in 0..ka {
+            let from = lh * ka + a;
+            // MAP internal moves.
+            for b in 0..ka {
+                if a != b {
+                    rest[(from, lh * ka + b)] += arrivals.d0()[(a, b)];
+                }
+            }
+            // Arrivals: stolen from I, short-host-bound otherwise.
+            for b in 0..ka {
+                let r = arrivals.d1()[(a, b)];
+                if lh == I {
+                    rest[(from, S * ka + b)] += r;
+                } else {
+                    a0[(from, lh * ka + b)] += r;
+                }
+            }
+        }
+    }
+    for a in 0..ka {
+        // Long arrivals and exponential-short completions at the long host.
+        for j in 0..kb {
+            rest[(I * ka + a, b_at(j) * ka + a)] += lambda_l * bl.initial()[j];
+        }
+        rest[(S * ka + a, I * ka + a)] += mu_s;
+        rest[(S * ka + a, SP * ka + a)] += lambda_l;
+        for j in 0..kn {
+            rest[(SP * ka + a, bpp_at(j) * ka + a)] += mu_s * bpp.initial()[j];
+        }
+        for i in 0..kb {
+            for j in 0..kb {
+                if i != j {
+                    rest[(b_at(i) * ka + a, b_at(j) * ka + a)] += bl.subgenerator()[(i, j)];
+                }
+            }
+            rest[(b_at(i) * ka + a, I * ka + a)] += bl.exit_rates()[i];
+        }
+        for i in 0..kn {
+            for j in 0..kn {
+                if i != j {
+                    rest[(bpp_at(i) * ka + a, bpp_at(j) * ka + a)] += bpp.subgenerator()[(i, j)];
+                }
+            }
+            rest[(bpp_at(i) * ka + a, I * ka + a)] += bpp.exit_rates()[i];
+        }
+    }
+
+    // Stationary phase distribution of the full modulating process.
+    let mut phase_gen = rest.add(&a0).expect("same dims");
+    for i in 0..n {
+        let s: f64 = (0..n).filter(|&j| j != i).map(|j| phase_gen[(i, j)]).sum();
+        phase_gen[(i, i)] = -s;
+    }
+    let pi = ctmc::stationary(&phase_gen)?;
+
+    // Steal probability: arrival-weighted P(long host idle).
+    let rate = arrivals.rate();
+    let mut stolen_rate = 0.0;
+    for a in 0..ka {
+        let d1_row: f64 = (0..ka).map(|b| arrivals.d1()[(a, b)]).sum();
+        stolen_rate += pi[I * ka + a] * d1_row;
+    }
+    let q_steal = stolen_rate / rate;
+
+    // Setup probability: Poisson longs see time averages (PASTA) among the
+    // no-long states {I, S}.
+    let p_i: f64 = (0..ka).map(|a| pi[I * ka + a]).sum();
+    let p_s: f64 = (0..ka).map(|a| pi[S * ka + a]).sum();
+    let p_setup = p_s / (p_i + p_s);
+    let long_response = mg1::mean_response_with_setup(
+        lambda_l,
+        params.long_moments(),
+        p_setup / mu_s,
+        2.0 * p_setup / (mu_s * mu_s),
+    )?;
+
+    // Short-host stability on the overflow stream.
+    let overflow_rate = rate * (1.0 - q_steal);
+    if overflow_rate >= params.mu_s() {
+        return Err(AnalysisError::Unstable {
+            policy: "CS-ID",
+            rho_s: params.rho_s(),
+            rho_l,
+            rho_s_max: params.rho_s() * params.mu_s() / overflow_rate,
+        });
+    }
+
+    // Short host QBD: level = jobs at the short host.
+    let mut a1 = rest.clone();
+    let a2 = Matrix::from_diag(&vec![mu_s; n]);
+    for i in 0..n {
+        let out: f64 = (0..n).filter(|&j| j != i).map(|j| a1[(i, j)]).sum::<f64>()
+            + a0.row(i).iter().sum::<f64>()
+            + mu_s;
+        a1[(i, i)] = -out;
+    }
+    let mut b00 = rest;
+    for i in 0..n {
+        let out: f64 = (0..n).filter(|&j| j != i).map(|j| b00[(i, j)]).sum::<f64>()
+            + a0.row(i).iter().sum::<f64>();
+        b00[(i, i)] = -out;
+    }
+    let qbd = Qbd::new(b00, a0.clone(), a2.clone(), a0, a1, a2)?;
+    let sol = qbd.solve()?;
+    let mean_jobs = sol.repeating_mass() + sol.expected_level_index();
+    let t_short_host = mean_jobs / overflow_rate;
+
+    Ok(CsIdReport {
+        short_response: q_steal * params.mean_s() + (1.0 - q_steal) * t_short_host,
+        long_response,
+        steal_probability: q_steal,
+        setup_probability: p_setup,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_idle_matches_work_conservation_exactly() {
+        // Independent exact identity: q = (1 - rho_l)/(1 + rho_s).
+        for (rho_s, rho_l) in [(0.5, 0.3), (0.9, 0.5), (1.2, 0.2), (0.3, 0.9), (1.0, 0.5)] {
+            let p = SystemParams::exponential(rho_s, 1.0, rho_l, 1.0).unwrap();
+            let sh = short_host_mmpp(&p).unwrap();
+            let balance = (1.0 - rho_l) / (1.0 + rho_s);
+            assert!(
+                (sh.q_idle - balance).abs() < 1e-10,
+                "rho_s={rho_s} rho_l={rho_l}: {} vs {balance}",
+                sh.q_idle
+            );
+        }
+    }
+
+    #[test]
+    fn q_idle_exact_for_coxian_longs_too() {
+        let longs = Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap();
+        let p = SystemParams::from_loads(0.8, 1.0, 0.4, longs).unwrap();
+        let sh = short_host_mmpp(&p).unwrap();
+        let balance = (1.0 - 0.4) / (1.0 + 0.8);
+        assert!((sh.q_idle - balance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn setup_probability_closed_form() {
+        let p = SystemParams::exponential(0.8, 1.0, 0.4, 1.0).unwrap();
+        let lh = long_host(&p).unwrap();
+        let want = 0.8 / (0.4 + 0.8 + 1.0);
+        assert!((lh.p_setup - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_stealing_limit_reduces_to_dedicated_longs() {
+        // lambda_s -> 0: setup vanishes, longs see a plain M/G/1.
+        let p = SystemParams::exponential(1e-9, 1.0, 0.5, 1.0).unwrap();
+        let r = long_response(&p).unwrap();
+        assert!((r - 2.0).abs() < 1e-6); // M/M/1 at rho 0.5
+    }
+
+    #[test]
+    fn mmpp_model_predicts_more_delay_than_thinned_poisson() {
+        // The overflow stream is bursty; the Markov-modulated model must
+        // dominate the naive thinned-Poisson baseline.
+        let p = SystemParams::exponential(1.0, 1.0, 0.5, 1.0).unwrap();
+        let full = analyze(&p).unwrap();
+        let naive = analyze_thinned_poisson(&p).unwrap();
+        assert!(
+            full.short_response > naive.short_response,
+            "full {} vs naive {}",
+            full.short_response,
+            naive.short_response
+        );
+        // Same long-host model in both.
+        assert_eq!(full.long_response, naive.long_response);
+    }
+
+    #[test]
+    fn shorts_benefit_over_dedicated() {
+        let p = SystemParams::exponential(0.9, 1.0, 0.5, 1.0).unwrap();
+        let id = analyze(&p).unwrap();
+        let ded = crate::dedicated::analyze(&p).unwrap();
+        assert!(id.short_response < ded.short_response);
+        assert!(id.long_response > ded.long_response); // longs pay a bit
+    }
+
+    #[test]
+    fn stability_boundary_enforced() {
+        // rho_s max at rho_l = 0.5: (0.5 + sqrt(0.25+4))/2 ~ 1.2808.
+        let p = SystemParams::exponential(1.29, 1.0, 0.5, 1.0).unwrap();
+        assert!(matches!(
+            analyze(&p),
+            Err(AnalysisError::Unstable {
+                policy: "CS-ID",
+                ..
+            })
+        ));
+        let p = SystemParams::exponential(1.27, 1.0, 0.5, 1.0).unwrap();
+        assert!(analyze(&p).is_ok());
+    }
+
+    #[test]
+    fn response_diverges_near_the_asymptote() {
+        let p1 = SystemParams::exponential(1.15, 1.0, 0.5, 1.0).unwrap();
+        let p2 = SystemParams::exponential(1.28, 1.0, 0.5, 1.0).unwrap();
+        let r1 = analyze(&p1).unwrap().short_response;
+        let r2 = analyze(&p2).unwrap().short_response;
+        assert!(r2 > 3.0 * r1, "r1 = {r1}, r2 = {r2}");
+    }
+
+    #[test]
+    fn map_poisson_reduces_to_base_analysis() {
+        let p = SystemParams::exponential(0.9, 1.0, 0.5, 1.0).unwrap();
+        let base = analyze(&p).unwrap();
+        let pois = Map::poisson(p.lambda_s()).unwrap();
+        let via_map = analyze_map(&p, &pois).unwrap();
+        assert!(
+            (via_map.short_response - base.short_response).abs() < 1e-9,
+            "{} vs {}",
+            via_map.short_response,
+            base.short_response
+        );
+        assert!((via_map.long_response - base.long_response).abs() < 1e-9);
+        assert!((via_map.steal_probability - base.steal_probability).abs() < 1e-9);
+        assert!((via_map.setup_probability - base.setup_probability).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_burstiness_raises_short_delay() {
+        let p = SystemParams::exponential(0.8, 1.0, 0.4, 1.0).unwrap();
+        let base = analyze(&p).unwrap();
+        let bursty = Map::bursty(0.8, 9.0, 10.0).unwrap();
+        let r = analyze_map(&p, &bursty).unwrap();
+        assert!(r.short_response > 1.3 * base.short_response);
+        // The steal probability changes too: bursts arrive while the host
+        // is busy with earlier arrivals from the same burst.
+        assert!(r.steal_probability < base.steal_probability);
+    }
+
+    #[test]
+    fn map_rate_mismatch_rejected() {
+        let p = SystemParams::exponential(0.9, 1.0, 0.5, 1.0).unwrap();
+        let wrong = Map::poisson(0.7).unwrap();
+        assert!(analyze_map(&p, &wrong).is_err());
+    }
+
+    #[test]
+    fn map_overload_detected() {
+        // Burstiness cannot destabilize a stream whose overflow is already
+        // near the limit? It can: with less stealing, the short host sees
+        // more traffic. Pick a load where the Poisson case is stable but
+        // only barely.
+        let p = SystemParams::exponential(1.25, 1.0, 0.5, 1.0).unwrap();
+        assert!(analyze(&p).is_ok());
+        let bursty = Map::bursty(1.25, 16.0, 50.0).unwrap();
+        let r = analyze_map(&p, &bursty);
+        // Either unstable (steal probability collapsed) or dramatically
+        // slower; both demonstrate the detection path is wired.
+        match r {
+            Err(AnalysisError::Unstable { .. }) => {}
+            Ok(rep) => assert!(rep.short_response > analyze(&p).unwrap().short_response),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn long_response_defined_beyond_short_stability() {
+        // Figure 6 row 2: rho_s = 1.5 with rho_l = 0.5 is unstable for
+        // shorts under CS-ID, yet the long-host analysis stands.
+        let p = SystemParams::exponential(1.5, 1.0, 0.5, 1.0).unwrap();
+        assert!(analyze(&p).is_err());
+        let t = long_response(&p).unwrap();
+        assert!(t.is_finite() && t > 2.0);
+    }
+}

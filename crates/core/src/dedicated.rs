@@ -1,0 +1,204 @@
+//! The Dedicated baseline: shorts and longs each own one host, so the
+//! system is two independent M/G/1 queues (M/M/1 for the exponential
+//! shorts, Pollaczek–Khinchine for the general longs).
+
+use cyclesteal_mg1::{mg1, mm1};
+
+use crate::stability::{self, Policy};
+use crate::SystemParams;
+use crate::{AnalysisError, PolicyMeans};
+
+/// Mean response times under Dedicated assignment.
+///
+/// # Errors
+///
+/// [`AnalysisError::Unstable`] if `ρ_S ≥ 1` or `ρ_L ≥ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_core::{dedicated, SystemParams};
+///
+/// # fn main() -> Result<(), cyclesteal_core::AnalysisError> {
+/// let p = SystemParams::exponential(0.5, 1.0, 0.5, 1.0)?;
+/// let r = dedicated::analyze(&p)?;
+/// assert!((r.short_response - 2.0).abs() < 1e-12); // M/M/1 at rho = 0.5
+/// assert!((r.long_response - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze(params: &SystemParams) -> Result<PolicyMeans, AnalysisError> {
+    let (rho_s, rho_l) = (params.rho_s(), params.rho_l());
+    if !stability::is_stable(Policy::Dedicated, rho_s, rho_l) {
+        return Err(AnalysisError::Unstable {
+            policy: "Dedicated",
+            rho_s,
+            rho_l,
+            rho_s_max: stability::max_rho_s(Policy::Dedicated, rho_l),
+        });
+    }
+    let short = mm1::mean_response(params.lambda_s(), params.mu_s())?;
+    let long = mg1::mean_response(params.lambda_l(), params.long_moments())?;
+    Ok(PolicyMeans {
+        short_response: short,
+        long_response: long,
+    })
+}
+
+/// Dedicated assignment on hosts of different speeds (the paper's closing
+/// "hosts of different speeds" extension — exact for Dedicated because the
+/// hosts never interact): a job of size `x` takes `x/speed` on its host.
+/// `speeds[0]` serves the shorts, `speeds[1]` the longs.
+///
+/// # Errors
+///
+/// [`AnalysisError::Param`] for nonpositive speeds;
+/// [`AnalysisError::Unstable`] if either host is overloaded at its speed.
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_core::{dedicated, SystemParams};
+///
+/// # fn main() -> Result<(), cyclesteal_core::AnalysisError> {
+/// let p = SystemParams::exponential(0.5, 1.0, 0.5, 1.0)?;
+/// // Doubling the short host's speed halves the short response exactly
+/// // (M/M/1 scaling at fixed utilization requires doubling the load too;
+/// // at fixed arrival rate it does even better).
+/// let fast = dedicated::analyze_with_speeds(&p, [2.0, 1.0])?;
+/// let base = dedicated::analyze(&p)?;
+/// assert!(fast.short_response < base.short_response / 2.0 + 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_with_speeds(
+    params: &SystemParams,
+    speeds: [f64; 2],
+) -> Result<PolicyMeans, AnalysisError> {
+    for v in speeds {
+        if !(v > 0.0 && v.is_finite()) {
+            return Err(AnalysisError::Param(
+                cyclesteal_dist::DistError::NonPositive {
+                    what: "host speed",
+                    value: v,
+                },
+            ));
+        }
+    }
+    let (rho_s, rho_l) = (params.rho_s() / speeds[0], params.rho_l() / speeds[1]);
+    if rho_s >= 1.0 || rho_l >= 1.0 {
+        return Err(AnalysisError::Unstable {
+            policy: "Dedicated",
+            rho_s,
+            rho_l,
+            rho_s_max: 1.0,
+        });
+    }
+    let short = mm1::mean_response(params.lambda_s(), params.mu_s() * speeds[0])?;
+    let long_scaled = params.long_moments().scaled(1.0 / speeds[1])?;
+    let long = mg1::mean_response(params.lambda_l(), long_scaled)?;
+    Ok(PolicyMeans {
+        short_response: short,
+        long_response: long,
+    })
+}
+
+/// Mean response time of the long class alone (defined for any `ρ_L < 1`
+/// regardless of the short class, which Dedicated cannot affect). Used for
+/// the Figure 6 long-job panels where `ρ_S = 1.5` makes the short host
+/// unstable.
+///
+/// # Errors
+///
+/// [`AnalysisError::Param`] if `ρ_L ≥ 1`.
+pub fn long_response(params: &SystemParams) -> Result<f64, AnalysisError> {
+    Ok(mg1::mean_response(
+        params.lambda_l(),
+        params.long_moments(),
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_dist::Moments3;
+
+    #[test]
+    fn matches_mm1_and_pk() {
+        let longs = Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap();
+        let p = SystemParams::from_loads(0.8, 1.0, 0.5, longs).unwrap();
+        let r = analyze(&p).unwrap();
+        assert!((r.short_response - 5.0).abs() < 1e-12); // 1/(1-0.8)
+        let want_long = 1.0 + 0.5 * longs.m2() / (2.0 * 0.5);
+        assert!((r.long_response - want_long).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_configurations_rejected() {
+        let p = SystemParams::exponential(1.1, 1.0, 0.5, 1.0).unwrap();
+        assert!(matches!(
+            analyze(&p),
+            Err(AnalysisError::Unstable {
+                policy: "Dedicated",
+                ..
+            })
+        ));
+        let p = SystemParams::exponential(0.5, 1.0, 1.2, 1.0).unwrap();
+        assert!(analyze(&p).is_err());
+    }
+
+    #[test]
+    fn unit_speeds_reduce_to_base_analysis() {
+        let p = SystemParams::exponential(0.7, 1.0, 0.6, 2.0).unwrap();
+        let a = analyze(&p).unwrap();
+        let b = analyze_with_speeds(&p, [1.0, 1.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn speeds_rescue_an_overloaded_class() {
+        // rho_s = 1.4 is unstable at unit speed but fine on a 2x host.
+        let p = SystemParams::exponential(1.4, 1.0, 0.5, 1.0).unwrap();
+        assert!(analyze(&p).is_err());
+        let r = analyze_with_speeds(&p, [2.0, 1.0]).unwrap();
+        // M/M/1 with mu = 2, lambda = 1.4.
+        assert!((r.short_response - 1.0 / 0.6).abs() < 1e-12);
+        assert!(analyze_with_speeds(&p, [1.0, 1.0]).is_err());
+        assert!(analyze_with_speeds(&p, [2.0, 0.4]).is_err()); // longs now overloaded
+        assert!(analyze_with_speeds(&p, [0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn speeds_match_simulation() {
+        use cyclesteal_dist::{Distribution, Exp};
+        use cyclesteal_sim::{simulate, PolicyKind, SimConfig, SimParams};
+        let p = SystemParams::exponential(0.9, 1.0, 0.6, 2.0).unwrap();
+        let r = analyze_with_speeds(&p, [1.5, 0.8]).unwrap();
+        let short = Exp::with_mean(1.0).unwrap();
+        let long = Exp::with_mean(2.0).unwrap();
+        let sp = SimParams::new(p.lambda_s(), p.lambda_l(), &short, &long)
+            .unwrap()
+            .with_speeds([1.5, 0.8])
+            .unwrap();
+        let _ = short.mean();
+        let sim = simulate(
+            PolicyKind::Dedicated,
+            &sp,
+            &SimConfig {
+                seed: 61,
+                total_jobs: 2_000_000,
+                ..SimConfig::default()
+            },
+        );
+        assert!((r.short_response - sim.short.mean).abs() / sim.short.mean < 0.03);
+        assert!((r.long_response - sim.long.mean).abs() / sim.long.mean < 0.04);
+    }
+
+    #[test]
+    fn long_only_view_ignores_short_overload() {
+        let p = SystemParams::exponential(1.5, 1.0, 0.5, 1.0).unwrap();
+        assert!(analyze(&p).is_err());
+        let t = long_response(&p).unwrap();
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+}

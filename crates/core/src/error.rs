@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+use cyclesteal_dist::DistError;
+use cyclesteal_markov::MarkovError;
+
+/// Errors from the cycle-stealing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// Invalid workload parameters or infeasible moment inputs.
+    Param(DistError),
+    /// The Markov-chain machinery failed (singular systems, divergent
+    /// fixed points).
+    Chain(MarkovError),
+    /// The requested configuration violates the policy's stability
+    /// condition (Theorem 1), so no stationary analysis exists.
+    Unstable {
+        /// Which policy's condition failed.
+        policy: &'static str,
+        /// Short-class load.
+        rho_s: f64,
+        /// Long-class load.
+        rho_l: f64,
+        /// The maximum stable `ρ_S` at this `ρ_L`.
+        rho_s_max: f64,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Param(e) => write!(f, "invalid parameters: {e}"),
+            AnalysisError::Chain(e) => write!(f, "chain solver failure: {e}"),
+            AnalysisError::Unstable {
+                policy,
+                rho_s,
+                rho_l,
+                rho_s_max,
+            } => write!(
+                f,
+                "{policy} is unstable at rho_s = {rho_s:.4}, rho_l = {rho_l:.4} \
+                 (requires rho_s < {rho_s_max:.4})"
+            ),
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::Param(e) => Some(e),
+            AnalysisError::Chain(e) => Some(e),
+            AnalysisError::Unstable { .. } => None,
+        }
+    }
+}
+
+impl From<DistError> for AnalysisError {
+    fn from(e: DistError) -> Self {
+        AnalysisError::Param(e)
+    }
+}
+
+impl From<MarkovError> for AnalysisError {
+    fn from(e: MarkovError) -> Self {
+        AnalysisError::Chain(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: AnalysisError = DistError::NonPositive {
+            what: "rate",
+            value: -1.0,
+        }
+        .into();
+        assert!(e.to_string().contains("rate"));
+        assert!(Error::source(&e).is_some());
+
+        let e: AnalysisError = MarkovError::Unstable {
+            spectral_radius: 1.5,
+        }
+        .into();
+        assert!(e.to_string().contains("1.5"));
+
+        let e = AnalysisError::Unstable {
+            policy: "CS-CQ",
+            rho_s: 1.8,
+            rho_l: 0.5,
+            rho_s_max: 1.5,
+        };
+        assert!(e.to_string().contains("CS-CQ"));
+        assert!(Error::source(&e).is_none());
+    }
+}

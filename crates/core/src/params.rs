@@ -1,0 +1,183 @@
+use cyclesteal_dist::{DistError, Moments3};
+
+use crate::AnalysisError;
+
+/// Workload parameters of the two-host cycle-stealing system.
+///
+/// Short jobs arrive Poisson(`λ_S`) with **exponential** sizes of rate
+/// `μ_S` — the distributional assumption of the paper's Markov chain (the
+/// simulator in `cyclesteal-sim` lifts it). Long jobs arrive Poisson(`λ_L`)
+/// with a **general** size distribution summarized by its first three
+/// moments, which the analysis re-expands into a Coxian.
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_core::SystemParams;
+/// use cyclesteal_dist::Moments3;
+///
+/// # fn main() -> Result<(), cyclesteal_core::AnalysisError> {
+/// // Figure 5 workload: rho_s sweeps, rho_l = 0.5, longs Coxian C^2 = 8.
+/// let longs = Moments3::from_mean_scv_balanced(1.0, 8.0)?;
+/// let p = SystemParams::new(0.9, 1.0, 0.5, longs)?;
+/// assert!((p.rho_s() - 0.9).abs() < 1e-12);
+/// assert!((p.rho_l() - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemParams {
+    lambda_s: f64,
+    mu_s: f64,
+    lambda_l: f64,
+    long: Moments3,
+}
+
+fn check_rate(what: &'static str, v: f64) -> Result<(), DistError> {
+    if v > 0.0 && v.is_finite() {
+        Ok(())
+    } else {
+        Err(DistError::NonPositive { what, value: v })
+    }
+}
+
+impl SystemParams {
+    /// Creates parameters from arrival rates, the short service rate, and
+    /// the long-job moment triple.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Param`] if any rate is nonpositive or not finite.
+    pub fn new(
+        lambda_s: f64,
+        mu_s: f64,
+        lambda_l: f64,
+        long: Moments3,
+    ) -> Result<Self, AnalysisError> {
+        check_rate("lambda_s", lambda_s)?;
+        check_rate("mu_s", mu_s)?;
+        check_rate("lambda_l", lambda_l)?;
+        Ok(SystemParams {
+            lambda_s,
+            mu_s,
+            lambda_l,
+            long,
+        })
+    }
+
+    /// Creates parameters from per-class loads and mean sizes, with
+    /// **exponential long jobs** — the workload of the paper's Figure 4.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Param`] for nonpositive inputs.
+    pub fn exponential(
+        rho_s: f64,
+        mean_s: f64,
+        rho_l: f64,
+        mean_l: f64,
+    ) -> Result<Self, AnalysisError> {
+        check_rate("mean_s", mean_s)?;
+        check_rate("mean_l", mean_l)?;
+        check_rate("rho_s", rho_s)?;
+        check_rate("rho_l", rho_l)?;
+        SystemParams::new(
+            rho_s / mean_s,
+            1.0 / mean_s,
+            rho_l / mean_l,
+            Moments3::exponential(mean_l)?,
+        )
+    }
+
+    /// Creates parameters from per-class loads, a mean short size, and a
+    /// general long-job moment triple — the workload of Figures 5–6.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Param`] for nonpositive inputs.
+    pub fn from_loads(
+        rho_s: f64,
+        mean_s: f64,
+        rho_l: f64,
+        long: Moments3,
+    ) -> Result<Self, AnalysisError> {
+        check_rate("mean_s", mean_s)?;
+        check_rate("rho_s", rho_s)?;
+        check_rate("rho_l", rho_l)?;
+        SystemParams::new(rho_s / mean_s, 1.0 / mean_s, rho_l / long.mean(), long)
+    }
+
+    /// Short-job arrival rate `λ_S`.
+    pub fn lambda_s(&self) -> f64 {
+        self.lambda_s
+    }
+
+    /// Short-job service rate `μ_S` (sizes are `Exp(μ_S)`).
+    pub fn mu_s(&self) -> f64 {
+        self.mu_s
+    }
+
+    /// Long-job arrival rate `λ_L`.
+    pub fn lambda_l(&self) -> f64 {
+        self.lambda_l
+    }
+
+    /// Long-job size moments.
+    pub fn long_moments(&self) -> Moments3 {
+        self.long
+    }
+
+    /// Mean short-job size `E[X_S] = 1/μ_S`.
+    pub fn mean_s(&self) -> f64 {
+        1.0 / self.mu_s
+    }
+
+    /// Short-class load `ρ_S = λ_S / μ_S`.
+    pub fn rho_s(&self) -> f64 {
+        self.lambda_s / self.mu_s
+    }
+
+    /// Long-class load `ρ_L = λ_L · E[X_L]`.
+    pub fn rho_l(&self) -> f64 {
+        self.lambda_l * self.long.mean()
+    }
+
+    /// Short-job moment triple (exponential).
+    pub fn short_moments(&self) -> Moments3 {
+        Moments3::exponential(self.mean_s()).expect("mu_s validated positive")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_loads() {
+        let p = SystemParams::exponential(0.9, 1.0, 0.5, 10.0).unwrap();
+        assert!((p.lambda_s() - 0.9).abs() < 1e-12);
+        assert!((p.mu_s() - 1.0).abs() < 1e-12);
+        assert!((p.lambda_l() - 0.05).abs() < 1e-12);
+        assert!((p.rho_l() - 0.5).abs() < 1e-12);
+        assert!((p.long_moments().mean() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_loads_with_coxian_longs() {
+        let longs = Moments3::from_mean_scv_balanced(2.0, 8.0).unwrap();
+        let p = SystemParams::from_loads(1.5, 10.0, 0.3, longs).unwrap();
+        assert!((p.rho_s() - 1.5).abs() < 1e-12);
+        assert!((p.rho_l() - 0.3).abs() < 1e-12);
+        assert!((p.mean_s() - 10.0).abs() < 1e-12);
+        assert!((p.short_moments().scv() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SystemParams::exponential(0.0, 1.0, 0.5, 1.0).is_err());
+        assert!(SystemParams::exponential(0.5, -1.0, 0.5, 1.0).is_err());
+        assert!(SystemParams::exponential(0.5, 1.0, f64::NAN, 1.0).is_err());
+        let longs = Moments3::exponential(1.0).unwrap();
+        assert!(SystemParams::new(1.0, 1.0, 0.0, longs).is_err());
+    }
+}

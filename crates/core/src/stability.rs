@@ -1,0 +1,154 @@
+//! Theorem 1: stability regions of the three policies.
+//!
+//! With `ρ_S = λ_S E[X_S]` and `ρ_L = λ_L E[X_L]` (each host has unit
+//! speed), long jobs are stable iff `ρ_L < 1` under every policy — stolen
+//! cycles are only ever idle cycles. The short-class conditions differ:
+//!
+//! * **Dedicated**: `ρ_S < 1`.
+//! * **CS-ID**: shorts overflow to the short host with probability `1 − q`,
+//!   where `q = (1−ρ_L)/(1+ρ_S)` is the probability the long host is idle
+//!   (by work conservation at the long host: its utilization is
+//!   `ρ_L + q·ρ_S`). The short host is stable iff `ρ_S (1−q) < 1`, i.e.
+//!   `ρ_S (ρ_S + ρ_L) / (1 + ρ_S) < 1`, giving
+//!   `ρ_S < ((1−ρ_L) + sqrt((1−ρ_L)² + 4)) / 2` — about 1.618 (the golden
+//!   ratio) at `ρ_L = 0`, matching the paper's Figure 3.
+//! * **CS-CQ**: the central queue keeps both hosts busy whenever work is
+//!   available, so the shorts can consume all capacity the longs leave:
+//!   `ρ_S < 2 − ρ_L`.
+
+/// The policies whose stability regions Theorem 1 characterizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Dedicated assignment (no stealing).
+    Dedicated,
+    /// Cycle stealing with immediate dispatch.
+    CsId,
+    /// Cycle stealing with a central queue.
+    CsCq,
+}
+
+/// The supremum of stable `ρ_S` at long-class load `rho_l`.
+///
+/// # Panics
+///
+/// Panics if `rho_l` is negative or not finite. `rho_l ≥ 1` yields the
+/// degenerate frontier of the policy (0 for CS-CQ; Dedicated's frontier does
+/// not depend on `rho_l`).
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_core::stability::{max_rho_s, Policy};
+///
+/// assert_eq!(max_rho_s(Policy::Dedicated, 0.5), 1.0);
+/// assert_eq!(max_rho_s(Policy::CsCq, 0.5), 1.5);
+/// let golden = (1.0 + 5.0f64.sqrt()) / 2.0;
+/// assert!((max_rho_s(Policy::CsId, 0.0) - golden).abs() < 1e-12);
+/// ```
+pub fn max_rho_s(policy: Policy, rho_l: f64) -> f64 {
+    assert!(
+        rho_l >= 0.0 && rho_l.is_finite(),
+        "rho_l must be nonnegative and finite"
+    );
+    match policy {
+        Policy::Dedicated => 1.0,
+        Policy::CsId => {
+            // Positive root of rho_s^2 - (1 - rho_l) rho_s - 1 = 0.
+            let b = 1.0 - rho_l;
+            ((b * b + 4.0).sqrt() + b) / 2.0
+        }
+        Policy::CsCq => (2.0 - rho_l).max(0.0),
+    }
+}
+
+/// Whether `(ρ_S, ρ_L)` is in the stability region of `policy`
+/// (both classes stable).
+pub fn is_stable(policy: Policy, rho_s: f64, rho_l: f64) -> bool {
+    rho_l < 1.0 && rho_s > 0.0 && rho_s < max_rho_s(policy, rho_l)
+}
+
+/// The largest `ρ_L` keeping the *short* class stable at load `rho_s`
+/// (long-class stability additionally requires `ρ_L < 1`). Used for the
+/// `ρ_L`-sweeps of Figure 6.
+pub fn max_rho_l_for_shorts(policy: Policy, rho_s: f64) -> f64 {
+    assert!(
+        rho_s > 0.0 && rho_s.is_finite(),
+        "rho_s must be positive and finite"
+    );
+    match policy {
+        Policy::Dedicated => {
+            if rho_s < 1.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        // From rho_s (rho_s + rho_l) < 1 + rho_s.
+        Policy::CsId => ((1.0 + rho_s - rho_s * rho_s) / rho_s).clamp(0.0, 1.0),
+        Policy::CsCq => (2.0 - rho_s).clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontiers_are_ordered_dedicated_csid_cscq() {
+        for rho_l in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let d = max_rho_s(Policy::Dedicated, rho_l);
+            let i = max_rho_s(Policy::CsId, rho_l);
+            let c = max_rho_s(Policy::CsCq, rho_l);
+            assert!(d <= i && i <= c, "rho_l = {rho_l}: {d} {i} {c}");
+        }
+    }
+
+    #[test]
+    fn paper_figure3_anchor_points() {
+        // rho_l near 0: CS-ID allows about 1.6, CS-CQ close to 2.
+        assert!((max_rho_s(Policy::CsId, 0.0) - 1.618).abs() < 1e-3);
+        assert_eq!(max_rho_s(Policy::CsCq, 0.0), 2.0);
+        // rho_l -> 1: all frontiers approach 1.
+        assert!((max_rho_s(Policy::CsId, 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(max_rho_s(Policy::CsCq, 1.0), 1.0);
+    }
+
+    #[test]
+    fn figure6_asymptotes_at_rho_s_1_5() {
+        // The paper fixes rho_s = 1.5: CS-ID stable only to rho_l = 1/6,
+        // CS-CQ to rho_l = 0.5, Dedicated nowhere.
+        assert!((max_rho_l_for_shorts(Policy::CsId, 1.5) - 1.0 / 6.0).abs() < 1e-12);
+        assert!((max_rho_l_for_shorts(Policy::CsCq, 1.5) - 0.5).abs() < 1e-12);
+        assert_eq!(max_rho_l_for_shorts(Policy::Dedicated, 1.5), 0.0);
+    }
+
+    #[test]
+    fn is_stable_consistency() {
+        assert!(is_stable(Policy::CsCq, 1.4, 0.5));
+        assert!(!is_stable(Policy::CsCq, 1.5, 0.5));
+        assert!(!is_stable(Policy::CsCq, 0.5, 1.0));
+        assert!(is_stable(Policy::CsId, 1.2, 0.2));
+        assert!(!is_stable(Policy::Dedicated, 1.0, 0.5));
+    }
+
+    #[test]
+    fn frontier_monotone_in_rho_l() {
+        let mut prev = f64::INFINITY;
+        for i in 0..=10 {
+            let rho_l = i as f64 / 10.0;
+            let m = max_rho_s(Policy::CsId, rho_l);
+            assert!(m <= prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn max_rho_l_inverts_max_rho_s() {
+        // The two frontier parameterizations agree.
+        for rho_l in [0.05, 0.2, 0.4, 0.6, 0.8] {
+            let rs = max_rho_s(Policy::CsId, rho_l);
+            let back = max_rho_l_for_shorts(Policy::CsId, rs);
+            assert!((back - rho_l).abs() < 1e-10, "{rho_l} -> {rs} -> {back}");
+        }
+    }
+}

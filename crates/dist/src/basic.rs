@@ -1,0 +1,232 @@
+use rand::{Rng, RngExt};
+
+use crate::dist::sample_exp;
+use crate::error::check_positive;
+use crate::{DistError, Distribution};
+
+/// The exponential distribution `Exp(rate)`.
+///
+/// The paper's short jobs are always exponential; long jobs are exponential
+/// in Figure 4.
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_dist::{Distribution, Exp};
+///
+/// # fn main() -> Result<(), cyclesteal_dist::DistError> {
+/// let d = Exp::new(4.0)?; // rate 4 => mean 0.25
+/// assert_eq!(d.mean(), 0.25);
+/// assert!((d.scv() - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    rate: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] if `rate <= 0`.
+    pub fn new(rate: f64) -> Result<Self, DistError> {
+        check_positive("rate", rate)?;
+        Ok(Exp { rate })
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] if `mean <= 0`.
+    pub fn with_mean(mean: f64) -> Result<Self, DistError> {
+        check_positive("mean", mean)?;
+        Ok(Exp { rate: 1.0 / mean })
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Exp {
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn moment2(&self) -> f64 {
+        2.0 / (self.rate * self.rate)
+    }
+
+    fn moment3(&self) -> f64 {
+        6.0 / (self.rate * self.rate * self.rate)
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        sample_exp(self.rate, rng)
+    }
+}
+
+/// A deterministic (point-mass) job size.
+///
+/// Useful as an extreme low-variability case when probing how policies react
+/// to job-size variability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Creates a point mass at `value`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] if `value <= 0`.
+    pub fn new(value: f64) -> Result<Self, DistError> {
+        check_positive("value", value)?;
+        Ok(Deterministic { value })
+    }
+}
+
+impl Distribution for Deterministic {
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn moment2(&self) -> f64 {
+        self.value * self.value
+    }
+
+    fn moment3(&self) -> f64 {
+        self.value * self.value * self.value
+    }
+
+    fn sample(&self, _rng: &mut dyn Rng) -> f64 {
+        self.value
+    }
+}
+
+/// The continuous uniform distribution on `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] if `lo < 0` is combined with a nonpositive
+    /// width, and [`DistError::Inconsistent`] if `lo >= hi` or `lo < 0`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, DistError> {
+        check_positive("upper bound", hi)?;
+        if !(lo >= 0.0 && lo < hi) {
+            return Err(DistError::Inconsistent {
+                reason: "uniform requires 0 <= lo < hi",
+            });
+        }
+        Ok(Uniform { lo, hi })
+    }
+
+    fn raw_moment(&self, k: u32) -> f64 {
+        // E[X^k] = (hi^{k+1} - lo^{k+1}) / ((k+1)(hi - lo))
+        let kp = k + 1;
+        (self.hi.powi(kp as i32) - self.lo.powi(kp as i32)) / (kp as f64 * (self.hi - self.lo))
+    }
+}
+
+impl Distribution for Uniform {
+    fn mean(&self) -> f64 {
+        self.raw_moment(1)
+    }
+
+    fn moment2(&self) -> f64 {
+        self.raw_moment(2)
+    }
+
+    fn moment3(&self) -> f64 {
+        self.raw_moment(3)
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        let u: f64 = rng.random();
+        self.lo + u * (self.hi - self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_constructors() {
+        assert_eq!(Exp::new(2.0).unwrap().mean(), 0.5);
+        assert_eq!(Exp::with_mean(2.0).unwrap().rate(), 0.5);
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::with_mean(-1.0).is_err());
+    }
+
+    #[test]
+    fn exp_moments_consistent() {
+        let d = Exp::new(3.0).unwrap();
+        let m = d.moments();
+        assert!((m.scv() - 1.0).abs() < 1e-12);
+        let (n2, n3) = m.normalized();
+        assert!((n2 - 2.0).abs() < 1e-12);
+        assert!((n3 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = Deterministic::new(5.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+        assert_eq!(d.variance(), 0.0);
+        assert!(Deterministic::new(0.0).is_err());
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let d = Uniform::new(0.0, 2.0).unwrap();
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+        assert!((d.moment2() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((d.moment3() - 2.0).abs() < 1e-12);
+        assert!((d.variance() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_validation() {
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(-1.0, 1.0).is_err());
+        assert!(Uniform::new(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_samples_in_range() {
+        let d = Uniform::new(1.0, 3.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exp_sample_mean() {
+        let d = Exp::with_mean(3.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean = {mean}");
+    }
+}

@@ -1,0 +1,338 @@
+//! Busy-period moment calculus for the cycle-stealing analysis.
+//!
+//! The CS-CQ Markov chain (paper Figure 2) contains two kinds of
+//! busy-period transitions:
+//!
+//! * `B_L` — an ordinary M/G/1 busy period of long jobs, started by a single
+//!   long job; transform `B̃(s) = X̃_L(s + λ_L − λ_L B̃(s))`.
+//! * `B_{N+1}` — a busy period of long jobs started by the *work* of `N+1`
+//!   long jobs, where `N` is the number of long arrivals during
+//!   `I ~ Exp(2μ_S)` (the time until one of the two shorts occupying the
+//!   hosts completes); transform
+//!   `B̃_{N+1}(s) = Ṽ(s + λ_L(1 − B̃(s)))` with `V = Σ_{i=1}^{N+1} X_L⁽ⁱ⁾`.
+//!
+//! Rather than differentiating transforms symbolically, this module
+//! propagates the first three moments through three composable closed forms,
+//! each individually verified against simulation in the crate's test suite:
+//!
+//! 1. **Ordinary busy period** (`δ = 1 − ρ`):
+//!    `E[B] = m₁/δ`, `E[B²] = m₂/δ³`, `E[B³] = m₃/δ⁴ + 3λ m₂²/δ⁵`.
+//! 2. **Delay busy period** started by independent initial work `V`
+//!    (`Θ = V + Σ_{i=1}^{A(V)} B_i` with `A(V)` Poisson arrivals during `V`):
+//!    `E[Θ] = E[V]/δ`, `E[Θ²] = E[V²]/δ² + λ b₂ E[V]`,
+//!    `E[Θ³] = E[V³]/δ³ + 3λ b₂ E[V²]/δ + λ b₃ E[V]`.
+//! 3. **Random sums** `V = Σ_{i=1}^{M} X_i` via the factorial moments of `M`;
+//!    for `B_{N+1}`, `M = N + 1` is geometric on `{1, 2, …}` with success
+//!    probability `p = θ/(θ + λ)` because `I ~ Exp(θ)` kills a Poisson(λ)
+//!    stream.
+
+use crate::{DistError, Moments3};
+
+/// Moments of the ordinary M/G/1 busy period started by one job.
+///
+/// # Errors
+///
+/// [`DistError::NonPositive`] if `lambda <= 0`;
+/// [`DistError::Inconsistent`] if `ρ = λ·E[X] ≥ 1` (no stable busy period).
+///
+/// # Examples
+///
+/// An M/M/1 with `λ = 1`, `μ = 2`:
+///
+/// ```
+/// use cyclesteal_dist::{busy, Moments3};
+///
+/// # fn main() -> Result<(), cyclesteal_dist::DistError> {
+/// let job = Moments3::exponential(0.5)?;
+/// let b = busy::mg1_busy(1.0, job)?;
+/// assert!((b.mean() - 1.0).abs() < 1e-12);  // E[B] = 1/(μ−λ)
+/// assert!((b.m2() - 4.0).abs() < 1e-12);
+/// assert!((b.m3() - 36.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mg1_busy(lambda: f64, job: Moments3) -> Result<Moments3, DistError> {
+    crate::error::check_positive("lambda", lambda)?;
+    let rho = lambda * job.mean();
+    if rho >= 1.0 {
+        return Err(DistError::Inconsistent {
+            reason: "busy period requires rho < 1",
+        });
+    }
+    let d = 1.0 - rho;
+    let b1 = job.mean() / d;
+    let b2 = job.m2() / (d * d * d);
+    let b3 = job.m3() / d.powi(4) + 3.0 * lambda * job.m2() * job.m2() / d.powi(5);
+    Moments3::new(b1, b2, b3)
+}
+
+/// Moments of the *delay busy period*: the time to clear independent initial
+/// work `V` plus all Poisson(`lambda`) arrivals (job moments `job`) landing
+/// before the system empties.
+///
+/// # Errors
+///
+/// Same conditions as [`mg1_busy`].
+pub fn delay_busy(lambda: f64, job: Moments3, work: Moments3) -> Result<Moments3, DistError> {
+    let b = mg1_busy(lambda, job)?;
+    let d = 1.0 - lambda * job.mean();
+    let e1 = work.mean() / d;
+    let e2 = work.m2() / (d * d) + lambda * b.m2() * work.mean();
+    let e3 = work.m3() / (d * d * d)
+        + 3.0 * lambda * b.m2() * work.m2() / d
+        + lambda * b.m3() * work.mean();
+    Moments3::new(e1, e2, e3)
+}
+
+/// First three factorial moments `E[M]`, `E[M(M−1)]`, `E[M(M−1)(M−2)]` of a
+/// geometric random variable on `{1, 2, …}` with success probability `p`:
+/// `f_k = k!(1−p)^{k−1}/p^k`.
+///
+/// # Panics
+///
+/// Debug-asserts `0 < p <= 1`.
+pub fn geometric_factorial_moments(p: f64) -> [f64; 3] {
+    debug_assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0,1]");
+    let q = 1.0 - p;
+    [1.0 / p, 2.0 * q / (p * p), 6.0 * q * q / (p * p * p)]
+}
+
+/// Moments of the random sum `V = Σ_{i=1}^{M} X_i` with i.i.d. `X_i`
+/// (moments `item`) independent of the count `M` (factorial moments
+/// `count_fact`).
+///
+/// # Errors
+///
+/// [`DistError::InfeasibleMoments`] if the inputs produce an infeasible
+/// triple (cannot happen for genuine factorial moments).
+pub fn random_sum(count_fact: [f64; 3], item: Moments3) -> Result<Moments3, DistError> {
+    let [f1, f2, f3] = count_fact;
+    let m1 = item.mean();
+    let v1 = f1 * m1;
+    let v2 = f1 * item.m2() + f2 * m1 * m1;
+    let v3 = f3 * m1 * m1 * m1 + 3.0 * f2 * m1 * item.m2() + f1 * item.m3();
+    Moments3::new(v1, v2, v3)
+}
+
+/// Moments of the paper's `B_{N+1}`: a busy period of long jobs (arrival
+/// rate `lambda_l`, size moments `job_l`) started by the work of `N + 1`
+/// long jobs, where `N` counts long arrivals during an `Exp(theta)` interval
+/// (`theta = 2μ_S` in the paper: the time for one of two exponential shorts
+/// to complete).
+///
+/// # Errors
+///
+/// [`DistError::NonPositive`] for nonpositive rates;
+/// [`DistError::Inconsistent`] if `ρ_L ≥ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_dist::{busy, Moments3};
+///
+/// # fn main() -> Result<(), cyclesteal_dist::DistError> {
+/// let job_l = Moments3::exponential(1.0)?;
+/// let b = busy::bn1(0.5, job_l, 2.0)?;
+/// // With λ_L = 0.5, θ = 2: E[N+1] = (θ+λ)/θ = 1.25 jobs,
+/// // E[B_{N+1}] = 1.25 · E[X] / (1−ρ) = 2.5.
+/// assert!((b.mean() - 2.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bn1(lambda_l: f64, job_l: Moments3, theta: f64) -> Result<Moments3, DistError> {
+    crate::error::check_positive("theta", theta)?;
+    crate::error::check_positive("lambda_l", lambda_l)?;
+    let p = theta / (theta + lambda_l);
+    let work = random_sum(geometric_factorial_moments(p), job_l)?;
+    delay_busy(lambda_l, job_l, work)
+}
+
+/// Evaluates the busy-period Laplace–Stieltjes transform
+/// `B̃(s) = X̃(s + λ(1 − B̃(s)))` at a real `s ≥ 0` by fixed-point
+/// iteration, for a phase-type job-size law.
+///
+/// This is the *exact* transform equation of the paper (Section 2.3); the
+/// moment formulas in this module are its derivatives at `s = 0`, and the
+/// crate's tests verify the two against each other by numerical
+/// differentiation.
+///
+/// # Errors
+///
+/// [`DistError::NonPositive`] for invalid `lambda` or negative `s`;
+/// [`DistError::Inconsistent`] if `ρ ≥ 1`.
+///
+/// # Examples
+///
+/// The M/M/1 busy-period transform has the closed form
+/// `B̃(s) = (λ+μ+s − sqrt((λ+μ+s)² − 4λμ)) / (2λ)`:
+///
+/// ```
+/// use cyclesteal_dist::{busy, Ph};
+///
+/// # fn main() -> Result<(), cyclesteal_dist::DistError> {
+/// let (lambda, mu, s) = (0.5, 1.0, 0.3);
+/// let job = Ph::exponential(mu)?;
+/// let got = busy::busy_lst(lambda, &job, s)?;
+/// let a = lambda + mu + s;
+/// let want = (a - (a * a - 4.0 * lambda * mu).sqrt()) / (2.0 * lambda);
+/// assert!((got - want).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn busy_lst(lambda: f64, job: &crate::Ph, s: f64) -> Result<f64, DistError> {
+    crate::error::check_positive("lambda", lambda)?;
+    if !(s >= 0.0 && s.is_finite()) {
+        return Err(DistError::NonPositive {
+            what: "transform argument s",
+            value: s,
+        });
+    }
+    if lambda * crate::Distribution::mean(job) >= 1.0 {
+        return Err(DistError::Inconsistent {
+            reason: "busy period requires rho < 1",
+        });
+    }
+    // The map b -> X~(s + lambda(1-b)) is monotone on [0, 1] and its
+    // minimal fixed point is the transform; iterate from 0.
+    let mut b = 0.0f64;
+    for _ in 0..100_000 {
+        let next = job.lst(s + lambda * (1.0 - b));
+        if (next - b).abs() < 1e-15 {
+            return Ok(next);
+        }
+        b = next;
+    }
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_period_requires_stability() {
+        let job = Moments3::exponential(1.0).unwrap();
+        assert!(mg1_busy(1.0, job).is_err());
+        assert!(mg1_busy(0.999, job).is_ok());
+        assert!(mg1_busy(-1.0, job).is_err());
+    }
+
+    #[test]
+    fn ordinary_equals_delay_with_single_job() {
+        // A busy period started by one job is the delay busy period whose
+        // initial work is one job.
+        let job = Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap();
+        let b = mg1_busy(0.6, job).unwrap();
+        let d = delay_busy(0.6, job, job).unwrap();
+        assert!((b.mean() - d.mean()).abs() < 1e-12);
+        assert!((b.m2() - d.m2()).abs() / b.m2() < 1e-12);
+        assert!((b.m3() - d.m3()).abs() / b.m3() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_factorial_moments_known() {
+        // p = 1 => M == 1 deterministically.
+        assert_eq!(geometric_factorial_moments(1.0), [1.0, 0.0, 0.0]);
+        // p = 1/2 => E[M] = 2, E[M(M-1)] = 4, E[M(M-1)(M-2)] = 12.
+        let f = geometric_factorial_moments(0.5);
+        assert!((f[0] - 2.0).abs() < 1e-12);
+        assert!((f[1] - 4.0).abs() < 1e-12);
+        assert!((f[2] - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_sum_of_one_item_is_item() {
+        let item = Moments3::exponential(2.0).unwrap();
+        let v = random_sum([1.0, 0.0, 0.0], item).unwrap();
+        assert_eq!(v, item);
+    }
+
+    #[test]
+    fn random_sum_deterministic_count() {
+        // M == 3 deterministically: factorial moments 3, 6, 6.
+        let item = Moments3::exponential(1.0).unwrap();
+        let v = random_sum([3.0, 6.0, 6.0], item).unwrap();
+        // Erlang-3 moments: m1=3, m2=12, m3=60.
+        assert!((v.mean() - 3.0).abs() < 1e-12);
+        assert!((v.m2() - 12.0).abs() < 1e-12);
+        assert!((v.m3() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bn1_reduces_to_busy_when_theta_large() {
+        // theta -> infinity: no arrivals during I, so B_{N+1} -> B_L.
+        let job = Moments3::exponential(1.0).unwrap();
+        let b = mg1_busy(0.5, job).unwrap();
+        let bn = bn1(0.5, job, 1e12).unwrap();
+        assert!((bn.mean() - b.mean()).abs() / b.mean() < 1e-9);
+        assert!((bn.m2() - b.m2()).abs() / b.m2() < 1e-9);
+        assert!((bn.m3() - b.m3()).abs() / b.m3() < 1e-6);
+    }
+
+    #[test]
+    fn bn1_mean_formula() {
+        // E[B_{N+1}] = E[M] E[X] / (1 - rho), E[M] = (theta+lambda)/theta.
+        let job = Moments3::exponential(2.0).unwrap();
+        let (lambda, theta) = (0.3, 1.5);
+        let b = bn1(lambda, job, theta).unwrap();
+        let want = ((theta + lambda) / theta) * 2.0 / (1.0 - 0.6);
+        assert!((b.mean() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transform_derivatives_match_moment_formulas() {
+        // Differentiate the exact transform numerically at s = 0 and compare
+        // against the closed-form moment propagation — two independent
+        // derivations of the same quantities.
+        let lambda = 0.4;
+        let job_ph = crate::HyperExp2::balanced_means(1.0, 8.0).unwrap().to_ph();
+        let analytic = mg1_busy(lambda, crate::Distribution::moments(&job_ph)).unwrap();
+
+        let h = 1e-4;
+        let f = |s: f64| busy_lst(lambda, &job_ph, s).unwrap();
+        // First derivative (one-sided at 0 would lose accuracy; use points
+        // at h and 2h with Richardson extrapolation around s0 = 2h).
+        let s0 = 2.0 * h;
+        let d1 = (f(s0 + h) - f(s0 - h)) / (2.0 * h);
+        let d2 = (f(s0 + h) - 2.0 * f(s0) + f(s0 - h)) / (h * h);
+        // At s0 near 0 these approximate -E[B] and E[B^2].
+        assert!(
+            (d1 + analytic.mean()).abs() < 1e-2 * analytic.mean(),
+            "d1 {d1} vs -{}",
+            analytic.mean()
+        );
+        assert!(
+            (d2 - analytic.m2()).abs() < 0.05 * analytic.m2(),
+            "d2 {d2} vs {}",
+            analytic.m2()
+        );
+    }
+
+    #[test]
+    fn transform_basic_properties() {
+        let job = crate::Ph::exponential(1.0).unwrap();
+        // B(0) = 1 for a stable queue; decreasing in s.
+        let b0 = busy_lst(0.5, &job, 0.0).unwrap();
+        assert!((b0 - 1.0).abs() < 1e-10);
+        let mut prev = b0;
+        for i in 1..10 {
+            let b = busy_lst(0.5, &job, i as f64 * 0.5).unwrap();
+            assert!(b < prev && b > 0.0);
+            prev = b;
+        }
+        assert!(busy_lst(1.5, &job, 0.1).is_err());
+        assert!(busy_lst(0.5, &job, -1.0).is_err());
+    }
+
+    #[test]
+    fn busy_moments_grow_with_load() {
+        let job = Moments3::exponential(1.0).unwrap();
+        let lo = mg1_busy(0.2, job).unwrap();
+        let hi = mg1_busy(0.8, job).unwrap();
+        assert!(hi.mean() > lo.mean());
+        assert!(hi.m2() > lo.m2());
+        assert!(hi.m3() > lo.m3());
+        // Busy periods are more variable at higher load.
+        assert!(hi.scv() > lo.scv());
+    }
+}

@@ -1,0 +1,116 @@
+use rand::{Rng, RngExt};
+
+use crate::Moments3;
+
+/// A nonnegative service-time (job-size) distribution.
+///
+/// The analytic side of the library consumes the first three moments; the
+/// simulator consumes [`Distribution::sample`]. Implementors must keep the
+/// two consistent: `sample` draws from exactly the law whose moments are
+/// reported (property tests in this crate enforce this for every built-in
+/// implementation).
+///
+/// The trait is object-safe so the simulator can hold heterogeneous
+/// `Box<dyn Distribution>` job-size laws.
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_dist::{Distribution, Exp};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// # fn main() -> Result<(), cyclesteal_dist::DistError> {
+/// let d = Exp::with_mean(2.0)?;
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let x = d.sample(&mut rng);
+/// assert!(x >= 0.0);
+/// assert_eq!(d.mean(), 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub trait Distribution: std::fmt::Debug + Send + Sync {
+    /// First raw moment `E[X]`.
+    fn mean(&self) -> f64;
+
+    /// Second raw moment `E[X²]`.
+    fn moment2(&self) -> f64;
+
+    /// Third raw moment `E[X³]`.
+    fn moment3(&self) -> f64;
+
+    /// Draws one sample.
+    fn sample(&self, rng: &mut dyn Rng) -> f64;
+
+    /// The first three moments as a [`Moments3`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the implementor reports an infeasible moment triple, which
+    /// would be a bug in the implementation rather than a user error.
+    fn moments(&self) -> Moments3 {
+        Moments3::new(self.mean(), self.moment2(), self.moment3())
+            .expect("implementor reported infeasible moments")
+    }
+
+    /// Variance `E[X²] − E[X]²`.
+    fn variance(&self) -> f64 {
+        (self.moment2() - self.mean() * self.mean()).max(0.0)
+    }
+
+    /// Squared coefficient of variation.
+    fn scv(&self) -> f64 {
+        self.variance() / (self.mean() * self.mean())
+    }
+}
+
+/// Draws from `Exp(rate)` using inversion.
+///
+/// Shared by every sampler in this crate; kept public because the simulator
+/// also needs raw exponential draws for Poisson interarrival times.
+///
+/// # Panics
+///
+/// Debug-asserts that `rate > 0`.
+pub fn sample_exp(rate: f64, rng: &mut dyn Rng) -> f64 {
+    debug_assert!(rate > 0.0, "sample_exp: rate must be positive");
+    let u: f64 = rng.random();
+    // u is in [0, 1); 1-u is in (0, 1] so the log is finite.
+    -(1.0 - u).ln() / rate
+}
+
+/// Draws a standard normal via Box–Muller.
+pub(crate) fn sample_std_normal(rng: &mut dyn Rng) -> f64 {
+    let u1: f64 = rng.random();
+    let u2: f64 = rng.random();
+    let r = (-2.0 * (1.0 - u1).ln()).sqrt();
+    r * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_exp_mean_close() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| sample_exp(2.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn std_normal_moments_close() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 200_000;
+        let (mut s1, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = sample_std_normal(&mut rng);
+            s1 += z;
+            s2 += z * z;
+        }
+        assert!((s1 / n as f64).abs() < 0.01);
+        assert!((s2 / n as f64 - 1.0).abs() < 0.02);
+    }
+}

@@ -1,0 +1,154 @@
+//! Trace-driven job sizes: an empirical distribution built from observed
+//! samples (e.g. a supercomputing accounting log, the paper's motivating
+//! data source).
+
+use rand::{Rng, RngExt};
+
+use crate::{DistError, Distribution};
+
+/// The empirical distribution of a trace: sampling draws uniformly from the
+/// observations (bootstrap resampling); moments are the trace's raw sample
+/// moments, so the analysis and the simulator see exactly the same law.
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_dist::{Distribution, Empirical};
+///
+/// # fn main() -> Result<(), cyclesteal_dist::DistError> {
+/// let trace = Empirical::from_samples(vec![1.0, 2.0, 2.0, 7.0])?;
+/// assert_eq!(trace.mean(), 3.0);
+/// assert_eq!(trace.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    samples: Vec<f64>,
+    m1: f64,
+    m2: f64,
+    m3: f64,
+}
+
+impl Empirical {
+    /// Builds the empirical distribution of `samples`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Inconsistent`] if the trace is empty or contains a
+    /// nonpositive or non-finite size.
+    pub fn from_samples(samples: Vec<f64>) -> Result<Self, DistError> {
+        if samples.is_empty() {
+            return Err(DistError::Inconsistent {
+                reason: "empirical trace must be nonempty",
+            });
+        }
+        if samples.iter().any(|x| *x <= 0.0 || !x.is_finite()) {
+            return Err(DistError::Inconsistent {
+                reason: "empirical trace entries must be positive and finite",
+            });
+        }
+        let n = samples.len() as f64;
+        let m1 = samples.iter().sum::<f64>() / n;
+        let m2 = samples.iter().map(|x| x * x).sum::<f64>() / n;
+        let m3 = samples.iter().map(|x| x * x * x).sum::<f64>() / n;
+        Ok(Empirical {
+            samples,
+            m1,
+            m2,
+            m3,
+        })
+    }
+
+    /// Number of observations in the trace.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty (never true for a constructed value;
+    /// provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The underlying observations.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl Distribution for Empirical {
+    fn mean(&self) -> f64 {
+        self.m1
+    }
+
+    fn moment2(&self) -> f64 {
+        self.m2
+    }
+
+    fn moment3(&self) -> f64 {
+        self.m3
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        let u: f64 = rng.random();
+        let idx = ((u * self.samples.len() as f64) as usize).min(self.samples.len() - 1);
+        self.samples[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_sample_moments() {
+        let e = Empirical::from_samples(vec![1.0, 3.0]).unwrap();
+        assert_eq!(e.mean(), 2.0);
+        assert_eq!(e.moment2(), 5.0);
+        assert_eq!(e.moment3(), 14.0);
+        assert!(!e.is_empty());
+        assert_eq!(e.samples(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Empirical::from_samples(vec![]).is_err());
+        assert!(Empirical::from_samples(vec![1.0, 0.0]).is_err());
+        assert!(Empirical::from_samples(vec![1.0, -2.0]).is_err());
+        assert!(Empirical::from_samples(vec![1.0, f64::NAN]).is_err());
+        assert!(Empirical::from_samples(vec![1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn sampling_is_uniform_over_trace() {
+        let e = Empirical::from_samples(vec![1.0, 2.0, 4.0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 90_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            let x = e.sample(&mut rng);
+            if x == 1.0 {
+                counts[0] += 1;
+            } else if x == 2.0 {
+                counts[1] += 1;
+            } else {
+                counts[2] += 1;
+            }
+        }
+        for c in counts {
+            assert!((c as f64 / n as f64 - 1.0 / 3.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn feasible_moments_for_analysis() {
+        // Sample moments always satisfy the moment inequalities, so they
+        // can feed straight into Moments3/the analyzers.
+        let e = Empirical::from_samples(vec![0.5, 0.6, 1.2, 8.0, 30.0]).unwrap();
+        let m = e.moments();
+        assert!(m.scv() > 1.0);
+    }
+}

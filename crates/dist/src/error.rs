@@ -1,0 +1,110 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing distributions or matching moments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A rate, mean, or other parameter that must be strictly positive
+    /// was zero or negative (or not finite).
+    NonPositive {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A probability parameter was outside `[0, 1]`.
+    BadProbability {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A moment triple violates a moment inequality (e.g. `E[X²] < E[X]²`)
+    /// and therefore corresponds to no distribution.
+    InfeasibleMoments {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Parameters are individually valid but mutually inconsistent
+    /// (e.g. a bounded-Pareto lower bound above its upper bound).
+    Inconsistent {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::NonPositive { what, value } => {
+                write!(f, "{what} must be positive and finite, got {value}")
+            }
+            DistError::BadProbability { what, value } => {
+                write!(f, "{what} must lie in [0, 1], got {value}")
+            }
+            DistError::InfeasibleMoments { reason } => {
+                write!(f, "infeasible moment triple: {reason}")
+            }
+            DistError::Inconsistent { reason } => write!(f, "inconsistent parameters: {reason}"),
+        }
+    }
+}
+
+impl Error for DistError {}
+
+/// Validates that `value` is strictly positive and finite.
+pub(crate) fn check_positive(what: &'static str, value: f64) -> Result<(), DistError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(())
+    } else {
+        Err(DistError::NonPositive { what, value })
+    }
+}
+
+/// Validates that `value` is a probability in `[0, 1]`.
+pub(crate) fn check_probability(what: &'static str, value: f64) -> Result<(), DistError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(DistError::BadProbability { what, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DistError::NonPositive {
+            what: "rate",
+            value: -1.0
+        }
+        .to_string()
+        .contains("rate"));
+        assert!(DistError::BadProbability {
+            what: "p",
+            value: 2.0
+        }
+        .to_string()
+        .contains("[0, 1]"));
+        assert!(DistError::InfeasibleMoments { reason: "scv < 0" }
+            .to_string()
+            .contains("scv"));
+        assert!(DistError::Inconsistent { reason: "k >= p" }
+            .to_string()
+            .contains("k >= p"));
+    }
+
+    #[test]
+    fn validators() {
+        assert!(check_positive("x", 1.0).is_ok());
+        assert!(check_positive("x", 0.0).is_err());
+        assert!(check_positive("x", f64::NAN).is_err());
+        assert!(check_positive("x", f64::INFINITY).is_err());
+        assert!(check_probability("p", 0.0).is_ok());
+        assert!(check_probability("p", 1.0).is_ok());
+        assert!(check_probability("p", -0.1).is_err());
+        assert!(check_probability("p", f64::NAN).is_err());
+    }
+}

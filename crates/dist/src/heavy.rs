@@ -1,0 +1,258 @@
+use rand::{Rng, RngExt};
+
+use crate::dist::sample_std_normal;
+use crate::error::check_positive;
+use crate::special::ln_gamma;
+use crate::{DistError, Distribution};
+
+/// The bounded Pareto distribution `BP(k, p, α)` on `[k, p]` with density
+/// proportional to `x^{-α-1}`.
+///
+/// The canonical heavy-tailed job-size model in the task-assignment
+/// literature (Harchol-Balter et al. use it to motivate size-based policies);
+/// bounding the support keeps all moments finite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    k: f64,
+    p: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto on `[k, p]` with tail index `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] for nonpositive parameters;
+    /// [`DistError::Inconsistent`] if `k >= p`.
+    pub fn new(k: f64, p: f64, alpha: f64) -> Result<Self, DistError> {
+        check_positive("lower bound k", k)?;
+        check_positive("upper bound p", p)?;
+        check_positive("alpha", alpha)?;
+        if k >= p {
+            return Err(DistError::Inconsistent {
+                reason: "bounded Pareto requires k < p",
+            });
+        }
+        Ok(BoundedPareto { k, p, alpha })
+    }
+
+    fn raw_moment(&self, j: f64) -> f64 {
+        let (k, p, a) = (self.k, self.p, self.alpha);
+        let norm = 1.0 - (k / p).powf(a);
+        if (j - a).abs() < 1e-12 {
+            // E[X^j] with j == alpha: the integral degenerates to a log.
+            a * k.powf(a) * (p / k).ln() / norm
+        } else {
+            a * k.powf(a) / norm * (p.powf(j - a) - k.powf(j - a)) / (j - a)
+        }
+    }
+}
+
+impl Distribution for BoundedPareto {
+    fn mean(&self) -> f64 {
+        self.raw_moment(1.0)
+    }
+
+    fn moment2(&self) -> f64 {
+        self.raw_moment(2.0)
+    }
+
+    fn moment3(&self) -> f64 {
+        self.raw_moment(3.0)
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        // Inverse CDF: F(x) = (1 - (k/x)^α) / (1 - (k/p)^α).
+        let u: f64 = rng.random();
+        let norm = 1.0 - (self.k / self.p).powf(self.alpha);
+        self.k / (1.0 - u * norm).powf(1.0 / self.alpha)
+    }
+}
+
+/// The lognormal distribution: `exp(μ + σZ)` for standard normal `Z`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal with log-mean `mu` and log-standard-deviation
+    /// `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] if `sigma <= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        check_positive("sigma", sigma)?;
+        if !mu.is_finite() {
+            return Err(DistError::Inconsistent {
+                reason: "lognormal mu must be finite",
+            });
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Creates a lognormal matching the given mean and squared coefficient
+    /// of variation.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] on nonpositive inputs.
+    pub fn from_mean_scv(mean: f64, scv: f64) -> Result<Self, DistError> {
+        check_positive("mean", mean)?;
+        check_positive("scv", scv)?;
+        let sigma2 = (1.0 + scv).ln();
+        LogNormal::new(mean.ln() - sigma2 / 2.0, sigma2.sqrt())
+    }
+
+    fn raw_moment(&self, j: f64) -> f64 {
+        (j * self.mu + 0.5 * j * j * self.sigma * self.sigma).exp()
+    }
+}
+
+impl Distribution for LogNormal {
+    fn mean(&self) -> f64 {
+        self.raw_moment(1.0)
+    }
+
+    fn moment2(&self) -> f64 {
+        self.raw_moment(2.0)
+    }
+
+    fn moment3(&self) -> f64 {
+        self.raw_moment(3.0)
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        (self.mu + self.sigma * sample_std_normal(rng)).exp()
+    }
+}
+
+/// The Weibull distribution with shape `c` and scale `b`:
+/// `P(X > x) = exp(-(x/b)^c)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] for nonpositive shape or scale.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, DistError> {
+        check_positive("shape", shape)?;
+        check_positive("scale", scale)?;
+        Ok(Weibull { shape, scale })
+    }
+
+    fn raw_moment(&self, j: f64) -> f64 {
+        // E[X^j] = b^j Γ(1 + j/c)
+        self.scale.powf(j) * ln_gamma(1.0 + j / self.shape).exp()
+    }
+}
+
+impl Distribution for Weibull {
+    fn mean(&self) -> f64 {
+        self.raw_moment(1.0)
+    }
+
+    fn moment2(&self) -> f64 {
+        self.raw_moment(2.0)
+    }
+
+    fn moment3(&self) -> f64 {
+        self.raw_moment(3.0)
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        let u: f64 = rng.random();
+        self.scale * (-(1.0 - u).ln()).powf(1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn empirical_moments(d: &dyn Distribution, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (mut s1, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            s1 += x;
+            s2 += x * x;
+        }
+        (s1 / n as f64, s2 / n as f64)
+    }
+
+    #[test]
+    fn bounded_pareto_validation() {
+        assert!(BoundedPareto::new(1.0, 10.0, 1.5).is_ok());
+        assert!(BoundedPareto::new(10.0, 1.0, 1.5).is_err());
+        assert!(BoundedPareto::new(0.0, 1.0, 1.5).is_err());
+        assert!(BoundedPareto::new(1.0, 2.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn bounded_pareto_samples_in_support() {
+        let d = BoundedPareto::new(1.0, 100.0, 1.1).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..5000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_moments_match_samples() {
+        let d = BoundedPareto::new(1.0, 50.0, 1.5).unwrap();
+        let (m1, m2) = empirical_moments(&d, 400_000, 12);
+        assert!(
+            (m1 - d.mean()).abs() / d.mean() < 0.02,
+            "m1 {m1} vs {}",
+            d.mean()
+        );
+        assert!((m2 - d.moment2()).abs() / d.moment2() < 0.06);
+    }
+
+    #[test]
+    fn bounded_pareto_moment_at_alpha_uses_log_branch() {
+        // alpha = 2 makes the second moment hit the log branch.
+        let d = BoundedPareto::new(1.0, 20.0, 2.0).unwrap();
+        let (_, m2) = empirical_moments(&d, 400_000, 13);
+        assert!((m2 - d.moment2()).abs() / d.moment2() < 0.05);
+    }
+
+    #[test]
+    fn lognormal_from_mean_scv() {
+        let d = LogNormal::from_mean_scv(2.0, 3.0).unwrap();
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        assert!((d.scv() - 3.0).abs() < 1e-9);
+        let (m1, _) = empirical_moments(&d, 400_000, 14);
+        assert!((m1 - 2.0).abs() < 0.05, "m1 = {m1}");
+    }
+
+    #[test]
+    fn weibull_exponential_special_case() {
+        // shape 1 is Exp(1/scale).
+        let d = Weibull::new(1.0, 2.0).unwrap();
+        assert!((d.mean() - 2.0).abs() < 1e-10);
+        assert!((d.moment2() - 8.0).abs() < 1e-9);
+        assert!((d.moment3() - 48.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn weibull_moments_match_samples() {
+        let d = Weibull::new(0.7, 1.0).unwrap();
+        let (m1, m2) = empirical_moments(&d, 400_000, 15);
+        assert!((m1 - d.mean()).abs() / d.mean() < 0.02);
+        assert!((m2 - d.moment2()).abs() / d.moment2() < 0.05);
+    }
+}

@@ -1,0 +1,62 @@
+//! Service-time distributions and the moment calculus behind the
+//! cycle-stealing analysis.
+//!
+//! This crate provides everything the analytic model and the simulator need
+//! to talk about job-size distributions:
+//!
+//! * [`Distribution`] — a common interface exposing the first three moments
+//!   and random sampling, implemented for exponential, deterministic, uniform,
+//!   Erlang, two-phase hyperexponential, two-stage Coxian, general acyclic
+//!   phase-type ([`Ph`]), bounded Pareto, lognormal, and Weibull laws.
+//! * [`Moments3`] — a value type for `(E[X], E[X²], E[X³])` triples with the
+//!   derived quantities (variance, squared coefficient of variation, reduced
+//!   and normalized moments) used throughout the paper.
+//! * [`match3`] — the closed-form mapping of a moment triple onto a two-stage
+//!   Coxian (paper reference \[16\], Osogami & Harchol-Balter), with graceful
+//!   two-moment fallbacks outside the Coxian-2 feasible set.
+//! * [`busy`] — the busy-period calculus: moments of the ordinary M/G/1 busy
+//!   period `B_L`, of delay busy periods started by arbitrary initial work,
+//!   and of the paper's `B_{N+1}` (a busy period started by `N+1` long jobs
+//!   where `N` counts Poisson arrivals during an `Exp(2μs)` interval).
+//!
+//! # Example: the paper's Coxian long jobs
+//!
+//! Figure 5 draws long jobs from a Coxian distribution with mean 1 and
+//! squared coefficient of variation `C² = 8`:
+//!
+//! ```
+//! use cyclesteal_dist::{match3, Distribution, Moments3};
+//!
+//! # fn main() -> Result<(), cyclesteal_dist::DistError> {
+//! let target = Moments3::from_mean_scv_balanced(1.0, 8.0)?;
+//! let fit = match3::fit_ph(target)?;
+//! assert!(fit.quality.is_exact());
+//! assert!((fit.ph.mean() - 1.0).abs() < 1e-9);
+//! assert!((fit.ph.scv() - 8.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod basic;
+pub mod busy;
+mod dist;
+mod empirical;
+mod error;
+mod heavy;
+mod map;
+pub mod match3;
+mod moments;
+mod ph;
+pub mod special;
+
+pub use basic::{Deterministic, Exp, Uniform};
+pub use dist::{sample_exp, Distribution};
+pub use empirical::Empirical;
+pub use error::DistError;
+pub use heavy::{BoundedPareto, LogNormal, Weibull};
+pub use map::Map;
+pub use match3::{fit_ph, FitResult, MatchQuality};
+pub use moments::Moments3;
+pub use ph::{Coxian2, Erlang, HyperExp2, Ph};

@@ -1,0 +1,456 @@
+//! Markovian Arrival Processes (MAPs).
+//!
+//! The paper assumes Poisson arrivals but notes they "can be generalized to
+//! a MAP (Markovian Arrival Process) [11]". A MAP is a CTMC with generator
+//! `D0 + D1` in which transitions through `D1` additionally emit an
+//! arrival; it captures bursty and correlated arrival streams while keeping
+//! every analysis in this workspace matrix-analytic (the QBD phase space
+//! simply picks up the MAP phase — see `cyclesteal_core::cs_cq::analyze_map`).
+//!
+//! # Examples
+//!
+//! A two-state MMPP that alternates between a calm and a bursty phase:
+//!
+//! ```
+//! use cyclesteal_dist::Map;
+//!
+//! # fn main() -> Result<(), cyclesteal_dist::DistError> {
+//! let map = Map::mmpp2(0.1, 0.2, 0.2, 2.0)?;
+//! assert!(map.rate() > 0.2 && map.rate() < 2.0);
+//! assert!(map.interarrival_scv() > 1.0); // burstier than Poisson
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::{Rng, RngExt};
+
+use cyclesteal_linalg::Matrix;
+
+use crate::dist::sample_exp;
+use crate::error::check_positive;
+use crate::DistError;
+
+/// Validation slack relative to the largest rate.
+const VAL_TOL: f64 = 1e-9;
+
+/// A Markovian Arrival Process `(D0, D1)`.
+///
+/// `D0` holds phase transitions without arrivals (negative diagonal), `D1`
+/// the transitions that emit an arrival; `D0 + D1` is a conservative CTMC
+/// generator.
+#[derive(Debug, Clone)]
+pub struct Map {
+    d0: Matrix,
+    d1: Matrix,
+    /// Stationary distribution of the phase process `D0 + D1`.
+    phase_stationary: Vec<f64>,
+    /// Stationary phase distribution seen just after an arrival.
+    post_arrival: Vec<f64>,
+    rate: f64,
+}
+
+impl Map {
+    /// Creates a MAP from its `(D0, D1)` matrices.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Inconsistent`] if the matrices are not a valid MAP:
+    /// mismatched/non-square shapes, negative `D1` entries or `D0`
+    /// off-diagonals, non-conservative row sums, zero arrival rate, or a
+    /// reducible phase process.
+    pub fn new(d0: Matrix, d1: Matrix) -> Result<Self, DistError> {
+        let n = d0.rows();
+        if n == 0 || !d0.is_square() || d1.rows() != n || d1.cols() != n {
+            return Err(DistError::Inconsistent {
+                reason: "MAP matrices must be square and equally sized",
+            });
+        }
+        let scale = d0.max_abs().max(d1.max_abs()).max(1.0);
+        for i in 0..n {
+            let mut row = 0.0;
+            for j in 0..n {
+                if d1[(i, j)] < -VAL_TOL * scale {
+                    return Err(DistError::Inconsistent {
+                        reason: "D1 must be nonnegative",
+                    });
+                }
+                if i != j && d0[(i, j)] < -VAL_TOL * scale {
+                    return Err(DistError::Inconsistent {
+                        reason: "D0 off-diagonal must be nonnegative",
+                    });
+                }
+                row += d0[(i, j)] + d1[(i, j)];
+            }
+            if row.abs() > VAL_TOL * scale {
+                return Err(DistError::Inconsistent {
+                    reason: "rows of D0 + D1 must sum to zero",
+                });
+            }
+            if d0[(i, i)] >= 0.0 {
+                return Err(DistError::Inconsistent {
+                    reason: "D0 diagonal must be negative (every phase must move)",
+                });
+            }
+        }
+
+        let q = d0.add(&d1).expect("dims checked");
+        // pi Q = 0, sum pi = 1 (replace last equation by normalization).
+        let mut sys = q.transpose();
+        for j in 0..n {
+            sys[(n - 1, j)] = 1.0;
+        }
+        let mut rhs = vec![0.0; n];
+        rhs[n - 1] = 1.0;
+        let pi = sys.solve(&rhs).map_err(|_| DistError::Inconsistent {
+            reason: "MAP phase process is reducible",
+        })?;
+        if pi.iter().any(|p| *p < -1e-9) {
+            return Err(DistError::Inconsistent {
+                reason: "MAP phase process is reducible (signed stationary vector)",
+            });
+        }
+
+        let rate = cyclesteal_linalg::dot(&pi, &d1.row_sums());
+        if rate <= 0.0 {
+            return Err(DistError::Inconsistent {
+                reason: "MAP must generate arrivals (pi D1 1 > 0)",
+            });
+        }
+        let post_arrival: Vec<f64> = {
+            let v = d1.vec_mul(&pi);
+            v.iter().map(|x| x / rate).collect()
+        };
+
+        Ok(Map {
+            d0,
+            d1,
+            phase_stationary: pi,
+            post_arrival,
+            rate,
+        })
+    }
+
+    /// A Poisson process as a one-phase MAP.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] if `rate <= 0`.
+    pub fn poisson(rate: f64) -> Result<Self, DistError> {
+        check_positive("rate", rate)?;
+        Map::new(
+            Matrix::from_vec(1, 1, vec![-rate]),
+            Matrix::from_vec(1, 1, vec![rate]),
+        )
+    }
+
+    /// A two-phase Markov-modulated Poisson process: phase 1 emits at
+    /// `lambda1` and flips to phase 2 at rate `r1`; phase 2 emits at
+    /// `lambda2` and flips back at `r2`. Either emission rate (not both)
+    /// may be zero — that is an interrupted Poisson process.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`]/[`DistError::Inconsistent`] for
+    /// nonpositive switching rates, negative intensities, or zero total
+    /// intensity.
+    pub fn mmpp2(r1: f64, r2: f64, lambda1: f64, lambda2: f64) -> Result<Self, DistError> {
+        check_positive("r1", r1)?;
+        check_positive("r2", r2)?;
+        if lambda1 < 0.0 || lambda2 < 0.0 {
+            return Err(DistError::NonPositive {
+                what: "MMPP intensity",
+                value: lambda1.min(lambda2),
+            });
+        }
+        let d0 = Matrix::from_rows(&[&[-(r1 + lambda1), r1], &[r2, -(r2 + lambda2)]])
+            .expect("2x2 literal");
+        let d1 = Matrix::from_diag(&[lambda1, lambda2]);
+        Map::new(d0, d1)
+    }
+
+    /// An MMPP2 with a prescribed mean rate, burst ratio
+    /// `lambda_on/lambda_off`, and mean phase-sojourn time — a convenient
+    /// bursty workload generator.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Map::mmpp2`]; `burst_ratio` must be ≥ 1.
+    pub fn bursty(rate: f64, burst_ratio: f64, sojourn: f64) -> Result<Self, DistError> {
+        check_positive("rate", rate)?;
+        check_positive("sojourn", sojourn)?;
+        if burst_ratio < 1.0 {
+            return Err(DistError::Inconsistent {
+                reason: "burst_ratio must be >= 1",
+            });
+        }
+        // Equal time in both phases: lambda_on + lambda_off = 2 rate.
+        let lambda_off = 2.0 * rate / (1.0 + burst_ratio);
+        let lambda_on = burst_ratio * lambda_off;
+        let r = 1.0 / sojourn;
+        Map::mmpp2(r, r, lambda_on, lambda_off)
+    }
+
+    /// Number of phases.
+    pub fn dim(&self) -> usize {
+        self.d0.rows()
+    }
+
+    /// The no-arrival transition matrix `D0`.
+    pub fn d0(&self) -> &Matrix {
+        &self.d0
+    }
+
+    /// The arrival transition matrix `D1`.
+    pub fn d1(&self) -> &Matrix {
+        &self.d1
+    }
+
+    /// Stationary distribution of the phase process.
+    pub fn phase_stationary(&self) -> &[f64] {
+        &self.phase_stationary
+    }
+
+    /// Long-run arrival rate `λ = π D1 1`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Mean stationary interarrival time (`1/λ` — a MAP is
+    /// interval-stationary at the post-arrival phase distribution).
+    pub fn interarrival_mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// `k`-th raw moment of the stationary interarrival time:
+    /// `E[Aᵏ] = k! φ (−D0)⁻ᵏ 1` with `φ` the post-arrival phase vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `k == 0` and if `−D0` were singular (excluded at
+    /// construction: `D0` has strictly negative diagonal and the chain
+    /// must reach an arrival).
+    pub fn interarrival_moment(&self, k: u32) -> f64 {
+        assert!(k >= 1, "moments are defined for k >= 1");
+        let lu = self
+            .d0
+            .scale(-1.0)
+            .lu()
+            .expect("-D0 is a nonsingular M-matrix for a valid MAP");
+        let mut v = vec![1.0; self.dim()];
+        let mut fact = 1.0;
+        for i in 1..=k {
+            v = lu.solve(&v).expect("dimension fixed");
+            fact *= i as f64;
+        }
+        fact * cyclesteal_linalg::dot(&self.post_arrival, &v)
+    }
+
+    /// Squared coefficient of variation of the stationary interarrival
+    /// time (1 for Poisson).
+    pub fn interarrival_scv(&self) -> f64 {
+        let m1 = self.interarrival_moment(1);
+        let m2 = self.interarrival_moment(2);
+        (m2 - m1 * m1) / (m1 * m1)
+    }
+
+    /// Lag-1 autocorrelation of successive interarrival times (0 for
+    /// Poisson / any renewal MAP).
+    ///
+    /// Uses `E[A₀A₁] = φ (−D0)⁻¹ P (−D0)⁻¹ 1` with
+    /// `P = (−D0)⁻¹ D1` the post-arrival phase-jump kernel.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Map::interarrival_moment`].
+    pub fn lag1_correlation(&self) -> f64 {
+        let n = self.dim();
+        let lu = self
+            .d0
+            .scale(-1.0)
+            .lu()
+            .expect("-D0 nonsingular for a valid MAP");
+        // E[A0 A1] = phi (−D0)^{-2} D1 (−D0)^{-1} 1: the kernel
+        // (−D0)^{-2} D1 carries E[A·1{next phase}] and the trailing factor
+        // the conditional mean of the following interval.
+        let u = lu.solve(&vec![1.0; n]).expect("dim");
+        let w = self.d1.mul_vec(&u);
+        let v = lu.solve(&w).expect("dim");
+        let v = lu.solve(&v).expect("dim");
+        let joint = cyclesteal_linalg::dot(&self.post_arrival, &v);
+        let m1 = self.interarrival_moment(1);
+        let m2 = self.interarrival_moment(2);
+        let var = m2 - m1 * m1;
+        if var <= 0.0 {
+            0.0
+        } else {
+            (joint - m1 * m1) / var
+        }
+    }
+
+    /// Samples the time to the next arrival, advancing `phase` through any
+    /// non-arrival transitions on the way. `phase` must be in range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `*phase >= dim()`.
+    pub fn sample_interarrival(&self, phase: &mut usize, rng: &mut dyn Rng) -> f64 {
+        assert!(*phase < self.dim(), "MAP phase out of range");
+        let mut total = 0.0;
+        loop {
+            let p = *phase;
+            let hold_rate = -self.d0[(p, p)];
+            total += sample_exp(hold_rate, rng);
+            // Pick the transition among D0 off-diagonal and D1 row.
+            let mut v: f64 = rng.random::<f64>() * hold_rate;
+            for j in 0..self.dim() {
+                if j != p {
+                    let r = self.d0[(p, j)].max(0.0);
+                    if v < r {
+                        *phase = j;
+                        v = -1.0;
+                        break;
+                    }
+                    v -= r;
+                }
+            }
+            if v < 0.0 {
+                continue; // internal transition, keep accumulating
+            }
+            for j in 0..self.dim() {
+                let r = self.d1[(p, j)];
+                if v < r {
+                    *phase = j;
+                    return total;
+                }
+                v -= r;
+            }
+            // Numerical slack: treat as an arrival staying in phase.
+            return total;
+        }
+    }
+
+    /// Draws an initial phase from the stationary phase distribution.
+    pub fn sample_stationary_phase(&self, rng: &mut dyn Rng) -> usize {
+        let mut u: f64 = rng.random();
+        for (i, &p) in self.phase_stationary.iter().enumerate() {
+            if u < p {
+                return i;
+            }
+            u -= p;
+        }
+        self.dim() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_special_case() {
+        let m = Map::poisson(2.0).unwrap();
+        assert_eq!(m.dim(), 1);
+        assert!((m.rate() - 2.0).abs() < 1e-12);
+        assert!((m.interarrival_mean() - 0.5).abs() < 1e-12);
+        assert!((m.interarrival_scv() - 1.0).abs() < 1e-12);
+        assert!(m.lag1_correlation().abs() < 1e-12);
+        assert!((m.interarrival_moment(3) - 6.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_maps() {
+        // Negative D1.
+        let d0 = Matrix::from_vec(1, 1, vec![-1.0]);
+        let d1 = Matrix::from_vec(1, 1, vec![-1.0]);
+        assert!(Map::new(d0, d1).is_err());
+        // Non-conservative rows.
+        let d0 = Matrix::from_vec(1, 1, vec![-1.0]);
+        let d1 = Matrix::from_vec(1, 1, vec![2.0]);
+        assert!(Map::new(d0, d1).is_err());
+        // No arrivals at all.
+        let d0 = Matrix::from_rows(&[&[-1.0, 1.0], &[1.0, -1.0]]).unwrap();
+        let d1 = Matrix::zeros(2, 2);
+        assert!(Map::new(d0, d1).is_err());
+        // Shape mismatch.
+        assert!(Map::new(Matrix::zeros(2, 2), Matrix::zeros(1, 1)).is_err());
+        // mmpp validation
+        assert!(Map::mmpp2(0.0, 1.0, 1.0, 1.0).is_err());
+        assert!(Map::mmpp2(1.0, 1.0, -1.0, 1.0).is_err());
+        assert!(Map::bursty(1.0, 0.5, 1.0).is_err());
+    }
+
+    #[test]
+    fn mmpp2_rate_is_phase_weighted() {
+        // Symmetric switching: half the time at each intensity.
+        let m = Map::mmpp2(0.5, 0.5, 3.0, 1.0).unwrap();
+        assert!((m.rate() - 2.0).abs() < 1e-12);
+        let pi = m.phase_stationary();
+        assert!((pi[0] - 0.5).abs() < 1e-12);
+        // Bursty: scv > 1 and positive lag-1 correlation.
+        assert!(m.interarrival_scv() > 1.0);
+        assert!(m.lag1_correlation() > 0.0);
+    }
+
+    #[test]
+    fn mmpp2_with_equal_intensities_is_poisson() {
+        let m = Map::mmpp2(0.7, 1.3, 2.0, 2.0).unwrap();
+        assert!((m.rate() - 2.0).abs() < 1e-12);
+        assert!((m.interarrival_scv() - 1.0).abs() < 1e-9);
+        assert!(m.lag1_correlation().abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursty_constructor_hits_rate() {
+        let m = Map::bursty(1.5, 9.0, 2.0).unwrap();
+        assert!((m.rate() - 1.5).abs() < 1e-12);
+        assert!(m.interarrival_scv() > 1.5);
+    }
+
+    #[test]
+    fn sampling_matches_analytic_rate_and_scv() {
+        let m = Map::bursty(1.0, 9.0, 5.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut phase = m.sample_stationary_phase(&mut rng);
+        let n = 400_000;
+        let (mut s1, mut s2) = (0.0, 0.0);
+        let mut prev = 0.0;
+        let mut lag_acc = 0.0;
+        for i in 0..n {
+            let a = m.sample_interarrival(&mut phase, &mut rng);
+            s1 += a;
+            s2 += a * a;
+            if i > 0 {
+                lag_acc += a * prev;
+            }
+            prev = a;
+        }
+        let m1 = s1 / n as f64;
+        let m2 = s2 / n as f64;
+        let want_m1 = m.interarrival_moment(1);
+        assert!(
+            (m1 - want_m1).abs() / want_m1 < 0.02,
+            "mean {m1} vs {want_m1}"
+        );
+        let scv = (m2 - m1 * m1) / (m1 * m1);
+        assert!(
+            (scv - m.interarrival_scv()).abs() / m.interarrival_scv() < 0.08,
+            "scv {scv} vs {}",
+            m.interarrival_scv()
+        );
+        let lag1 = (lag_acc / (n - 1) as f64 - m1 * m1) / (m2 - m1 * m1);
+        assert!(
+            (lag1 - m.lag1_correlation()).abs() < 0.03,
+            "lag1 {lag1} vs {}",
+            m.lag1_correlation()
+        );
+    }
+
+    #[test]
+    fn interarrival_moment_requires_k_geq_1() {
+        let m = Map::poisson(1.0).unwrap();
+        let r = std::panic::catch_unwind(|| m.interarrival_moment(0));
+        assert!(r.is_err());
+    }
+}

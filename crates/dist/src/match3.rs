@@ -1,0 +1,287 @@
+//! Three-moment matching onto small phase-type distributions.
+//!
+//! The paper (footnote 2 and reference \[16\] — Osogami & Harchol-Balter,
+//! *Necessary and sufficient conditions for representing general
+//! distributions by Coxians*) matches the first three moments of each busy
+//! period with a two-stage Coxian. That match is exact precisely when the
+//! moment triple lies in the Coxian-2 feasible set, which covers the
+//! higher-variability distributions busy periods actually are. Outside that
+//! set this module falls back to two-moment fits (a Coxian-2 for
+//! `scv ≥ 1/2`, a mixed-Erlang for `scv < 1/2`) and reports the degradation
+//! in [`MatchQuality`].
+//!
+//! # The closed form
+//!
+//! Writing the reduced moments `tᵢ` (`t₁ = m₁`, `t₂ = m₂/2`, `t₃ = m₃/6`)
+//! and the stage means `a = 1/μ₁`, `b = 1/μ₂`, the Coxian-2 satisfies the
+//! linear recurrences `t₂ = (a+b)t₁ − ab` and `t₃ = (a+b)t₂ − ab·t₁`, so
+//!
+//! ```text
+//! a + b = (t₃ − t₁t₂) / (t₂ − t₁²)        ab = (a+b)·t₁ − t₂
+//! ```
+//!
+//! and `a`, `b` are the roots of `z² − (a+b)z + ab`; the continuation
+//! probability is `p = (t₁ − a)/b`.
+
+use crate::error::check_positive;
+use crate::{Coxian2, DistError, Erlang, Moments3, Ph};
+use cyclesteal_linalg::Matrix;
+
+/// How many moments a fit reproduced exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchQuality {
+    /// All three moments match (the paper's intended regime).
+    ExactThree,
+    /// Mean and second moment match; the third moment was infeasible for the
+    /// target family and is only approximated.
+    ExactTwo,
+    /// Only the mean matches (pathologically low variability).
+    MeanOnly,
+}
+
+impl MatchQuality {
+    /// `true` iff all three moments were matched.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, MatchQuality::ExactThree)
+    }
+}
+
+/// The result of a moment-matching fit.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// The fitted phase-type distribution.
+    pub ph: Ph,
+    /// How many moments were matched exactly.
+    pub quality: MatchQuality,
+    /// The moment triple that was requested.
+    pub target: Moments3,
+}
+
+/// Relative tolerance used when accepting borderline Coxian-2 parameters
+/// (continuation probabilities slightly outside `[0,1]`, near-degenerate
+/// denominators).
+const EDGE_TOL: f64 = 1e-9;
+
+/// Attempts an exact three-moment fit with a two-stage Coxian.
+///
+/// Returns `Ok(None)` when the moment triple lies outside the Coxian-2
+/// feasible set (the closed form yields complex roots, negative rates, or a
+/// continuation probability outside `[0,1]`).
+///
+/// # Errors
+///
+/// Propagates construction errors for degenerate inputs (should not occur
+/// for a valid [`Moments3`]).
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_dist::{match3, Distribution, Moments3};
+///
+/// # fn main() -> Result<(), cyclesteal_dist::DistError> {
+/// let m = Moments3::from_mean_scv_balanced(1.0, 8.0)?;
+/// let cox = match3::fit_coxian2(m)?.expect("C²=8 is Coxian-2 representable");
+/// assert!((cox.mean() - 1.0).abs() < 1e-9);
+/// assert!((cox.moment3() - m.m3()).abs() / m.m3() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_coxian2(m: Moments3) -> Result<Option<Coxian2>, DistError> {
+    let (t1, t2, t3) = m.reduced();
+    let denom = t2 - t1 * t1;
+    if denom.abs() < EDGE_TOL * t1 * t1 {
+        // scv == 1 boundary: exponential (p = 0 Coxian) if the third moment
+        // agrees; otherwise not representable here.
+        let want_t3 = t1 * t1 * t1;
+        if (t3 - want_t3).abs() < 1e-6 * want_t3 {
+            return Ok(Some(Coxian2::new(1.0 / t1, 0.0, 1.0 / t1)?));
+        }
+        return Ok(None);
+    }
+    let sigma = (t3 - t1 * t2) / denom; // a + b
+    let prod = sigma * t1 - t2; // a * b
+    let disc = sigma * sigma - 4.0 * prod;
+    if disc < 0.0 {
+        return Ok(None);
+    }
+    let root = disc.sqrt();
+    let r_hi = 0.5 * (sigma + root);
+    let r_lo = 0.5 * (sigma - root);
+    for (a, b) in [(r_hi, r_lo), (r_lo, r_hi)] {
+        if a <= 0.0 || b <= 0.0 {
+            continue;
+        }
+        let p = (t1 - a) / b;
+        if (-EDGE_TOL..=1.0 + EDGE_TOL).contains(&p) {
+            let p = p.clamp(0.0, 1.0);
+            return Ok(Some(Coxian2::new(1.0 / a, p, 1.0 / b)?));
+        }
+    }
+    Ok(None)
+}
+
+/// Fits a phase-type distribution to a moment triple, preferring an exact
+/// three-moment Coxian-2 and falling back to two-moment fits when the triple
+/// is outside the Coxian-2 feasible set:
+///
+/// * `scv ≥ 1/2`: Marie's two-moment Coxian-2
+///   (`μ₁ = 2/m₁`, `p = 1/(2·scv)`, `μ₂ = 1/(scv·m₁)`).
+/// * `scv < 1/2`: Tijms' mixed Erlang-(k−1)/Erlang-k with common rate,
+///   `k = ⌈1/scv⌉`.
+/// * `scv ≈ 0`: an Erlang-64 with matching mean ([`MatchQuality::MeanOnly`]).
+///
+/// # Errors
+///
+/// [`DistError`] only for degenerate inputs that slip past [`Moments3`]
+/// validation (e.g. zero variance combined with a huge third moment).
+pub fn fit_ph(m: Moments3) -> Result<FitResult, DistError> {
+    if let Some(cox) = fit_coxian2(m)? {
+        return Ok(FitResult {
+            ph: cox.to_ph(),
+            quality: MatchQuality::ExactThree,
+            target: m,
+        });
+    }
+    let scv = m.scv();
+    if scv >= 0.5 {
+        let mu1 = 2.0 / m.mean();
+        let p = 1.0 / (2.0 * scv);
+        let mu2 = 1.0 / (scv * m.mean());
+        let cox = Coxian2::new(mu1, p, mu2)?;
+        return Ok(FitResult {
+            ph: cox.to_ph(),
+            quality: MatchQuality::ExactTwo,
+            target: m,
+        });
+    }
+    if scv > 1e-6 {
+        let k = (1.0 / scv).ceil().max(2.0) as usize;
+        return Ok(FitResult {
+            ph: mixed_erlang(m.mean(), scv, k)?,
+            quality: MatchQuality::ExactTwo,
+            target: m,
+        });
+    }
+    // Deterministic-like: no finite PH has scv 0; use a stiff Erlang.
+    let erl = Erlang::new(64, 64.0 / m.mean())?;
+    Ok(FitResult {
+        ph: erl.to_ph(),
+        quality: MatchQuality::MeanOnly,
+        target: m,
+    })
+}
+
+/// Tijms' two-moment mixed-Erlang fit for `1/k ≤ scv ≤ 1/(k−1)`:
+/// with probability `q` an Erlang-(k−1), else an Erlang-k, common rate `ν`,
+/// `q = (k·scv − sqrt(k(1+scv) − k²·scv)) / (1+scv)`, `ν = (k − q)/m₁`.
+fn mixed_erlang(mean: f64, scv: f64, k: usize) -> Result<Ph, DistError> {
+    check_positive("mean", mean)?;
+    let kf = k as f64;
+    let q = (kf * scv - (kf * (1.0 + scv) - kf * kf * scv).sqrt()) / (1.0 + scv);
+    let q = q.clamp(0.0, 1.0);
+    let nu = (kf - q) / mean;
+    // A k-stage chain at rate nu; starting at stage 1 traverses k stages
+    // (Erlang-k), starting at stage 2 traverses k-1 (Erlang-(k-1)).
+    let mut t = Matrix::zeros(k, k);
+    for i in 0..k {
+        t[(i, i)] = -nu;
+        if i + 1 < k {
+            t[(i, i + 1)] = nu;
+        }
+    }
+    let mut alpha = vec![0.0; k];
+    alpha[0] = 1.0 - q;
+    alpha[1] = q;
+    Ph::new(alpha, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Distribution;
+
+    fn assert_rel(a: f64, b: f64, tol: f64, what: &str) {
+        assert!((a - b).abs() <= tol * b.abs(), "{what}: {a} vs {b}");
+    }
+
+    #[test]
+    fn exact_fit_high_variability() {
+        for scv in [1.5, 2.0, 4.0, 8.0, 16.0, 64.0] {
+            let m = Moments3::from_mean_scv_balanced(1.0, scv).unwrap();
+            let fit = fit_ph(m).unwrap();
+            assert!(fit.quality.is_exact(), "scv = {scv}");
+            assert_rel(fit.ph.mean(), m.mean(), 1e-9, "mean");
+            assert_rel(fit.ph.moment2(), m.m2(), 1e-9, "m2");
+            assert_rel(fit.ph.moment3(), m.m3(), 1e-8, "m3");
+        }
+    }
+
+    #[test]
+    fn exact_fit_exponential() {
+        let m = Moments3::exponential(2.5).unwrap();
+        let fit = fit_ph(m).unwrap();
+        assert!(fit.quality.is_exact());
+        assert_rel(fit.ph.mean(), 2.5, 1e-9, "mean");
+        assert_rel(fit.ph.moment3(), m.m3(), 1e-8, "m3");
+    }
+
+    #[test]
+    fn roundtrip_from_known_coxian() {
+        // Moments of a known Coxian-2 must be recovered exactly.
+        let orig = Coxian2::new(3.0, 0.7, 0.4).unwrap();
+        let m = orig.moments();
+        let cox = fit_coxian2(m).unwrap().expect("own moments must fit");
+        assert_rel(cox.mean(), orig.mean(), 1e-9, "mean");
+        assert_rel(cox.moment2(), orig.moment2(), 1e-9, "m2");
+        assert_rel(cox.moment3(), orig.moment3(), 1e-9, "m3");
+    }
+
+    #[test]
+    fn two_moment_fallback_mid_variability() {
+        // Erlang-2 moments: scv = 0.5 with the Erlang third moment, which is
+        // on the boundary; perturbing the third moment off the feasible set
+        // forces a fallback that still matches two moments.
+        let e = Erlang::new(2, 1.0).unwrap();
+        let m = Moments3::new(e.mean(), e.moment2(), e.moment3() * 0.9).unwrap();
+        let fit = fit_ph(m).unwrap();
+        assert_rel(fit.ph.mean(), m.mean(), 1e-9, "mean");
+        if fit.quality == MatchQuality::ExactTwo {
+            assert_rel(fit.ph.moment2(), m.m2(), 1e-9, "m2");
+        }
+    }
+
+    #[test]
+    fn low_variability_mixed_erlang() {
+        let m = Moments3::from_mean_scv_balanced(2.0, 0.3).unwrap();
+        let fit = fit_ph(m).unwrap();
+        assert_eq!(fit.quality, MatchQuality::ExactTwo);
+        assert_rel(fit.ph.mean(), 2.0, 1e-9, "mean");
+        assert_rel(fit.ph.scv(), 0.3, 1e-9, "scv");
+    }
+
+    #[test]
+    fn near_deterministic_mean_only() {
+        let m = Moments3::deterministic(3.0).unwrap();
+        let fit = fit_ph(m).unwrap();
+        assert_eq!(fit.quality, MatchQuality::MeanOnly);
+        assert_rel(fit.ph.mean(), 3.0, 1e-9, "mean");
+        assert!(fit.ph.scv() < 0.05);
+    }
+
+    #[test]
+    fn erlang3_exact_moments_fit_is_not_coxian2() {
+        // Erlang-3 has (n2, n3) below the Coxian-2 feasible region.
+        let e = Erlang::new(3, 1.0).unwrap();
+        assert!(fit_coxian2(e.moments()).unwrap().is_none());
+    }
+
+    #[test]
+    fn erlang2_exact_moments_are_representable() {
+        // Erlang-2 IS a Coxian-2 (p = 1, equal rates).
+        let e = Erlang::new(2, 3.0).unwrap();
+        let cox = fit_coxian2(e.moments()).unwrap().expect("Erlang-2 fits");
+        assert_rel(cox.mean(), e.mean(), 1e-9, "mean");
+        assert_rel(cox.moment3(), e.moment3(), 1e-9, "m3");
+        assert!((cox.p() - 1.0).abs() < 1e-6);
+    }
+}

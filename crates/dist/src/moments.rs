@@ -1,0 +1,254 @@
+use crate::error::check_positive;
+use crate::DistError;
+
+/// The first three raw moments `(E[X], E[X²], E[X³])` of a nonnegative
+/// random variable.
+///
+/// The cycle-stealing analysis works entirely in terms of three-moment
+/// summaries: job sizes, busy periods, and setup times are all reduced to a
+/// `Moments3` and then re-expanded into a phase-type distribution by
+/// [`crate::match3::fit_ph`].
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_dist::Moments3;
+///
+/// # fn main() -> Result<(), cyclesteal_dist::DistError> {
+/// let m = Moments3::exponential(2.0)?; // mean 2 => rate 1/2
+/// assert_eq!(m.mean(), 2.0);
+/// assert_eq!(m.scv(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments3 {
+    m1: f64,
+    m2: f64,
+    m3: f64,
+}
+
+/// Relative tolerance for the moment inequalities in [`Moments3::new`].
+/// Busy-period moments computed near saturation lose a few digits, so the
+/// feasibility check must not be bit-exact.
+const FEAS_TOL: f64 = 1e-9;
+
+impl Moments3 {
+    /// Creates a moment triple, validating the moment inequalities
+    /// `E[X²] ≥ E[X]²` (nonnegative variance) and `E[X]·E[X³] ≥ E[X²]²`
+    /// (Cauchy–Schwarz), up to a small relative tolerance.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] if any moment is nonpositive or not finite;
+    /// [`DistError::InfeasibleMoments`] if an inequality is violated.
+    pub fn new(m1: f64, m2: f64, m3: f64) -> Result<Self, DistError> {
+        check_positive("first moment", m1)?;
+        check_positive("second moment", m2)?;
+        check_positive("third moment", m3)?;
+        if m2 < m1 * m1 * (1.0 - FEAS_TOL) {
+            return Err(DistError::InfeasibleMoments {
+                reason: "E[X^2] < E[X]^2 (negative variance)",
+            });
+        }
+        if m1 * m3 < m2 * m2 * (1.0 - FEAS_TOL) {
+            return Err(DistError::InfeasibleMoments {
+                reason: "E[X] E[X^3] < E[X^2]^2 (Cauchy-Schwarz violated)",
+            });
+        }
+        Ok(Moments3 { m1, m2, m3 })
+    }
+
+    /// Moments of an exponential distribution with the given mean.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] if `mean <= 0`.
+    pub fn exponential(mean: f64) -> Result<Self, DistError> {
+        check_positive("mean", mean)?;
+        Ok(Moments3 {
+            m1: mean,
+            m2: 2.0 * mean * mean,
+            m3: 6.0 * mean * mean * mean,
+        })
+    }
+
+    /// Moments of a point mass at `value` (deterministic service).
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] if `value <= 0`.
+    pub fn deterministic(value: f64) -> Result<Self, DistError> {
+        check_positive("value", value)?;
+        Ok(Moments3 {
+            m1: value,
+            m2: value * value,
+            m3: value * value * value,
+        })
+    }
+
+    /// Moment triple with the given mean and squared coefficient of
+    /// variation, using a conventional third moment:
+    ///
+    /// * `scv > 1`: the *balanced-means* two-phase hyperexponential
+    ///   (`p₁/μ₁ = p₂/μ₂`), the standard choice in the Harchol-Balter line of
+    ///   papers when only two moments are specified (e.g. the "Coxian with
+    ///   `C² = 8`" long jobs of Figures 5–6).
+    /// * `scv = 1`: exponential.
+    /// * `scv < 1`: the gamma distribution's third moment,
+    ///   `E[X³] = m₁³ (1+scv)(1+2·scv)`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] on a nonpositive mean or scv.
+    pub fn from_mean_scv_balanced(mean: f64, scv: f64) -> Result<Self, DistError> {
+        check_positive("mean", mean)?;
+        check_positive("scv", scv)?;
+        if scv > 1.0 {
+            let p1 = 0.5 * (1.0 + ((scv - 1.0) / (scv + 1.0)).sqrt());
+            let p2 = 1.0 - p1;
+            let mu1 = 2.0 * p1 / mean;
+            let mu2 = 2.0 * p2 / mean;
+            let m2 = 2.0 * (p1 / (mu1 * mu1) + p2 / (mu2 * mu2));
+            let m3 = 6.0 * (p1 / (mu1 * mu1 * mu1) + p2 / (mu2 * mu2 * mu2));
+            Moments3::new(mean, m2, m3)
+        } else if scv == 1.0 {
+            Moments3::exponential(mean)
+        } else {
+            let m2 = mean * mean * (1.0 + scv);
+            let m3 = mean * mean * mean * (1.0 + scv) * (1.0 + 2.0 * scv);
+            Moments3::new(mean, m2, m3)
+        }
+    }
+
+    /// First raw moment `E[X]` (the mean).
+    pub fn mean(&self) -> f64 {
+        self.m1
+    }
+
+    /// Second raw moment `E[X²]`.
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Third raw moment `E[X³]`.
+    pub fn m3(&self) -> f64 {
+        self.m3
+    }
+
+    /// Variance `E[X²] − E[X]²` (clamped at zero against roundoff).
+    pub fn variance(&self) -> f64 {
+        (self.m2 - self.m1 * self.m1).max(0.0)
+    }
+
+    /// Squared coefficient of variation `Var[X]/E[X]²`.
+    pub fn scv(&self) -> f64 {
+        self.variance() / (self.m1 * self.m1)
+    }
+
+    /// Reduced moments `(t₁, t₂, t₃) = (m₁, m₂/2, m₃/6)`, the coefficients of
+    /// the Laplace-transform expansion `f̃(s) = 1 − t₁s + t₂s² − t₃s³ + …`.
+    /// The Coxian-2 matching equations are linear in these.
+    pub fn reduced(&self) -> (f64, f64, f64) {
+        (self.m1, self.m2 / 2.0, self.m3 / 6.0)
+    }
+
+    /// Normalized moments `(n₂, n₃) = (m₂/m₁², m₃/(m₁ m₂))` as used by
+    /// Osogami & Harchol-Balter's moment-matching characterization.
+    pub fn normalized(&self) -> (f64, f64) {
+        (self.m2 / (self.m1 * self.m1), self.m3 / (self.m1 * self.m2))
+    }
+
+    /// Moments of `k·X` for a positive scale factor `k`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] if `k <= 0`.
+    pub fn scaled(&self, k: f64) -> Result<Self, DistError> {
+        check_positive("scale", k)?;
+        Ok(Moments3 {
+            m1: self.m1 * k,
+            m2: self.m2 * k * k,
+            m3: self.m3 * k * k * k,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_moments() {
+        let m = Moments3::exponential(0.5).unwrap();
+        assert_eq!(m.mean(), 0.5);
+        assert_eq!(m.m2(), 0.5);
+        assert_eq!(m.m3(), 0.75);
+        assert!((m.scv() - 1.0).abs() < 1e-12);
+        let (n2, n3) = m.normalized();
+        assert!((n2 - 2.0).abs() < 1e-12);
+        assert!((n3 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_moments() {
+        let m = Moments3::deterministic(3.0).unwrap();
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.scv(), 0.0);
+        assert_eq!(m.m3(), 27.0);
+    }
+
+    #[test]
+    fn infeasible_rejected() {
+        // Variance would be negative.
+        assert!(matches!(
+            Moments3::new(2.0, 1.0, 1.0),
+            Err(DistError::InfeasibleMoments { .. })
+        ));
+        // Cauchy-Schwarz: m1*m3 < m2^2.
+        assert!(matches!(
+            Moments3::new(1.0, 2.0, 3.0),
+            Err(DistError::InfeasibleMoments { .. })
+        ));
+        assert!(Moments3::new(-1.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn balanced_means_scv8_has_mean_and_scv() {
+        let m = Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap();
+        assert!((m.mean() - 1.0).abs() < 1e-12);
+        assert!((m.scv() - 8.0).abs() < 1e-9);
+        // Third moment of the balanced H2 with mean 1, C^2 = 8 is 216.
+        assert!((m.m3() - 216.0).abs() < 1e-6, "m3 = {}", m.m3());
+    }
+
+    #[test]
+    fn balanced_means_scv1_is_exponential() {
+        let m = Moments3::from_mean_scv_balanced(2.0, 1.0).unwrap();
+        let e = Moments3::exponential(2.0).unwrap();
+        assert_eq!(m, e);
+    }
+
+    #[test]
+    fn low_scv_uses_gamma_third_moment() {
+        let m = Moments3::from_mean_scv_balanced(1.0, 0.5).unwrap();
+        assert!((m.scv() - 0.5).abs() < 1e-12);
+        assert!((m.m3() - 1.5 * 2.0).abs() < 1e-12); // (1+0.5)(1+1) = 3
+    }
+
+    #[test]
+    fn scaled_moments() {
+        let m = Moments3::exponential(1.0).unwrap().scaled(2.0).unwrap();
+        let e = Moments3::exponential(2.0).unwrap();
+        assert!((m.mean() - e.mean()).abs() < 1e-12);
+        assert!((m.m2() - e.m2()).abs() < 1e-12);
+        assert!((m.m3() - e.m3()).abs() < 1e-12);
+        assert!(m.scaled(-1.0).is_err());
+    }
+
+    #[test]
+    fn reduced_moments() {
+        let (t1, t2, t3) = Moments3::exponential(1.0).unwrap().reduced();
+        assert_eq!((t1, t2, t3), (1.0, 1.0, 1.0));
+    }
+}

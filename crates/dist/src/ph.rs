@@ -1,0 +1,799 @@
+//! Phase-type distributions: the general acyclic representation [`Ph`] plus
+//! the named special cases the paper uses (Erlang, two-phase
+//! hyperexponential, two-stage Coxian).
+//!
+//! The CS-CQ Markov chain of the paper replaces its busy-period transitions
+//! by Coxian distributions (Figure 2(b)); the QBD builder in
+//! `cyclesteal-core` consumes the `(α, T, exit)` triple exposed here, so any
+//! [`Ph`] — not just a Coxian-2 — can drive a busy-period transition. That is
+//! exactly the paper's "more moments could be modeled using a higher-degree
+//! Coxian" remark.
+
+use rand::{Rng, RngExt};
+
+use cyclesteal_linalg::Matrix;
+
+use crate::dist::sample_exp;
+use crate::error::{check_positive, check_probability};
+use crate::{DistError, Distribution, Moments3};
+
+/// Numerical slack when validating probability vectors and generator rows.
+const VAL_TOL: f64 = 1e-9;
+
+/// A continuous phase-type distribution `PH(α, T)`.
+///
+/// `α` is the initial probability vector over transient phases (any missing
+/// mass `1 − Σα` is an atom at zero), `T` the transient sub-generator, and
+/// the absorption rates are `t = −T·1`. Moments are
+/// `E[Xᵏ] = k! · α (−T)⁻ᵏ 1`, precomputed at construction.
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_dist::{Distribution, Erlang};
+///
+/// # fn main() -> Result<(), cyclesteal_dist::DistError> {
+/// let ph = Erlang::new(3, 1.5)?.to_ph();
+/// assert!((ph.mean() - 2.0).abs() < 1e-12);
+/// assert_eq!(ph.dim(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ph {
+    alpha: Vec<f64>,
+    t: Matrix,
+    exit: Vec<f64>,
+    moments: Moments3,
+}
+
+impl Ph {
+    /// Creates a phase-type distribution from an initial vector and
+    /// sub-generator.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Inconsistent`] if `α` and `T` have mismatched dimensions,
+    /// `α` is not a sub-probability vector, `T` is not a valid sub-generator
+    /// (negative diagonal, nonnegative off-diagonal, nonpositive row sums),
+    /// or the chain is not absorbing (singular `T`).
+    pub fn new(alpha: Vec<f64>, t: Matrix) -> Result<Self, DistError> {
+        let n = alpha.len();
+        if !t.is_square() || t.rows() != n || n == 0 {
+            return Err(DistError::Inconsistent {
+                reason: "alpha and T dimensions must agree and be nonzero",
+            });
+        }
+        let total: f64 = alpha.iter().sum();
+        if alpha
+            .iter()
+            .any(|&a| !(-VAL_TOL..=1.0 + VAL_TOL).contains(&a))
+            || total > 1.0 + VAL_TOL
+        {
+            return Err(DistError::Inconsistent {
+                reason: "alpha must be a sub-probability vector",
+            });
+        }
+        let mut exit = vec![0.0; n];
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                let v = t[(i, j)];
+                if i == j {
+                    if v >= 0.0 {
+                        return Err(DistError::Inconsistent {
+                            reason: "sub-generator diagonal must be negative",
+                        });
+                    }
+                } else if v < -VAL_TOL {
+                    return Err(DistError::Inconsistent {
+                        reason: "sub-generator off-diagonal must be nonnegative",
+                    });
+                }
+                row_sum += v;
+            }
+            if row_sum > VAL_TOL * t[(i, i)].abs() {
+                return Err(DistError::Inconsistent {
+                    reason: "sub-generator row sums must be nonpositive",
+                });
+            }
+            exit[i] = (-row_sum).max(0.0);
+        }
+
+        // Moments: solve (−T) u₁ = 1, (−T) u₂ = u₁, (−T) u₃ = u₂.
+        let neg_t = t.scale(-1.0);
+        let lu = neg_t.lu().map_err(|_| DistError::Inconsistent {
+            reason: "sub-generator is singular: the chain never absorbs",
+        })?;
+        let ones = vec![1.0; n];
+        let u1 = lu.solve(&ones).expect("dim checked");
+        let u2 = lu.solve(&u1).expect("dim checked");
+        let u3 = lu.solve(&u2).expect("dim checked");
+        let m1 = cyclesteal_linalg::dot(&alpha, &u1);
+        let m2 = 2.0 * cyclesteal_linalg::dot(&alpha, &u2);
+        let m3 = 6.0 * cyclesteal_linalg::dot(&alpha, &u3);
+        let moments = Moments3::new(m1, m2, m3).map_err(|_| DistError::Inconsistent {
+            reason: "phase-type moments came out infeasible (degenerate chain)",
+        })?;
+
+        Ok(Ph {
+            alpha,
+            t,
+            exit,
+            moments,
+        })
+    }
+
+    /// Number of transient phases.
+    pub fn dim(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// The initial probability vector over transient phases.
+    pub fn initial(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// The transient sub-generator `T`.
+    pub fn subgenerator(&self) -> &Matrix {
+        &self.t
+    }
+
+    /// The absorption (exit) rate of each phase, `t = −T·1`.
+    pub fn exit_rates(&self) -> &[f64] {
+        &self.exit
+    }
+
+    /// An `Exp(rate)` as a one-phase `Ph`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] if `rate <= 0`.
+    pub fn exponential(rate: f64) -> Result<Self, DistError> {
+        check_positive("rate", rate)?;
+        Ph::new(vec![1.0], Matrix::from_rows(&[&[-rate]]).expect("1x1"))
+    }
+
+    /// The sum of two independent phase-type variables, as a phase-type
+    /// distribution: run `self` to absorption, then `other`. Atoms at zero
+    /// are handled (e.g. convolving a workload that is zero with
+    /// probability `1 − ρ`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DistError::Inconsistent`] from the combined
+    /// representation (cannot occur for two valid inputs).
+    ///
+    /// # Examples
+    ///
+    /// Two exponentials convolve to an Erlang-2:
+    ///
+    /// ```
+    /// use cyclesteal_dist::{Distribution, Erlang, Ph};
+    ///
+    /// # fn main() -> Result<(), cyclesteal_dist::DistError> {
+    /// let e = Ph::exponential(2.0)?;
+    /// let sum = e.convolve(&e)?;
+    /// let want = Erlang::new(2, 2.0)?;
+    /// assert!((sum.mean() - want.mean()).abs() < 1e-12);
+    /// assert!((sum.moment3() - want.moment3()).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn convolve(&self, other: &Ph) -> Result<Ph, DistError> {
+        let (na, nb) = (self.dim(), other.dim());
+        let n = na + nb;
+        let atom_a = 1.0 - self.alpha.iter().sum::<f64>();
+        // Initial vector: start in self's phases, or — if self is zero —
+        // directly in other's.
+        let mut alpha = Vec::with_capacity(n);
+        alpha.extend_from_slice(&self.alpha);
+        alpha.extend(other.alpha.iter().map(|b| atom_a * b));
+        // Block generator: [[Ta, ta * beta], [0, Tb]].
+        let mut t = Matrix::zeros(n, n);
+        for i in 0..na {
+            for j in 0..na {
+                t[(i, j)] = self.t[(i, j)];
+            }
+            for j in 0..nb {
+                t[(i, na + j)] = self.exit[i] * other.alpha[j];
+            }
+        }
+        for i in 0..nb {
+            for j in 0..nb {
+                t[(na + i, na + j)] = other.t[(i, j)];
+            }
+        }
+        Ph::new(alpha, t)
+    }
+
+    /// The Laplace–Stieltjes transform `E[e^{-sX}] = α(sI − T)⁻¹ t + α₀`
+    /// evaluated at a real `s ≥ 0` (`α₀` is any atom at zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite (`sI − T` is guaranteed
+    /// nonsingular for `s ≥ 0`).
+    pub fn lst(&self, s: f64) -> f64 {
+        assert!(s >= 0.0 && s.is_finite(), "lst requires s >= 0");
+        let n = self.dim();
+        let mut m = self.t.scale(-1.0);
+        for i in 0..n {
+            m[(i, i)] += s;
+        }
+        let x = m
+            .solve(&self.exit)
+            .expect("sI - T is a nonsingular M-matrix for s >= 0");
+        let atom = 1.0 - self.alpha.iter().sum::<f64>();
+        cyclesteal_linalg::dot(&self.alpha, &x) + atom
+    }
+
+    /// The cumulative distribution function `F(x) = 1 − α e^{Tx} 1`.
+    ///
+    /// Exact (up to the matrix exponential's ~1e-12), so it can serve as a
+    /// ground truth for goodness-of-fit checks on fitted distributions.
+    /// Returns 0 for negative `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix exponential fails, which cannot happen for the
+    /// validated square sub-generator held by a constructed `Ph`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        let e = self
+            .t
+            .scale(x)
+            .expm()
+            .expect("sub-generator is square and finite");
+        let tail: f64 = e
+            .mul_vec(&vec![1.0; self.dim()])
+            .iter()
+            .zip(&self.alpha)
+            .map(|(row, a)| a * row)
+            .sum();
+        (1.0 - tail).clamp(0.0, 1.0)
+    }
+
+    /// The survival function `P(X > x) = α e^{Tx} 1`.
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// The density `f(x) = α e^{Tx} t` (for `x > 0`; any atom at zero is
+    /// not part of the density).
+    ///
+    /// # Panics
+    ///
+    /// As for [`Ph::cdf`].
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        let e = self
+            .t
+            .scale(x)
+            .expm()
+            .expect("sub-generator is square and finite");
+        e.mul_vec(&self.exit)
+            .iter()
+            .zip(&self.alpha)
+            .map(|(row, a)| a * row)
+            .sum::<f64>()
+            .max(0.0)
+    }
+}
+
+impl Distribution for Ph {
+    fn mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    fn moment2(&self) -> f64 {
+        self.moments.m2()
+    }
+
+    fn moment3(&self) -> f64 {
+        self.moments.m3()
+    }
+
+    fn moments(&self) -> Moments3 {
+        self.moments
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        // Pick the initial phase; missing alpha mass is an atom at zero.
+        let mut u: f64 = rng.random();
+        let mut phase = usize::MAX;
+        for (i, &a) in self.alpha.iter().enumerate() {
+            if u < a {
+                phase = i;
+                break;
+            }
+            u -= a;
+        }
+        if phase == usize::MAX {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        loop {
+            let hold = -self.t[(phase, phase)];
+            total += sample_exp(hold, rng);
+            // Choose the next phase or absorb.
+            let mut v: f64 = rng.random::<f64>() * hold;
+            let mut next = usize::MAX;
+            for j in 0..self.dim() {
+                if j == phase {
+                    continue;
+                }
+                let r = self.t[(phase, j)].max(0.0);
+                if v < r {
+                    next = j;
+                    break;
+                }
+                v -= r;
+            }
+            if next == usize::MAX {
+                // Absorbed (exit rate consumed the remaining mass).
+                return total;
+            }
+            phase = next;
+        }
+    }
+}
+
+/// The Erlang-`k` distribution: a sum of `k` i.i.d. `Exp(rate)` stages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Erlang {
+    k: u32,
+    rate: f64,
+}
+
+impl Erlang {
+    /// Creates an Erlang-`k` with per-stage rate `rate`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] if `k == 0` or `rate <= 0`.
+    pub fn new(k: u32, rate: f64) -> Result<Self, DistError> {
+        if k == 0 {
+            return Err(DistError::NonPositive {
+                what: "Erlang stage count",
+                value: 0.0,
+            });
+        }
+        check_positive("rate", rate)?;
+        Ok(Erlang { k, rate })
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> u32 {
+        self.k
+    }
+
+    /// The per-stage rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The equivalent general phase-type representation.
+    pub fn to_ph(&self) -> Ph {
+        let n = self.k as usize;
+        let mut t = Matrix::zeros(n, n);
+        for i in 0..n {
+            t[(i, i)] = -self.rate;
+            if i + 1 < n {
+                t[(i, i + 1)] = self.rate;
+            }
+        }
+        let mut alpha = vec![0.0; n];
+        alpha[0] = 1.0;
+        Ph::new(alpha, t).expect("Erlang chain is always a valid PH")
+    }
+
+    fn raw_moment(&self, j: u32) -> f64 {
+        // E[X^j] = k(k+1)...(k+j-1) / rate^j
+        let mut num = 1.0;
+        for i in 0..j {
+            num *= (self.k + i) as f64;
+        }
+        num / self.rate.powi(j as i32)
+    }
+}
+
+impl Distribution for Erlang {
+    fn mean(&self) -> f64 {
+        self.raw_moment(1)
+    }
+
+    fn moment2(&self) -> f64 {
+        self.raw_moment(2)
+    }
+
+    fn moment3(&self) -> f64 {
+        self.raw_moment(3)
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        (0..self.k).map(|_| sample_exp(self.rate, rng)).sum()
+    }
+}
+
+/// The two-phase hyperexponential `H₂`: `Exp(μ₁)` with probability `p₁`,
+/// else `Exp(μ₂)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperExp2 {
+    p1: f64,
+    mu1: f64,
+    mu2: f64,
+}
+
+impl HyperExp2 {
+    /// Creates an `H₂` distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::BadProbability`] for `p1 ∉ [0,1]`,
+    /// [`DistError::NonPositive`] for nonpositive rates.
+    pub fn new(p1: f64, mu1: f64, mu2: f64) -> Result<Self, DistError> {
+        check_probability("p1", p1)?;
+        check_positive("mu1", mu1)?;
+        check_positive("mu2", mu2)?;
+        Ok(HyperExp2 { p1, mu1, mu2 })
+    }
+
+    /// The *balanced-means* `H₂` with the given mean and squared coefficient
+    /// of variation (`scv ≥ 1`): branch means are balanced,
+    /// `p₁/μ₁ = p₂/μ₂`. This is the conventional two-moment hyperexponential
+    /// in the task-assignment literature.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] for a nonpositive mean and
+    /// [`DistError::Inconsistent`] for `scv < 1`.
+    pub fn balanced_means(mean: f64, scv: f64) -> Result<Self, DistError> {
+        check_positive("mean", mean)?;
+        if scv < 1.0 {
+            return Err(DistError::Inconsistent {
+                reason: "hyperexponential requires scv >= 1",
+            });
+        }
+        let p1 = 0.5 * (1.0 + ((scv - 1.0) / (scv + 1.0)).sqrt());
+        let mu1 = 2.0 * p1 / mean;
+        let mu2 = 2.0 * (1.0 - p1) / mean;
+        HyperExp2::new(p1, mu1, mu2)
+    }
+
+    /// Branch probability of the first phase.
+    pub fn p1(&self) -> f64 {
+        self.p1
+    }
+
+    /// Rate of the first phase.
+    pub fn mu1(&self) -> f64 {
+        self.mu1
+    }
+
+    /// Rate of the second phase.
+    pub fn mu2(&self) -> f64 {
+        self.mu2
+    }
+
+    /// The equivalent general phase-type representation.
+    pub fn to_ph(&self) -> Ph {
+        let t = Matrix::from_rows(&[&[-self.mu1, 0.0], &[0.0, -self.mu2]]).expect("2x2");
+        Ph::new(vec![self.p1, 1.0 - self.p1], t).expect("H2 is always a valid PH")
+    }
+
+    fn raw_moment(&self, j: u32) -> f64 {
+        let fact: f64 = (1..=j).map(|i| i as f64).product();
+        fact * (self.p1 / self.mu1.powi(j as i32) + (1.0 - self.p1) / self.mu2.powi(j as i32))
+    }
+}
+
+impl Distribution for HyperExp2 {
+    fn mean(&self) -> f64 {
+        self.raw_moment(1)
+    }
+
+    fn moment2(&self) -> f64 {
+        self.raw_moment(2)
+    }
+
+    fn moment3(&self) -> f64 {
+        self.raw_moment(3)
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        let u: f64 = rng.random();
+        let rate = if u < self.p1 { self.mu1 } else { self.mu2 };
+        sample_exp(rate, rng)
+    }
+}
+
+/// The two-stage Coxian: `Exp(μ₁)`, then with probability `p` an additional
+/// independent `Exp(μ₂)` stage.
+///
+/// This is the distribution class the paper uses to represent busy periods
+/// inside the CS-CQ Markov chain (Figure 2(b)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coxian2 {
+    mu1: f64,
+    p: f64,
+    mu2: f64,
+}
+
+impl Coxian2 {
+    /// Creates a two-stage Coxian.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] for nonpositive rates and
+    /// [`DistError::BadProbability`] for `p ∉ [0,1]`.
+    pub fn new(mu1: f64, p: f64, mu2: f64) -> Result<Self, DistError> {
+        check_positive("mu1", mu1)?;
+        check_positive("mu2", mu2)?;
+        check_probability("p", p)?;
+        Ok(Coxian2 { mu1, p, mu2 })
+    }
+
+    /// Rate of the first stage.
+    pub fn mu1(&self) -> f64 {
+        self.mu1
+    }
+
+    /// Probability of continuing to the second stage.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Rate of the second stage.
+    pub fn mu2(&self) -> f64 {
+        self.mu2
+    }
+
+    /// The equivalent general phase-type representation.
+    pub fn to_ph(&self) -> Ph {
+        let t =
+            Matrix::from_rows(&[&[-self.mu1, self.p * self.mu1], &[0.0, -self.mu2]]).expect("2x2");
+        Ph::new(vec![1.0, 0.0], t).expect("Coxian-2 is always a valid PH")
+    }
+
+    fn reduced_moment(&self, j: u32) -> f64 {
+        // t_j in terms of a = 1/mu1, b = 1/mu2 via the recurrences
+        // t1 = a + pb, t2 = (a+b)t1 - ab, t3 = (a+b)t2 - ab*t1.
+        let a = 1.0 / self.mu1;
+        let b = 1.0 / self.mu2;
+        let t1 = a + self.p * b;
+        match j {
+            1 => t1,
+            2 => (a + b) * t1 - a * b,
+            3 => {
+                let t2 = (a + b) * t1 - a * b;
+                (a + b) * t2 - a * b * t1
+            }
+            _ => unreachable!("only the first three reduced moments are defined"),
+        }
+    }
+}
+
+impl Distribution for Coxian2 {
+    fn mean(&self) -> f64 {
+        self.reduced_moment(1)
+    }
+
+    fn moment2(&self) -> f64 {
+        2.0 * self.reduced_moment(2)
+    }
+
+    fn moment3(&self) -> f64 {
+        6.0 * self.reduced_moment(3)
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        let mut x = sample_exp(self.mu1, rng);
+        let u: f64 = rng.random();
+        if u < self.p {
+            x += sample_exp(self.mu2, rng);
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "{what}: {a} vs {b}");
+    }
+
+    #[test]
+    fn ph_exponential_moments() {
+        let ph = Ph::exponential(2.0).unwrap();
+        assert_close(ph.mean(), 0.5, 1e-12, "mean");
+        assert_close(ph.moment2(), 0.5, 1e-12, "m2");
+        assert_close(ph.moment3(), 0.75, 1e-12, "m3");
+        assert_eq!(ph.exit_rates(), &[2.0]);
+    }
+
+    #[test]
+    fn ph_validation_errors() {
+        // alpha too long
+        assert!(Ph::new(vec![1.0, 0.0], Matrix::from_rows(&[&[-1.0]]).unwrap()).is_err());
+        // alpha mass > 1
+        assert!(Ph::new(vec![0.8, 0.8], Matrix::identity(2).scale(-1.0)).is_err());
+        // positive diagonal
+        assert!(Ph::new(vec![1.0], Matrix::from_rows(&[&[1.0]]).unwrap()).is_err());
+        // negative off-diagonal
+        let bad = Matrix::from_rows(&[&[-1.0, -0.5], &[0.0, -1.0]]).unwrap();
+        assert!(Ph::new(vec![1.0, 0.0], bad).is_err());
+        // row sum positive
+        let bad = Matrix::from_rows(&[&[-1.0, 2.0], &[0.0, -1.0]]).unwrap();
+        assert!(Ph::new(vec![1.0, 0.0], bad).is_err());
+        // non-absorbing (zero exit everywhere => singular -T? no: -T invertible
+        // requires absorption to be reachable)
+        let cyc = Matrix::from_rows(&[&[-1.0, 1.0], &[1.0, -1.0]]).unwrap();
+        assert!(Ph::new(vec![1.0, 0.0], cyc).is_err());
+    }
+
+    #[test]
+    fn erlang_matches_its_ph() {
+        let e = Erlang::new(4, 2.0).unwrap();
+        let ph = e.to_ph();
+        assert_close(ph.mean(), e.mean(), 1e-12, "mean");
+        assert_close(ph.moment2(), e.moment2(), 1e-12, "m2");
+        assert_close(ph.moment3(), e.moment3(), 1e-12, "m3");
+        assert!((e.scv() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hyperexp_matches_its_ph() {
+        let h = HyperExp2::new(0.3, 3.0, 0.5).unwrap();
+        let ph = h.to_ph();
+        assert_close(ph.mean(), h.mean(), 1e-12, "mean");
+        assert_close(ph.moment2(), h.moment2(), 1e-12, "m2");
+        assert_close(ph.moment3(), h.moment3(), 1e-12, "m3");
+        assert!(h.scv() > 1.0);
+    }
+
+    #[test]
+    fn hyperexp_balanced_means_hits_targets() {
+        let h = HyperExp2::balanced_means(2.0, 8.0).unwrap();
+        assert_close(h.mean(), 2.0, 1e-12, "mean");
+        assert_close(h.scv(), 8.0, 1e-9, "scv");
+        // Balanced means property: p1/mu1 == p2/mu2.
+        assert_close(h.p1() / h.mu1(), (1.0 - h.p1()) / h.mu2(), 1e-12, "balance");
+        assert!(HyperExp2::balanced_means(1.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn coxian_matches_its_ph() {
+        let c = Coxian2::new(2.0, 0.4, 0.7).unwrap();
+        let ph = c.to_ph();
+        assert_close(ph.mean(), c.mean(), 1e-12, "mean");
+        assert_close(ph.moment2(), c.moment2(), 1e-12, "m2");
+        assert_close(ph.moment3(), c.moment3(), 1e-12, "m3");
+    }
+
+    #[test]
+    fn coxian_degenerate_p_zero_is_exponential() {
+        let c = Coxian2::new(3.0, 0.0, 1.0).unwrap();
+        assert_close(c.mean(), 1.0 / 3.0, 1e-12, "mean");
+        assert_close(c.scv(), 1.0, 1e-12, "scv");
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let dists: Vec<Box<dyn Distribution>> = vec![
+            Box::new(Erlang::new(3, 1.0).unwrap()),
+            Box::new(HyperExp2::balanced_means(1.0, 4.0).unwrap()),
+            Box::new(Coxian2::new(2.0, 0.5, 0.5).unwrap()),
+            Box::new(HyperExp2::balanced_means(1.0, 8.0).unwrap().to_ph()),
+        ];
+        for d in &dists {
+            let n = 300_000;
+            let (mut s1, mut s2) = (0.0, 0.0);
+            for _ in 0..n {
+                let x = d.sample(&mut rng);
+                s1 += x;
+                s2 += x * x;
+            }
+            let m1 = s1 / n as f64;
+            let m2 = s2 / n as f64;
+            assert_close(m1, d.mean(), 0.02, "sample mean");
+            assert_close(m2, d.moment2(), 0.08, "sample m2");
+        }
+    }
+
+    #[test]
+    fn convolve_with_atom_routes_past_the_missing_mass() {
+        // A with atom 0.5 at zero convolved with Exp(1): the result is
+        // Exp(2)+Exp(1) w.p. 0.5, else just Exp(1).
+        let a = Ph::new(vec![0.5], Matrix::from_rows(&[&[-2.0]]).unwrap()).unwrap();
+        let b = Ph::exponential(1.0).unwrap();
+        let c = a.convolve(&b).unwrap();
+        assert!((c.mean() - (0.5 * 0.5 + 1.0)).abs() < 1e-12);
+        // No atom remains (b has full mass).
+        assert!(c.cdf(0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolve_moments_are_additive() {
+        let a = HyperExp2::balanced_means(1.0, 4.0).unwrap().to_ph();
+        let b = Erlang::new(3, 2.0).unwrap().to_ph();
+        let c = a.convolve(&b).unwrap();
+        assert!((c.mean() - (a.mean() + b.mean())).abs() < 1e-10);
+        let var = c.moment2() - c.mean() * c.mean();
+        let want = a.variance() + b.variance();
+        assert!((var - want).abs() < 1e-9, "{var} vs {want}");
+    }
+
+    #[test]
+    fn cdf_matches_exponential_closed_form() {
+        let ph = Ph::exponential(2.0).unwrap();
+        for x in [0.0f64, 0.1, 0.5, 1.0, 3.0] {
+            let want = 1.0 - (-2.0 * x).exp();
+            assert!((ph.cdf(x) - want).abs() < 1e-12, "x = {x}");
+            let want_pdf = 2.0 * (-2.0 * x).exp();
+            assert!((ph.pdf(x) - want_pdf).abs() < 1e-11, "pdf at {x}");
+        }
+        assert_eq!(ph.cdf(-1.0), 0.0);
+        assert_eq!(ph.pdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_matches_erlang_closed_form() {
+        // Erlang-2(rate 1): F(x) = 1 - e^{-x}(1 + x).
+        let ph = Erlang::new(2, 1.0).unwrap().to_ph();
+        for x in [0.2f64, 1.0, 2.5, 5.0] {
+            let want = 1.0 - (-x).exp() * (1.0 + x);
+            assert!((ph.cdf(x) - want).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn cdf_monotone_and_survival_consistent() {
+        let ph = HyperExp2::balanced_means(1.0, 8.0).unwrap().to_ph();
+        let mut prev = 0.0;
+        for i in 0..30 {
+            let x = i as f64 * 0.5;
+            let f = ph.cdf(x);
+            assert!(f >= prev - 1e-12);
+            assert!((f + ph.survival(x) - 1.0).abs() < 1e-12);
+            prev = f;
+        }
+        // The C^2 = 8 H2 has a slow branch (rate ~0.118): by x = 14.5 about
+        // 1% of mass remains.
+        assert!(prev > 0.98, "cdf(14.5) = {prev}");
+    }
+
+    #[test]
+    fn cdf_agrees_with_empirical_samples() {
+        let ph = Coxian2::new(2.0, 0.5, 0.5).unwrap().to_ph();
+        let mut rng = SmallRng::seed_from_u64(77);
+        let n = 100_000;
+        let mut below_one = 0usize;
+        for _ in 0..n {
+            if ph.sample(&mut rng) <= 1.0 {
+                below_one += 1;
+            }
+        }
+        let emp = below_one as f64 / n as f64;
+        assert!((emp - ph.cdf(1.0)).abs() < 0.01, "{emp} vs {}", ph.cdf(1.0));
+    }
+
+    #[test]
+    fn ph_atom_at_zero() {
+        // alpha mass 0.5 => half the samples are exactly zero.
+        let ph = Ph::new(vec![0.5], Matrix::from_rows(&[&[-1.0]]).unwrap()).unwrap();
+        assert_close(ph.mean(), 0.5, 1e-12, "mean");
+        let mut rng = SmallRng::seed_from_u64(9);
+        let zeros = (0..10_000).filter(|_| ph.sample(&mut rng) == 0.0).count();
+        assert!((zeros as f64 / 10_000.0 - 0.5).abs() < 0.03);
+    }
+}

@@ -1,0 +1,136 @@
+//! Monte-Carlo validation of the busy-period moment calculus.
+//!
+//! The branching representation of an M/G/1 busy period (each job spawns the
+//! busy periods of the arrivals during its own service) gives an exact
+//! sampler without simulating a queue; we compare its empirical moments
+//! against the closed forms in `cyclesteal_dist::busy`.
+
+use cyclesteal_dist::{busy, Distribution, Exp, HyperExp2, Moments3};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Samples a Poisson(`mean`) count by Knuth's product-of-uniforms method.
+fn sample_poisson(mean: f64, rng: &mut dyn Rng) -> u64 {
+    let limit = (-mean).exp();
+    let mut k = 0u64;
+    let mut prod: f64 = 1.0;
+    loop {
+        prod *= rng.random::<f64>();
+        if prod <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Samples a busy period that starts with `initial` jobs already in queue,
+/// using the branching (Borel-type) representation.
+fn sample_busy(lambda: f64, job: &dyn Distribution, initial: u64, rng: &mut SmallRng) -> f64 {
+    let mut pending = initial;
+    let mut total = 0.0;
+    while pending > 0 {
+        pending -= 1;
+        let x = job.sample(rng);
+        total += x;
+        pending += sample_poisson(lambda * x, rng);
+    }
+    total
+}
+
+fn empirical_moments3(samples: impl Iterator<Item = f64>) -> (f64, f64, f64, usize) {
+    let (mut s1, mut s2, mut s3, mut n) = (0.0, 0.0, 0.0, 0usize);
+    for x in samples {
+        s1 += x;
+        s2 += x * x;
+        s3 += x * x * x;
+        n += 1;
+    }
+    let nf = n as f64;
+    (s1 / nf, s2 / nf, s3 / nf, n)
+}
+
+fn check_against(analytic: Moments3, m1: f64, m2: f64, m3: f64, tols: (f64, f64, f64)) {
+    assert!(
+        (m1 - analytic.mean()).abs() / analytic.mean() < tols.0,
+        "mean: mc {m1} vs analytic {}",
+        analytic.mean()
+    );
+    assert!(
+        (m2 - analytic.m2()).abs() / analytic.m2() < tols.1,
+        "m2: mc {m2} vs analytic {}",
+        analytic.m2()
+    );
+    assert!(
+        (m3 - analytic.m3()).abs() / analytic.m3() < tols.2,
+        "m3: mc {m3} vs analytic {}",
+        analytic.m3()
+    );
+}
+
+#[test]
+fn mm1_busy_period_three_moments() {
+    let lambda = 0.5;
+    let job = Exp::with_mean(1.0).unwrap();
+    let analytic = busy::mg1_busy(lambda, job.moments()).unwrap();
+
+    let mut rng = SmallRng::seed_from_u64(101);
+    let n = 400_000;
+    let (m1, m2, m3, _) =
+        empirical_moments3((0..n).map(|_| sample_busy(lambda, &job, 1, &mut rng)));
+    // Third moments of busy periods are heavy; allow a loose band.
+    check_against(analytic, m1, m2, m3, (0.01, 0.04, 0.15));
+}
+
+#[test]
+fn mg1_busy_period_hyperexponential_jobs() {
+    let lambda = 0.3;
+    let job = HyperExp2::balanced_means(1.0, 8.0).unwrap();
+    let analytic = busy::mg1_busy(lambda, job.moments()).unwrap();
+
+    let mut rng = SmallRng::seed_from_u64(102);
+    let n = 600_000;
+    let (m1, m2, m3, _) =
+        empirical_moments3((0..n).map(|_| sample_busy(lambda, &job, 1, &mut rng)));
+    check_against(analytic, m1, m2, m3, (0.01, 0.06, 0.25));
+}
+
+#[test]
+fn bn1_busy_period_matches_closed_form() {
+    // B_{N+1}: I ~ Exp(theta), N ~ Poisson(lambda * I), initial work = the
+    // sizes of N+1 jobs, then a delay busy period.
+    let lambda = 0.4;
+    let theta = 2.0;
+    let job = Exp::with_mean(1.0).unwrap();
+    let analytic = busy::bn1(lambda, job.moments(), theta).unwrap();
+
+    let mut rng = SmallRng::seed_from_u64(103);
+    let n = 400_000;
+    let samples = (0..n).map(|_| {
+        let i = cyclesteal_dist::Exp::new(theta).unwrap().sample(&mut rng);
+        let extra = sample_poisson(lambda * i, &mut rng);
+        sample_busy(lambda, &job, extra + 1, &mut rng)
+    });
+    let (m1, m2, m3, _) = empirical_moments3(samples);
+    check_against(analytic, m1, m2, m3, (0.01, 0.05, 0.2));
+}
+
+#[test]
+fn delay_busy_with_deterministic_initial_work() {
+    // Initial work = constant 2.0, jobs exponential.
+    let lambda = 0.5;
+    let job = Exp::with_mean(1.0).unwrap();
+    let work = Moments3::deterministic(2.0).unwrap();
+    let analytic = busy::delay_busy(lambda, job.moments(), work).unwrap();
+    assert!((analytic.mean() - 4.0).abs() < 1e-12); // E[V]/(1-rho) = 2/0.5
+
+    let mut rng = SmallRng::seed_from_u64(104);
+    let n = 300_000;
+    let samples = (0..n).map(|_| {
+        let arrivals = sample_poisson(lambda * 2.0, &mut rng);
+        2.0 + (0..arrivals)
+            .map(|_| sample_busy(lambda, &job, 1, &mut rng))
+            .sum::<f64>()
+    });
+    let (m1, m2, m3, _) = empirical_moments3(samples);
+    check_against(analytic, m1, m2, m3, (0.01, 0.03, 0.1));
+}

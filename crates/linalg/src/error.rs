@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left operand (rows, cols).
+        lhs: (usize, usize),
+        /// Dimensions of the right operand (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factorized or inverted.
+    Singular,
+    /// The operation requires a square matrix but a rectangular one was given.
+    NotSquare {
+        /// Dimensions of the offending matrix (rows, cols).
+        dims: (usize, usize),
+    },
+    /// A row specification had inconsistent length.
+    RaggedRows,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::NotSquare { dims } => {
+                write!(
+                    f,
+                    "operation requires a square matrix, got {}x{}",
+                    dims.0, dims.1
+                )
+            }
+            LinalgError::RaggedRows => write!(f, "rows have inconsistent lengths"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LinalgError::DimensionMismatch {
+            op: "mul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(e.to_string(), "dimension mismatch in mul: 2x3 vs 4x5");
+        assert_eq!(
+            LinalgError::Singular.to_string(),
+            "matrix is singular to working precision"
+        );
+        assert_eq!(
+            LinalgError::NotSquare { dims: (2, 3) }.to_string(),
+            "operation requires a square matrix, got 2x3"
+        );
+        assert!(!LinalgError::RaggedRows.to_string().is_empty());
+    }
+}

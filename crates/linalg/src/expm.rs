@@ -1,0 +1,209 @@
+//! Matrix exponential and Kronecker products.
+//!
+//! `expm` uses scaling-and-squaring with a degree-6 Padé approximant —
+//! ample accuracy for the small generator matrices this workspace works
+//! with (phase-type densities, transient CTMC analysis). The Kronecker
+//! product assembles product-space generators (e.g. chain ⊗ MAP phases).
+
+use crate::{LinalgError, Matrix};
+
+impl Matrix {
+    /// Kronecker product `self ⊗ rhs`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cyclesteal_linalg::Matrix;
+    ///
+    /// let a = Matrix::identity(2);
+    /// let b = Matrix::from_vec(1, 1, vec![3.0]);
+    /// let k = a.kron(&b);
+    /// assert_eq!(k.rows(), 2);
+    /// assert_eq!(k[(1, 1)], 3.0);
+    /// ```
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let (m, n) = (self.rows(), self.cols());
+        let (p, q) = (rhs.rows(), rhs.cols());
+        let mut out = Matrix::zeros(m * p, n * q);
+        for i in 0..m {
+            for j in 0..n {
+                let a = self[(i, j)];
+                if a == 0.0 {
+                    continue;
+                }
+                for k in 0..p {
+                    for l in 0..q {
+                        out[(i * p + k, j * q + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix exponential `e^self` by scaling-and-squaring with a Padé(6,6)
+    /// approximant.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotSquare`] for rectangular input; propagates a
+    /// (theoretically impossible for finite input) singular Padé
+    /// denominator.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cyclesteal_linalg::Matrix;
+    ///
+    /// # fn main() -> Result<(), cyclesteal_linalg::LinalgError> {
+    /// let a = Matrix::from_diag(&[1.0, -2.0]);
+    /// let e = a.expm()?;
+    /// assert!((e[(0, 0)] - 1f64.exp()).abs() < 1e-12);
+    /// assert!((e[(1, 1)] - (-2f64).exp()).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn expm(&self) -> Result<Matrix, LinalgError> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare {
+                dims: (self.rows(), self.cols()),
+            });
+        }
+        let n = self.rows();
+        if n == 0 {
+            return Ok(Matrix::zeros(0, 0));
+        }
+
+        // Scale so ||A/2^s||_inf <= 0.5.
+        let norm = self.norm_inf();
+        let s = if norm > 0.5 {
+            (norm / 0.5).log2().ceil() as u32
+        } else {
+            0
+        };
+        let a = self.scale(0.5f64.powi(s as i32));
+
+        // Padé(6,6): N(A) = sum c_k A^k, D(A) = sum c_k (-A)^k.
+        const C: [f64; 7] = [
+            1.0,
+            0.5,
+            // c_k = (6! (12-k)!) / (12! k! (6-k)!)
+            5.0 / 44.0,
+            1.0 / 66.0,
+            1.0 / 792.0,
+            1.0 / 15_840.0,
+            1.0 / 665_280.0,
+        ];
+        let id = Matrix::identity(n);
+        let mut num = id.scale(C[0]);
+        let mut den = id.scale(C[0]);
+        let mut power = id.clone();
+        for (k, &c) in C.iter().enumerate().skip(1) {
+            power = power.mul(&a)?;
+            num = num.add(&power.scale(c))?;
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            den = den.add(&power.scale(sign * c))?;
+        }
+        let mut result = den.lu()?.inverse()?.mul(&num)?;
+        // Undo the scaling by repeated squaring.
+        for _ in 0..s {
+            result = result.mul(&result)?;
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.0, 5.0], &[6.0, 7.0]]).unwrap();
+        let k = a.kron(&b);
+        assert_eq!((k.rows(), k.cols()), (4, 4));
+        assert_eq!(k[(0, 1)], 5.0); // a00 * b01
+        assert_eq!(k[(3, 0)], 18.0); // a10 * b10
+        assert_eq!(k[(3, 3)], 28.0); // a11 * b11
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 1.0]]).unwrap();
+        let c = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let d = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lhs = a.kron(&b).mul(&c.kron(&d)).unwrap();
+        let rhs = a.mul(&c).unwrap().kron(&b.mul(&d).unwrap());
+        assert!((&lhs - &rhs).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn expm_zero_is_identity() {
+        let e = Matrix::zeros(3, 3).expm().unwrap();
+        assert!((&e - &Matrix::identity(3)).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn expm_diagonal() {
+        let a = Matrix::from_diag(&[0.3, -1.7, 4.0]);
+        let e = a.expm().unwrap();
+        for (i, &d) in [0.3f64, -1.7, 4.0].iter().enumerate() {
+            assert!((e[(i, i)] - d.exp()).abs() < 1e-11 * d.exp());
+        }
+        assert!(e[(0, 1)].abs() < 1e-14);
+    }
+
+    #[test]
+    fn expm_nilpotent_closed_form() {
+        // exp([[0,1],[0,0]]) = [[1,1],[0,1]]
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let e = a.expm().unwrap();
+        assert!((e[(0, 0)] - 1.0).abs() < 1e-14);
+        assert!((e[(0, 1)] - 1.0).abs() < 1e-14);
+        assert!((e[(1, 0)]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn expm_generator_rows_stay_stochastic() {
+        // exp(Q t) of a generator is a stochastic matrix.
+        let q =
+            Matrix::from_rows(&[&[-2.0, 1.5, 0.5], &[0.3, -0.8, 0.5], &[1.0, 2.0, -3.0]]).unwrap();
+        let p = q.scale(0.7).expm().unwrap();
+        for i in 0..3 {
+            let row_sum: f64 = p.row(i).iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-12, "row {i}: {row_sum}");
+            assert!(p.row(i).iter().all(|&x| x >= -1e-13));
+        }
+    }
+
+    #[test]
+    fn expm_additivity_for_commuting_matrices() {
+        // exp(A) exp(A) = exp(2A)
+        let a = Matrix::from_rows(&[&[-1.0, 0.7], &[0.2, -0.5]]).unwrap();
+        let e1 = a.expm().unwrap();
+        let lhs = e1.mul(&e1).unwrap();
+        let rhs = a.scale(2.0).expm().unwrap();
+        assert!((&lhs - &rhs).max_abs() < 1e-11);
+    }
+
+    #[test]
+    fn expm_rejects_rectangular() {
+        assert!(Matrix::zeros(2, 3).expm().is_err());
+    }
+
+    #[test]
+    fn expm_large_norm_scaled_correctly() {
+        // 50x the 2x2 rotation-ish generator: exercised squaring path.
+        let a = Matrix::from_rows(&[&[-50.0, 50.0], &[50.0, -50.0]]).unwrap();
+        let e = a.expm().unwrap();
+        // Limit: uniform distribution over the two states.
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((e[(i, j)] - 0.5).abs() < 1e-9);
+            }
+        }
+    }
+}

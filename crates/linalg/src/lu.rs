@@ -1,0 +1,208 @@
+use crate::{LinalgError, Matrix};
+
+/// LU factorization with partial pivoting: `P * A = L * U`.
+///
+/// Stores `L` (unit lower triangular) and `U` packed into one matrix plus the
+/// pivot permutation. Reuse one factorization across many [`Lu::solve`] calls —
+/// the QBD boundary solve does exactly that.
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_linalg::Matrix;
+///
+/// # fn main() -> Result<(), cyclesteal_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]])?; // needs pivoting
+/// let lu = a.lu()?;
+/// let x = lu.solve(&[2.0, 2.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    pivots: Vec<usize>,
+    sign: f64,
+}
+
+/// Pivots smaller than this (relative to the largest entry of the column)
+/// are treated as exact zeros, i.e. the matrix is reported singular.
+const PIVOT_TOL: f64 = 1e-300;
+
+impl Lu {
+    /// Factors `a` as `P A = L U`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is rectangular.
+    /// * [`LinalgError::Singular`] if a pivot vanishes.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                dims: (a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut pivots: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest |entry| in column k at/below row k.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best <= PIVOT_TOL {
+                return Err(LinalgError::Singular);
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                pivots.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    lu[(i, j)] -= factor * lu[(k, j)];
+                }
+            }
+        }
+        Ok(Lu { lu, pivots, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation.
+        let mut x: Vec<f64> = self.pivots.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit lower-triangular L.
+        for i in 1..n {
+            for j in 0..i {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the factored matrix.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a successfully constructed factorization, but keeps the
+    /// `Result` signature for uniformity with the other solvers.
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
+        let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(expect) {
+            assert!((xi - ei).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(a.lu().unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn determinant() {
+        let a = Matrix::from_rows(&[&[3.0, 8.0], &[4.0, 6.0]]).unwrap();
+        assert!((a.lu().unwrap().det() - (-14.0)).abs() < 1e-12);
+        // Permutation flips the sign correctly.
+        let p = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((p.lu().unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = a.inverse().unwrap();
+        let prod = &a * &inv;
+        let id = Matrix::identity(2);
+        assert!((&prod - &id).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_wrong_rhs_len() {
+        let a = Matrix::identity(3);
+        let lu = a.lu().unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+}

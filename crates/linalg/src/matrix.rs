@@ -1,0 +1,517 @@
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+use crate::{LinalgError, Lu};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// Sized for the small phase spaces of matrix-analytic queueing models;
+/// all operations are `O(n³)` or better with no attempt at blocking.
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_linalg::Matrix;
+///
+/// # fn main() -> Result<(), cyclesteal_linalg::LinalgError> {
+/// let a = Matrix::identity(3);
+/// let b = &a + &a;
+/// assert_eq!(b[(1, 1)], 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::RaggedRows`] if the rows have different lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        if rows.iter().any(|r| r.len() != ncols) {
+            return Err(LinalgError::RaggedRows);
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: wrong data length");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The flat row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Sum of each row, as a vector of length `rows`.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|i| self.row(i).iter().sum()).collect()
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Multiplies by a scalar, returning a new matrix.
+    pub fn scale(&self, k: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * k).collect(),
+        }
+    }
+
+    /// Matrix-vector product `self * v` (treating `v` as a column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "mul_vec: length mismatch");
+        (0..self.rows).map(|i| crate::dot(self.row(i), v)).collect()
+    }
+
+    /// Row-vector-matrix product `v * self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != rows`.
+    pub fn vec_mul(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "vec_mul: length mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, &m) in out.iter_mut().zip(self.row(i)) {
+                *o += vi * m;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols != rhs.rows`.
+    pub fn mul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "mul",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix, LinalgError> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op,
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular input and
+    /// [`LinalgError::Singular`] if a pivot vanishes.
+    pub fn lu(&self) -> Result<Lu, LinalgError> {
+        Lu::factor(self)
+    }
+
+    /// Solves `self * x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors (non-square or singular matrices).
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        self.lu()?.solve(b)
+    }
+
+    /// Solves `x * self = b` (a left, row-vector system).
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors (non-square or singular matrices).
+    pub fn solve_left(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        self.transpose().solve(b)
+    }
+
+    /// The matrix inverse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors (non-square or singular matrices).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        self.lu()?.inverse()
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|x| x.abs()).sum())
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).fold(0.0, f64::max)
+    }
+
+    /// Estimates the spectral radius by power iteration on `|A|`.
+    ///
+    /// Adequate for the nonnegative rate matrices `R` of QBD processes where
+    /// it certifies `sp(R) < 1`. Returns 0 for an empty matrix.
+    pub fn spectral_radius_estimate(&self, iters: usize) -> f64 {
+        if self.rows == 0 || !self.is_square() {
+            return 0.0;
+        }
+        let n = self.rows;
+        let mut v = vec![1.0 / n as f64; n];
+        let mut lambda = 0.0;
+        for _ in 0..iters {
+            let mut w = vec![0.0; n];
+            for i in 0..n {
+                for j in 0..n {
+                    w[i] += self[(i, j)].abs() * v[j];
+                }
+            }
+            let norm: f64 = w.iter().map(|x| x.abs()).fold(0.0, f64::max);
+            if norm == 0.0 {
+                return 0.0;
+            }
+            for x in &mut w {
+                *x /= norm;
+            }
+            lambda = norm;
+            v = w;
+        }
+        lambda
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:>12.6}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics on shape mismatch; use [`Matrix::add`] for a fallible version.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        Matrix::add(self, rhs).expect("matrix add: shape mismatch")
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics on shape mismatch; use [`Matrix::sub`] for a fallible version.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        Matrix::sub(self, rhs).expect("matrix sub: shape mismatch")
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics on shape mismatch; use [`Matrix::mul`] for a fallible version.
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        Matrix::mul(self, rhs).expect("matrix mul: shape mismatch")
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22(a: f64, b: f64, c: f64, d: f64) -> Matrix {
+        Matrix::from_rows(&[&[a, b], &[c, d]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_index() {
+        let m = Matrix::identity(3);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 0.0);
+        assert!(m.is_square());
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let r = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+        assert_eq!(r.unwrap_err(), LinalgError::RaggedRows);
+    }
+
+    #[test]
+    fn from_diag_places_entries() {
+        let m = Matrix::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(m[(1, 1)], 2.0);
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        let s = &a + &b;
+        assert_eq!(s, m22(6.0, 8.0, 10.0, 12.0));
+        let d = &b - &a;
+        assert_eq!(d, m22(4.0, 4.0, 4.0, 4.0));
+        let p = &a * &b;
+        assert_eq!(p, m22(19.0, 22.0, 43.0, 50.0));
+        assert_eq!((-&a)[(0, 0)], -1.0);
+        assert_eq!(a.scale(2.0)[(1, 1)], 8.0);
+    }
+
+    #[test]
+    fn mul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.mul(&b),
+            Err(LinalgError::DimensionMismatch { op: "mul", .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn vector_products() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(a.vec_mul(&[1.0, 1.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn row_sums_and_norms() {
+        let a = m22(1.0, -2.0, 3.0, 4.0);
+        assert_eq!(a.row_sums(), vec![-1.0, 7.0]);
+        assert_eq!(a.norm_inf(), 7.0);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn solve_left_row_system() {
+        // x * A = b  <=>  A^T x^T = b^T
+        let a = m22(2.0, 0.0, 1.0, 3.0);
+        let x = a.solve_left(&[5.0, 6.0]).unwrap();
+        let back = a.vec_mul(&x);
+        assert!((back[0] - 5.0).abs() < 1e-12);
+        assert!((back[1] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectral_radius_of_diagonal() {
+        let a = Matrix::from_diag(&[0.5, 0.9]);
+        let r = a.spectral_radius_estimate(100);
+        assert!((r - 0.9).abs() < 1e-9, "r = {r}");
+    }
+
+    #[test]
+    fn spectral_radius_zero_matrix() {
+        assert_eq!(Matrix::zeros(3, 3).spectral_radius_estimate(10), 0.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", Matrix::identity(2));
+        assert!(s.contains("Matrix 2x2"));
+    }
+}

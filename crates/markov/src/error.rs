@@ -1,0 +1,97 @@
+use std::error::Error;
+use std::fmt;
+
+use cyclesteal_linalg::LinalgError;
+
+/// Errors produced by the Markov-chain solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// A matrix that should be a generator (or generator block) is not:
+    /// wrong shape, negative off-diagonal entries, or inconsistent row sums.
+    InvalidGenerator {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The chain is not positive recurrent: the matrix-geometric tail does
+    /// not converge (`sp(R) ≥ 1`), typically because the modeled queue is
+    /// unstable.
+    Unstable {
+        /// Estimated spectral radius of `R`.
+        spectral_radius: f64,
+    },
+    /// A fixed-point iteration failed to converge.
+    NoConvergence {
+        /// Which algorithm failed.
+        what: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at the final iterate.
+        residual: f64,
+    },
+    /// An underlying linear-algebra failure (singular boundary system, ...).
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::InvalidGenerator { reason } => {
+                write!(f, "invalid generator: {reason}")
+            }
+            MarkovError::Unstable { spectral_radius } => write!(
+                f,
+                "chain is not positive recurrent (sp(R) = {spectral_radius:.6} >= 1)"
+            ),
+            MarkovError::NoConvergence {
+                what,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{what} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            MarkovError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for MarkovError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MarkovError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for MarkovError {
+    fn from(e: LinalgError) -> Self {
+        MarkovError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MarkovError::Unstable {
+            spectral_radius: 1.2,
+        };
+        assert!(e.to_string().contains("1.2"));
+        let e = MarkovError::from(LinalgError::Singular);
+        assert!(e.to_string().contains("singular"));
+        assert!(Error::source(&e).is_some());
+        let e = MarkovError::NoConvergence {
+            what: "logarithmic reduction",
+            iterations: 64,
+            residual: 0.5,
+        };
+        assert!(e.to_string().contains("64"));
+        let e = MarkovError::InvalidGenerator {
+            reason: "row 3".into(),
+        };
+        assert!(e.to_string().contains("row 3"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Markov-chain solvers for the cycle-stealing analysis.
+//!
+//! Two solvers live here:
+//!
+//! * [`ctmc`] — stationary distributions and killed-chain occupancy times for
+//!   *finite* continuous-time Markov chains. The CS-ID long-host
+//!   decomposition uses the killed-chain machinery to derive its setup-time
+//!   distribution.
+//! * [`qbd`] — the matrix-analytic (matrix-geometric) solver for
+//!   quasi-birth-death processes: chains that are infinite in one dimension
+//!   and repeat level-to-level, exactly the structure the paper obtains for
+//!   CS-CQ after replacing the long-job dynamics with busy-period
+//!   transitions. `R` is computed by Latouche–Ramaswami logarithmic
+//!   reduction (with a plain functional iteration available for
+//!   cross-checking), the boundary by a direct linear solve.
+//!
+//! # Example: M/M/1 as a one-phase QBD
+//!
+//! ```
+//! use cyclesteal_linalg::Matrix;
+//! use cyclesteal_markov::qbd::Qbd;
+//!
+//! # fn main() -> Result<(), cyclesteal_markov::MarkovError> {
+//! let (lambda, mu) = (0.6, 1.0);
+//! let qbd = Qbd::new(
+//!     Matrix::from_vec(1, 1, vec![-lambda]),       // boundary local
+//!     Matrix::from_vec(1, 1, vec![lambda]),        // boundary -> level 0
+//!     Matrix::from_vec(1, 1, vec![mu]),            // level 0 -> boundary
+//!     Matrix::from_vec(1, 1, vec![lambda]),        // up
+//!     Matrix::from_vec(1, 1, vec![-(lambda + mu)]),// local
+//!     Matrix::from_vec(1, 1, vec![mu]),            // down
+//! )?;
+//! let sol = qbd.solve()?;
+//! // P(idle) = 1 - rho
+//! assert!((sol.boundary()[0] - 0.4).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ctmc;
+mod error;
+pub mod qbd;
+
+pub use error::MarkovError;
+pub use qbd::{Qbd, QbdSolution};

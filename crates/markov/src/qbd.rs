@@ -1,0 +1,689 @@
+//! Quasi-birth-death processes and the matrix-analytic solver.
+//!
+//! A QBD is a CTMC on states `(level, phase)` whose generator repeats from
+//! some level onward:
+//!
+//! ```text
+//!        boundary   level 0   level 1   level 2  ...
+//! bdry  [  B00        B01                            ]
+//! lvl0  [  B10        A1        A0                   ]
+//! lvl1  [             A2        A1        A0         ]
+//! lvl2  [                       A2        A1     A0  ]
+//! ```
+//!
+//! The stationary vector has the matrix-geometric form `π_k = π_0 Rᵏ`, where
+//! `R` is the minimal nonnegative solution of `A0 + R A1 + R² A2 = 0`
+//! (Neuts). This module computes `R` via Latouche–Ramaswami logarithmic
+//! reduction (quadratically convergent) and solves the boundary by a direct
+//! linear system. The CS-CQ chain of the paper (Figure 2(b)) is exactly such
+//! a process with the number of short jobs as the level.
+
+use cyclesteal_linalg::Matrix;
+
+use crate::MarkovError;
+
+/// Relative tolerance for generator-consistency validation.
+const GEN_TOL: f64 = 1e-8;
+/// Convergence tolerance for the `R`/`G` fixed points.
+const FP_TOL: f64 = 1e-13;
+/// Iteration caps.
+const LR_MAX_ITER: usize = 128;
+const FI_MAX_ITER: usize = 200_000;
+/// Spectral radii above this are reported as unstable.
+const STABILITY_MARGIN: f64 = 1.0 - 1e-9;
+
+/// A quasi-birth-death process specification.
+///
+/// See the [module documentation](self) for the block layout. Row sums must
+/// be conservative: `[B00 B01]`, `[B10 A1 A0]`, and `[A2 A1 A0]` must each
+/// have zero row sums (which forces `B10` and `A2` to carry identical total
+/// down-rates per phase).
+#[derive(Debug, Clone)]
+pub struct Qbd {
+    b00: Matrix,
+    b01: Matrix,
+    b10: Matrix,
+    a0: Matrix,
+    a1: Matrix,
+    a2: Matrix,
+}
+
+/// Which algorithm computes `R`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RAlgorithm {
+    /// Latouche–Ramaswami logarithmic reduction (default; quadratic).
+    LogarithmicReduction,
+    /// Natural fixed-point iteration `R ← −(A0 + R²A2)A1⁻¹` (linear; kept
+    /// for cross-validation and ablation benchmarks).
+    FunctionalIteration,
+}
+
+impl Qbd {
+    /// Creates a QBD from its blocks, validating shapes and conservativity.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidGenerator`] if block shapes disagree, any
+    /// off-diagonal rate is negative, or row sums are not conservative.
+    pub fn new(
+        b00: Matrix,
+        b01: Matrix,
+        b10: Matrix,
+        a0: Matrix,
+        a1: Matrix,
+        a2: Matrix,
+    ) -> Result<Self, MarkovError> {
+        let nb = b00.rows();
+        let m = a1.rows();
+        let shape_ok = b00.cols() == nb
+            && b01.rows() == nb
+            && b01.cols() == m
+            && b10.rows() == m
+            && b10.cols() == nb
+            && a0.rows() == m
+            && a0.cols() == m
+            && a1.is_square()
+            && a2.rows() == m
+            && a2.cols() == m
+            && m > 0;
+        if !shape_ok {
+            return Err(MarkovError::InvalidGenerator {
+                reason: "QBD block shapes are inconsistent".into(),
+            });
+        }
+        let scale = [&b00, &b01, &b10, &a0, &a1, &a2]
+            .iter()
+            .map(|b| b.max_abs())
+            .fold(1.0, f64::max);
+
+        let nonneg = |mat: &Matrix, name: &str, skip_diag: bool| -> Result<(), MarkovError> {
+            for i in 0..mat.rows() {
+                for j in 0..mat.cols() {
+                    if skip_diag && i == j {
+                        continue;
+                    }
+                    if mat[(i, j)] < -GEN_TOL * scale {
+                        return Err(MarkovError::InvalidGenerator {
+                            reason: format!("negative rate in {name} at ({i},{j})"),
+                        });
+                    }
+                }
+            }
+            Ok(())
+        };
+        nonneg(&b00, "B00", true)?;
+        nonneg(&b01, "B01", false)?;
+        nonneg(&b10, "B10", false)?;
+        nonneg(&a0, "A0", false)?;
+        nonneg(&a1, "A1", true)?;
+        nonneg(&a2, "A2", false)?;
+
+        for i in 0..nb {
+            let s: f64 = b00.row(i).iter().sum::<f64>() + b01.row(i).iter().sum::<f64>();
+            if s.abs() > GEN_TOL * scale {
+                return Err(MarkovError::InvalidGenerator {
+                    reason: format!("boundary row {i} sums to {s}"),
+                });
+            }
+        }
+        for i in 0..m {
+            let s_rep: f64 = a0.row(i).iter().sum::<f64>()
+                + a1.row(i).iter().sum::<f64>()
+                + a2.row(i).iter().sum::<f64>();
+            if s_rep.abs() > GEN_TOL * scale {
+                return Err(MarkovError::InvalidGenerator {
+                    reason: format!("repeating row {i} sums to {s_rep}"),
+                });
+            }
+            let s_l0: f64 = a0.row(i).iter().sum::<f64>()
+                + a1.row(i).iter().sum::<f64>()
+                + b10.row(i).iter().sum::<f64>();
+            if s_l0.abs() > GEN_TOL * scale {
+                return Err(MarkovError::InvalidGenerator {
+                    reason: format!("level-0 row {i} sums to {s_l0}"),
+                });
+            }
+        }
+
+        Ok(Qbd {
+            b00,
+            b01,
+            b10,
+            a0,
+            a1,
+            a2,
+        })
+    }
+
+    /// Number of boundary states.
+    pub fn boundary_dim(&self) -> usize {
+        self.b00.rows()
+    }
+
+    /// Number of phases per repeating level.
+    pub fn phase_dim(&self) -> usize {
+        self.a1.rows()
+    }
+
+    /// Solves the QBD with the default `R` algorithm (logarithmic reduction).
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::Unstable`] if `sp(R) ≥ 1` (the chain is not positive
+    /// recurrent), [`MarkovError::NoConvergence`] if the `R` fixed point does
+    /// not converge, or [`MarkovError::Linalg`] on a singular boundary
+    /// system.
+    pub fn solve(&self) -> Result<QbdSolution, MarkovError> {
+        self.solve_with(RAlgorithm::LogarithmicReduction)
+    }
+
+    /// Solves the QBD with the requested `R` algorithm.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Qbd::solve`].
+    pub fn solve_with(&self, alg: RAlgorithm) -> Result<QbdSolution, MarkovError> {
+        if let Some(ratio) = self.drift_ratio() {
+            if ratio >= STABILITY_MARGIN {
+                return Err(MarkovError::Unstable {
+                    spectral_radius: ratio,
+                });
+            }
+        }
+        let r = match alg {
+            RAlgorithm::LogarithmicReduction => self.r_logarithmic_reduction()?,
+            RAlgorithm::FunctionalIteration => self.r_functional_iteration()?,
+        };
+        let sp = r.spectral_radius_estimate(200);
+        if sp >= STABILITY_MARGIN {
+            return Err(MarkovError::Unstable {
+                spectral_radius: sp,
+            });
+        }
+        self.boundary_solve(r)
+    }
+
+    /// Neuts' mean-drift ratio `(φ A0 1)/(φ A2 1)`, where `φ` is the
+    /// stationary law of the phase process `A = A0 + A1 + A2`; the QBD is
+    /// positive recurrent iff the ratio is below 1.
+    ///
+    /// Returns `None` when `φ` cannot be computed reliably (e.g. the phase
+    /// process is reducible in a way that defeats the linear solve); callers
+    /// then fall back to the spectral radius of `R`.
+    pub fn drift_ratio(&self) -> Option<f64> {
+        let a = self.a0.add(&self.a1).ok()?.add(&self.a2).ok()?;
+        let phi = crate::ctmc::stationary(&a).ok()?;
+        // A reducible phase process can yield signed "solutions"; accept the
+        // vector only if it is a genuine distribution.
+        if phi.iter().any(|p| *p < -1e-9) {
+            return None;
+        }
+        let up = cyclesteal_linalg::dot(&phi, &self.a0.row_sums());
+        let down = cyclesteal_linalg::dot(&phi, &self.a2.row_sums());
+        if down <= 0.0 {
+            return None;
+        }
+        Some(up / down)
+    }
+
+    /// Computes the first-passage matrix `G` by logarithmic reduction:
+    /// `G[i][j]` is the probability that, starting one level up in phase
+    /// `i`, the chain first enters the level below in phase `j`. `G` is
+    /// stochastic iff the down-direction is recurrent — i.e. row sums below
+    /// one are a certificate of instability.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Qbd::r_logarithmic_reduction`].
+    pub fn g_matrix(&self) -> Result<Matrix, MarkovError> {
+        self.logred_g()
+    }
+
+    /// Computes `R` by Latouche–Ramaswami logarithmic reduction: first the
+    /// matrix `G` (first-passage one level down), then
+    /// `R = A0 · (−(A1 + A0 G))⁻¹`.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::NoConvergence`] if the reduction stalls;
+    /// [`MarkovError::Linalg`] on singular intermediate systems.
+    pub fn r_logarithmic_reduction(&self) -> Result<Matrix, MarkovError> {
+        let g = self.logred_g()?;
+        let inner = self.a1.add(&self.a0.mul(&g)?)?;
+        Ok(self.a0.mul(&inner.scale(-1.0).inverse()?)?)
+    }
+
+    fn logred_g(&self) -> Result<Matrix, MarkovError> {
+        let m = self.phase_dim();
+        let id = Matrix::identity(m);
+        let neg_a1_inv = self.a1.scale(-1.0).inverse()?;
+        let mut h = neg_a1_inv.mul(&self.a0)?;
+        let mut l = neg_a1_inv.mul(&self.a2)?;
+        let mut g = l.clone();
+        let mut t = h.clone();
+
+        let mut converged = false;
+        let mut residual = f64::INFINITY;
+        for _ in 0..LR_MAX_ITER {
+            let u = h.mul(&l)?.add(&l.mul(&h)?)?;
+            let iu_inv = id.sub(&u)?.inverse()?;
+            let h2 = h.mul(&h)?;
+            let l2 = l.mul(&l)?;
+            h = iu_inv.mul(&h2)?;
+            l = iu_inv.mul(&l2)?;
+            let inc = t.mul(&l)?;
+            g = g.add(&inc)?;
+            t = t.mul(&h)?;
+            // Convergence is judged on the increment to G alone: in the
+            // transient (unstable-queue) case T tends to a positive limit
+            // while the increments T·L still vanish quadratically.
+            residual = inc.max_abs();
+            if !g.as_slice().iter().all(|x| x.is_finite())
+                || !t.as_slice().iter().all(|x| x.is_finite())
+            {
+                return Err(MarkovError::NoConvergence {
+                    what: "logarithmic reduction (diverged to non-finite values)",
+                    iterations: LR_MAX_ITER,
+                    residual: f64::INFINITY,
+                });
+            }
+            if residual < FP_TOL {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(MarkovError::NoConvergence {
+                what: "logarithmic reduction",
+                iterations: LR_MAX_ITER,
+                residual,
+            });
+        }
+        Ok(g)
+    }
+
+    /// Computes `R` by the natural functional iteration
+    /// `R ← −(A0 + R² A2) A1⁻¹` starting from zero.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::NoConvergence`] near instability (the iteration is only
+    /// linearly convergent); [`MarkovError::Linalg`] if `A1` is singular.
+    pub fn r_functional_iteration(&self) -> Result<Matrix, MarkovError> {
+        let m = self.phase_dim();
+        let neg_a1_inv = self.a1.scale(-1.0).inverse()?;
+        let mut r = Matrix::zeros(m, m);
+        let mut residual = f64::INFINITY;
+        for _ in 0..FI_MAX_ITER {
+            let next = self.a0.add(&r.mul(&r)?.mul(&self.a2)?)?.mul(&neg_a1_inv)?;
+            residual = next.sub(&r)?.max_abs();
+            r = next;
+            if !r.as_slice().iter().all(|x| x.is_finite()) {
+                break;
+            }
+            if residual < FP_TOL {
+                return Ok(r);
+            }
+        }
+        Err(MarkovError::NoConvergence {
+            what: "R functional iteration",
+            iterations: FI_MAX_ITER,
+            residual,
+        })
+    }
+
+    fn boundary_solve(&self, r: Matrix) -> Result<QbdSolution, MarkovError> {
+        let nb = self.boundary_dim();
+        let m = self.phase_dim();
+        let n = nb + m;
+
+        // F = [[B00, B01], [B10, A1 + R A2]]; solve x F = 0, x·w = 1 with
+        // w = [1, (I - R)^{-1} 1].
+        let level0_local = self.a1.add(&r.mul(&self.a2)?)?;
+        let mut f = Matrix::zeros(n, n);
+        for i in 0..nb {
+            for j in 0..nb {
+                f[(i, j)] = self.b00[(i, j)];
+            }
+            for j in 0..m {
+                f[(i, nb + j)] = self.b01[(i, j)];
+            }
+        }
+        for i in 0..m {
+            for j in 0..nb {
+                f[(nb + i, j)] = self.b10[(i, j)];
+            }
+            for j in 0..m {
+                f[(nb + i, nb + j)] = level0_local[(i, j)];
+            }
+        }
+
+        let id = Matrix::identity(m);
+        let i_minus_r_inv = id.sub(&r)?.inverse()?;
+        let tail_weights = i_minus_r_inv.mul_vec(&vec![1.0; m]);
+        let mut w = vec![1.0; nb];
+        w.extend_from_slice(&tail_weights);
+
+        // Transpose so unknowns form a column vector, then replace one
+        // balance equation (one row of F^T) with the normalization. Any
+        // single equation is redundant; verify by residual and retry with a
+        // different pivot if the first choice was numerically poor.
+        let ft = f.transpose();
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        for replace in [n - 1, 0] {
+            let mut sys = ft.clone();
+            for j in 0..n {
+                sys[(replace, j)] = w[j];
+            }
+            let mut rhs = vec![0.0; n];
+            rhs[replace] = 1.0;
+            let Ok(x) = sys.solve(&rhs) else { continue };
+            // Residual of the full homogeneous system (excluding the
+            // replaced equation, which is exact by construction).
+            let resid = f
+                .vec_mul(&x)
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != replace)
+                .map(|(_, v)| v.abs())
+                .fold(0.0, f64::max);
+            if best.as_ref().is_none_or(|(b, _)| resid < *b) {
+                best = Some((resid, x));
+            }
+            if resid < 1e-9 {
+                break;
+            }
+        }
+        let (_, x) = best.ok_or(MarkovError::Linalg(
+            cyclesteal_linalg::LinalgError::Singular,
+        ))?;
+
+        let boundary = x[..nb].to_vec();
+        let pi0 = x[nb..].to_vec();
+        Ok(QbdSolution {
+            boundary,
+            pi0,
+            r,
+            i_minus_r_inv,
+        })
+    }
+}
+
+/// The stationary solution of a [`Qbd`].
+#[derive(Debug, Clone)]
+pub struct QbdSolution {
+    boundary: Vec<f64>,
+    pi0: Vec<f64>,
+    r: Matrix,
+    i_minus_r_inv: Matrix,
+}
+
+impl QbdSolution {
+    /// Stationary probabilities of the boundary states.
+    pub fn boundary(&self) -> &[f64] {
+        &self.boundary
+    }
+
+    /// Stationary probability vector of repeating level 0.
+    pub fn pi0(&self) -> &[f64] {
+        &self.pi0
+    }
+
+    /// The rate matrix `R`.
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Stationary probability vector of repeating level `k` (`π_0 Rᵏ`).
+    pub fn pi_level(&self, k: usize) -> Vec<f64> {
+        let mut v = self.pi0.clone();
+        for _ in 0..k {
+            v = self.r.vec_mul(&v);
+        }
+        v
+    }
+
+    /// Per-phase probability mass summed over all repeating levels:
+    /// `π_0 (I − R)⁻¹`.
+    pub fn phase_mass(&self) -> Vec<f64> {
+        self.i_minus_r_inv.vec_mul(&self.pi0)
+    }
+
+    /// Total probability of the first `count` repeating levels,
+    /// `[π_0·1, π_1·1, …]` — computed with one `R`-multiplication per level.
+    pub fn level_masses(&self, count: usize) -> Vec<f64> {
+        let mut v = self.pi0.clone();
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(v.iter().sum());
+            v = self.r.vec_mul(&v);
+        }
+        out
+    }
+
+    /// Total probability in the repeating levels.
+    pub fn repeating_mass(&self) -> f64 {
+        self.phase_mass().iter().sum()
+    }
+
+    /// `Σ_k k · π_k · 1` over repeating levels (level index starting at 0):
+    /// `π_0 R (I − R)⁻² 1`.
+    pub fn expected_level_index(&self) -> f64 {
+        let ones = vec![1.0; self.pi0.len()];
+        let t1 = self.i_minus_r_inv.mul_vec(&ones);
+        let t2 = self.i_minus_r_inv.mul_vec(&t1);
+        let rt = self.r.mul_vec(&t2);
+        cyclesteal_linalg::dot(&self.pi0, &rt)
+    }
+
+    /// Total probability mass (boundary + repeating); should be 1 and is
+    /// exposed so callers can assert numerical health.
+    pub fn total_mass(&self) -> f64 {
+        self.boundary.iter().sum::<f64>() + self.repeating_mass()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m1(v: f64) -> Matrix {
+        Matrix::from_vec(1, 1, vec![v])
+    }
+
+    fn mm1(lambda: f64, mu: f64) -> Qbd {
+        Qbd::new(
+            m1(-lambda),
+            m1(lambda),
+            m1(mu),
+            m1(lambda),
+            m1(-(lambda + mu)),
+            m1(mu),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mm1_matches_closed_form() {
+        let (lambda, mu) = (0.7, 1.0);
+        let rho: f64 = lambda / mu;
+        let sol = mm1(lambda, mu).solve().unwrap();
+        assert!((sol.boundary()[0] - (1.0 - rho)).abs() < 1e-10);
+        assert!((sol.r()[(0, 0)] - rho).abs() < 1e-10);
+        // pi_k here is the prob of k+1 jobs; E[N] = rho/(1-rho).
+        let e_n = sol.repeating_mass() + sol.expected_level_index();
+        assert!((e_n - rho / (1.0 - rho)).abs() < 1e-9, "E[N] = {e_n}");
+        assert!((sol.total_mass() - 1.0).abs() < 1e-10);
+        // Geometric levels.
+        let p3 = sol.pi_level(2)[0];
+        assert!((p3 - (1.0 - rho) * rho.powi(3)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn g_matrix_is_stochastic_when_stable() {
+        let g = mm1(0.7, 1.0).g_matrix().unwrap();
+        assert!((g[(0, 0)] - 1.0).abs() < 1e-12);
+        // Unstable: G is strictly substochastic (first passage down may
+        // never happen). For M/M/1, G = mu/lambda < 1.
+        let g = mm1(1.5, 1.0).g_matrix().unwrap();
+        assert!((g[(0, 0)] - 1.0 / 1.5).abs() < 1e-10, "{}", g[(0, 0)]);
+    }
+
+    #[test]
+    fn g_matrix_rows_for_mph1() {
+        // For M/PH/1 the level-down passage leaves the chain in the phase
+        // chosen by the next job's initial vector: every row of G equals
+        // alpha = (1, 0) for a Coxian started in stage 1.
+        let lambda = 0.5;
+        let (c_mu1, c_p, c_mu2) = (2.0, 0.6, 0.5);
+        let exit = [c_mu1 * (1.0 - c_p), c_mu2];
+        let a0 = Matrix::from_diag(&[lambda, lambda]);
+        let t = Matrix::from_rows(&[&[-c_mu1, c_p * c_mu1], &[0.0, -c_mu2]]).unwrap();
+        let mut a1 = t;
+        for i in 0..2 {
+            a1[(i, i)] -= lambda;
+        }
+        let mut a2 = Matrix::zeros(2, 2);
+        for i in 0..2 {
+            a2[(i, 0)] = exit[i]; // alpha = e_1
+        }
+        let b00 = m1(-lambda);
+        let b01 = Matrix::from_vec(1, 2, vec![lambda, 0.0]);
+        let b10 = Matrix::from_vec(2, 1, vec![exit[0], exit[1]]);
+        let qbd = Qbd::new(b00, b01, b10, a0, a1, a2).unwrap();
+        let g = qbd.g_matrix().unwrap();
+        for i in 0..2 {
+            assert!((g[(i, 0)] - 1.0).abs() < 1e-12, "row {i}: {:?}", g.row(i));
+            assert!(g[(i, 1)].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn both_r_algorithms_agree() {
+        let q = mm1(0.9, 1.0);
+        let r1 = q.r_logarithmic_reduction().unwrap();
+        let r2 = q.r_functional_iteration().unwrap();
+        assert!((&r1 - &r2).max_abs() < 1e-10);
+        let s1 = q.solve_with(RAlgorithm::LogarithmicReduction).unwrap();
+        let s2 = q.solve_with(RAlgorithm::FunctionalIteration).unwrap();
+        assert!((s1.boundary()[0] - s2.boundary()[0]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mm2_matches_erlang_c() {
+        // M/M/2: boundary = {0 jobs, 1 job}, repeating level k = k+2 jobs.
+        let (lambda, mu) = (1.2, 1.0);
+        let rho: f64 = lambda / (2.0 * mu); // 0.6
+        let b00 = Matrix::from_rows(&[&[-lambda, lambda], &[mu, -(lambda + mu)]]).unwrap();
+        let b01 = Matrix::from_vec(2, 1, vec![0.0, lambda]);
+        let b10 = Matrix::from_vec(1, 2, vec![0.0, 2.0 * mu]);
+        let qbd = Qbd::new(
+            b00,
+            b01,
+            b10,
+            m1(lambda),
+            m1(-(lambda + 2.0 * mu)),
+            m1(2.0 * mu),
+        )
+        .unwrap();
+        let sol = qbd.solve().unwrap();
+        // Closed form: p0 = (1-rho)/(1+rho).
+        let p0 = (1.0 - rho) / (1.0 + rho);
+        assert!((sol.boundary()[0] - p0).abs() < 1e-10);
+        // E[N] = 2 rho + rho (2 rho)^2 p0 / (2 (1-rho)^2) -- from Erlang C:
+        // E[N] = 2 rho + C(2, a) rho/(1-rho), with C the Erlang-C probability.
+        let c = (2.0 * rho * rho / (1.0 + rho)) / (1.0 - rho) * (1.0 - rho) / 1.0;
+        // C(2,a) for M/M/2 = 2 rho^2/(1+rho).
+        let erlang_c = 2.0 * rho * rho / (1.0 + rho);
+        let want = 2.0 * rho + erlang_c * rho / (1.0 - rho);
+        let _ = c;
+        let e_n = 1.0 * sol.boundary()[1] + 2.0 * sol.repeating_mass() + sol.expected_level_index();
+        assert!((e_n - want).abs() < 1e-9, "E[N] = {e_n} vs {want}");
+    }
+
+    #[test]
+    fn unstable_chain_reported() {
+        let err = mm1(1.5, 1.0).solve().unwrap_err();
+        assert!(matches!(err, MarkovError::Unstable { .. }), "{err}");
+    }
+
+    #[test]
+    fn critically_loaded_chain_reported_unstable() {
+        let err = mm1(1.0, 1.0).solve();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn invalid_blocks_rejected() {
+        // Row sums broken: B01 carries the wrong rate.
+        let r = Qbd::new(m1(-1.0), m1(2.0), m1(1.0), m1(1.0), m1(-2.0), m1(1.0));
+        assert!(matches!(r, Err(MarkovError::InvalidGenerator { .. })));
+        // Negative off-diagonal rate.
+        let r = Qbd::new(m1(-1.0), m1(1.0), m1(-1.0), m1(1.0), m1(-2.0), m1(1.0));
+        assert!(r.is_err());
+        // Shape mismatch.
+        let r = Qbd::new(
+            Matrix::zeros(2, 2),
+            Matrix::zeros(2, 1),
+            Matrix::zeros(1, 1),
+            m1(1.0),
+            m1(-2.0),
+            m1(1.0),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn mph1_matches_pollaczek_khinchine() {
+        // M/PH/1 with a 2-phase Coxian service law, validated against the
+        // P-K mean formula -- exercises multi-phase R and boundary logic.
+        let lambda = 0.4;
+        // Coxian: mu1 = 2, p = 0.6, mu2 = 0.5.
+        let (c_mu1, c_p, c_mu2) = (2.0, 0.6, 0.5);
+        // Moments (via reduced-moment recurrences).
+        let (a, b) = (1.0 / c_mu1, 1.0 / c_mu2);
+        let t1 = a + c_p * b;
+        let t2 = (a + b) * t1 - a * b;
+        let mean = t1;
+        let m2 = 2.0 * t2;
+        let rho = lambda * mean;
+
+        let alpha = [1.0, 0.0];
+        let t = Matrix::from_rows(&[&[-c_mu1, c_p * c_mu1], &[0.0, -c_mu2]]).unwrap();
+        let exit = [c_mu1 * (1.0 - c_p), c_mu2];
+
+        // Level = number of jobs; phases = service phase of the job in
+        // service. Boundary = empty system (1 state).
+        let a0 = Matrix::from_diag(&[lambda, lambda]);
+        let mut a1 = t.clone();
+        for i in 0..2 {
+            a1[(i, i)] -= lambda;
+        }
+        let mut a2 = Matrix::zeros(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                a2[(i, j)] = exit[i] * alpha[j];
+            }
+        }
+        let b00 = m1(-lambda);
+        let b01 = Matrix::from_vec(1, 2, vec![lambda * alpha[0], lambda * alpha[1]]);
+        let b10 = Matrix::from_vec(2, 1, vec![exit[0], exit[1]]);
+        let qbd = Qbd::new(b00, b01, b10, a0, a1, a2).unwrap();
+        let sol = qbd.solve().unwrap();
+
+        // P-K: E[N] = rho + lambda^2 E[X^2] / (2 (1 - rho)).
+        let want = rho + lambda * lambda * m2 / (2.0 * (1.0 - rho));
+        let e_n = sol.repeating_mass() + sol.expected_level_index();
+        assert!((e_n - want).abs() < 1e-8, "E[N] = {e_n} vs P-K {want}");
+        assert!((sol.boundary()[0] - (1.0 - rho)).abs() < 1e-9);
+        assert!((sol.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_load_still_accurate() {
+        // rho = 0.99: near-saturation numerical stress.
+        let sol = mm1(0.99, 1.0).solve().unwrap();
+        let e_n = sol.repeating_mass() + sol.expected_level_index();
+        assert!((e_n - 99.0).abs() < 1e-5, "E[N] = {e_n}");
+    }
+}

@@ -1,0 +1,597 @@
+//! Closed-form queueing formulas used as baselines and limiting-case
+//! validators in the cycle-stealing analysis:
+//!
+//! * [`mm1`] — the M/M/1 queue.
+//! * [`mg1`] — the M/G/1 queue (Pollaczek–Khinchine) and the **M/G/1 queue
+//!   with setup time** (Takagi, *Queueing Analysis* Vol. 1), which is how the
+//!   paper computes long-job response times: the first long job of a busy
+//!   period may have to wait for a short job occupying the long host.
+//! * [`mmc`] — the M/M/c queue (Erlang-C); the paper validates the CS-CQ
+//!   chain against M/M/2 in the `λ_L → 0` limit.
+//!
+//! All formulas take [`Moments3`] where a general service law is allowed, so
+//! they compose directly with the busy-period calculus and moment matching
+//! in `cyclesteal-dist`.
+
+#![warn(missing_docs)]
+
+use cyclesteal_dist::{DistError, Moments3};
+
+/// Errors from the closed-form formulas (re-exported from
+/// `cyclesteal-dist`, since the failure modes are the same: bad parameters
+/// or an unstable queue).
+pub type Mg1Error = DistError;
+
+/// M/M/1 formulas.
+pub mod mm1 {
+    use super::*;
+
+    /// Mean response time (sojourn) of an M/M/1 queue: `1/(μ − λ)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Mg1Error::NonPositive`] for nonpositive rates;
+    /// [`Mg1Error::Inconsistent`] if `λ ≥ μ`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let t = cyclesteal_mg1::mm1::mean_response(0.5, 1.0)?;
+    /// assert!((t - 2.0).abs() < 1e-12);
+    /// # Ok::<(), cyclesteal_mg1::Mg1Error>(())
+    /// ```
+    pub fn mean_response(lambda: f64, mu: f64) -> Result<f64, Mg1Error> {
+        check_rates(lambda, mu)?;
+        Ok(1.0 / (mu - lambda))
+    }
+
+    /// Mean waiting time (time in queue) of an M/M/1: `ρ/(μ − λ)`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`mean_response`].
+    pub fn mean_wait(lambda: f64, mu: f64) -> Result<f64, Mg1Error> {
+        check_rates(lambda, mu)?;
+        Ok(lambda / (mu * (mu - lambda)))
+    }
+
+    /// Mean number in system: `ρ/(1 − ρ)`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`mean_response`].
+    pub fn mean_number(lambda: f64, mu: f64) -> Result<f64, Mg1Error> {
+        check_rates(lambda, mu)?;
+        let rho = lambda / mu;
+        Ok(rho / (1.0 - rho))
+    }
+
+    fn check_rates(lambda: f64, mu: f64) -> Result<(), Mg1Error> {
+        if !(lambda > 0.0 && lambda.is_finite()) {
+            return Err(Mg1Error::NonPositive {
+                what: "lambda",
+                value: lambda,
+            });
+        }
+        if !(mu > 0.0 && mu.is_finite()) {
+            return Err(Mg1Error::NonPositive {
+                what: "mu",
+                value: mu,
+            });
+        }
+        if lambda >= mu {
+            return Err(Mg1Error::Inconsistent {
+                reason: "M/M/1 requires lambda < mu",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// M/G/1 formulas (Pollaczek–Khinchine and the setup-time variant).
+pub mod mg1 {
+    use super::*;
+    use cyclesteal_dist::Ph;
+
+    /// Pollaczek–Khinchine mean waiting time:
+    /// `E[W] = λ E[X²] / (2(1 − ρ))`.
+    ///
+    /// # Errors
+    ///
+    /// [`Mg1Error::NonPositive`] if `λ ≤ 0`;
+    /// [`Mg1Error::Inconsistent`] if `ρ = λE[X] ≥ 1`.
+    ///
+    /// # Examples
+    ///
+    /// For exponential service this reduces to the M/M/1 value:
+    ///
+    /// ```
+    /// use cyclesteal_dist::Moments3;
+    ///
+    /// let job = Moments3::exponential(1.0)?;
+    /// let w = cyclesteal_mg1::mg1::mean_wait(0.5, job)?;
+    /// assert!((w - 1.0).abs() < 1e-12); // rho/(mu - lambda) = 0.5/0.5
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn mean_wait(lambda: f64, job: Moments3) -> Result<f64, Mg1Error> {
+        check_stable(lambda, job)?;
+        let rho = lambda * job.mean();
+        Ok(lambda * job.m2() / (2.0 * (1.0 - rho)))
+    }
+
+    /// Mean response time `E[T] = E[X] + E[W]`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`mean_wait`].
+    pub fn mean_response(lambda: f64, job: Moments3) -> Result<f64, Mg1Error> {
+        Ok(job.mean() + mean_wait(lambda, job)?)
+    }
+
+    /// Mean number in system via Little's law: `E[N] = λ E[T]`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`mean_wait`].
+    pub fn mean_number(lambda: f64, job: Moments3) -> Result<f64, Mg1Error> {
+        Ok(lambda * mean_response(lambda, job)?)
+    }
+
+    /// Second moment of the FCFS waiting time (Takagi):
+    /// `E[W²] = 2 E[W]² + λ E[X³] / (3(1 − ρ))`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`mean_wait`].
+    ///
+    /// # Examples
+    ///
+    /// For M/M/1, `W` is zero w.p. `1−ρ` and `Exp(μ−λ)` otherwise, so
+    /// `E[W²] = 2ρ/(μ−λ)²`:
+    ///
+    /// ```
+    /// use cyclesteal_dist::Moments3;
+    ///
+    /// let job = Moments3::exponential(1.0)?;
+    /// let w2 = cyclesteal_mg1::mg1::wait_second_moment(0.5, job)?;
+    /// assert!((w2 - 2.0 * 0.5 / 0.25).abs() < 1e-12);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn wait_second_moment(lambda: f64, job: Moments3) -> Result<f64, Mg1Error> {
+        let w1 = mean_wait(lambda, job)?;
+        let rho = lambda * job.mean();
+        Ok(2.0 * w1 * w1 + lambda * job.m3() / (3.0 * (1.0 - rho)))
+    }
+
+    /// Variance of the FCFS response time `T = W + X` (waiting and service
+    /// are independent in M/G/1 FCFS).
+    ///
+    /// # Errors
+    ///
+    /// As for [`mean_wait`].
+    pub fn response_variance(lambda: f64, job: Moments3) -> Result<f64, Mg1Error> {
+        let w1 = mean_wait(lambda, job)?;
+        let w2 = wait_second_moment(lambda, job)?;
+        let var_w = w2 - w1 * w1;
+        Ok(var_w + job.variance())
+    }
+
+    /// The full stationary FCFS **waiting-time distribution** of an M/PH/1
+    /// queue, as a phase-type distribution with an atom `1 − ρ` at zero.
+    ///
+    /// Classical ladder-height result (Neuts/Asmussen): for PH service
+    /// `(β, S)` with exit vector `s⃗`, the workload — and by PASTA the FCFS
+    /// waiting time — satisfies `P(W > x) = η e^{(S + s⃗η)x} 1` with
+    /// `η = λ β (−S)⁻¹`. Exact, no transform inversion, and it composes
+    /// with [`cyclesteal_dist::Ph::cdf`] for percentile queries.
+    ///
+    /// # Errors
+    ///
+    /// [`Mg1Error::NonPositive`]/[`Mg1Error::Inconsistent`] for invalid
+    /// `lambda` or `ρ ≥ 1`.
+    ///
+    /// # Examples
+    ///
+    /// For M/M/1 the conditional wait is `Exp(μ−λ)`:
+    ///
+    /// ```
+    /// use cyclesteal_dist::{Distribution, Ph};
+    ///
+    /// let job = Ph::exponential(1.0)?;
+    /// let w = cyclesteal_mg1::mg1::wait_distribution(0.5, &job)?;
+    /// // P(W > x) = rho e^{-(mu-lambda)x}
+    /// let want = 0.5 * (-0.5f64 * 2.0).exp();
+    /// assert!((w.survival(2.0) - want).abs() < 1e-10);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn wait_distribution(lambda: f64, job: &Ph) -> Result<Ph, Mg1Error> {
+        use cyclesteal_dist::Distribution as _;
+        check_stable(lambda, job.moments())?;
+        let n = job.dim();
+        // eta = lambda * beta * (-S)^{-1}: solve on the transpose.
+        let neg_s_t = job.subgenerator().scale(-1.0).transpose();
+        let beta: Vec<f64> = job.initial().to_vec();
+        let eta: Vec<f64> = neg_s_t
+            .solve(&beta)
+            .map_err(|_| Mg1Error::Inconsistent {
+                reason: "service sub-generator is singular",
+            })?
+            .iter()
+            .map(|x| lambda * x)
+            .collect();
+        // T_W = S + s eta.
+        let mut t = job.subgenerator().clone();
+        for i in 0..n {
+            for j in 0..n {
+                t[(i, j)] += job.exit_rates()[i] * eta[j];
+            }
+        }
+        Ph::new(eta, t).map_err(|_| Mg1Error::Inconsistent {
+            reason: "waiting-time PH construction failed",
+        })
+    }
+
+    /// The full stationary FCFS **response-time distribution** of an M/PH/1
+    /// queue: the waiting-time law of [`wait_distribution`] convolved with
+    /// an independent service time.
+    ///
+    /// # Errors
+    ///
+    /// As for [`wait_distribution`].
+    pub fn response_distribution(lambda: f64, job: &Ph) -> Result<Ph, Mg1Error> {
+        let w = wait_distribution(lambda, job)?;
+        w.convolve(job).map_err(|_| Mg1Error::Inconsistent {
+            reason: "response-time PH construction failed",
+        })
+    }
+
+    /// Mean waiting time in an M/G/1 queue with a *setup time*: whenever a
+    /// busy period begins, the first customer additionally waits for an
+    /// independent setup `K` (given by its first two moments). Takagi's
+    /// formula, as used in the paper:
+    ///
+    /// ```text
+    /// E[W] = λE[X²]/(2(1−ρ)) + (2E[K] + λE[K²]) / (2(1 + λE[K]))
+    /// ```
+    ///
+    /// This is exactly the long-job view under cycle stealing: `K` is the
+    /// residual of a short job occupying the long host, and is zero with the
+    /// probability that the busy-period-starting long arrives to a free
+    /// host.
+    ///
+    /// # Errors
+    ///
+    /// As for [`mean_wait`], plus [`Mg1Error::InfeasibleMoments`] if the
+    /// setup moments are negative or violate `E[K²] ≥ E[K]²`.
+    pub fn mean_wait_with_setup(
+        lambda: f64,
+        job: Moments3,
+        setup_m1: f64,
+        setup_m2: f64,
+    ) -> Result<f64, Mg1Error> {
+        check_stable(lambda, job)?;
+        if setup_m1 < 0.0 || setup_m2 < 0.0 || !setup_m1.is_finite() || !setup_m2.is_finite() {
+            return Err(Mg1Error::InfeasibleMoments {
+                reason: "setup moments must be nonnegative and finite",
+            });
+        }
+        if setup_m2 < setup_m1 * setup_m1 * (1.0 - 1e-9) {
+            return Err(Mg1Error::InfeasibleMoments {
+                reason: "setup moments violate E[K^2] >= E[K]^2",
+            });
+        }
+        let rho = lambda * job.mean();
+        let pk = lambda * job.m2() / (2.0 * (1.0 - rho));
+        let setup = (2.0 * setup_m1 + lambda * setup_m2) / (2.0 * (1.0 + lambda * setup_m1));
+        Ok(pk + setup)
+    }
+
+    /// Mean response time of the M/G/1 queue with setup.
+    ///
+    /// # Errors
+    ///
+    /// As for [`mean_wait_with_setup`].
+    pub fn mean_response_with_setup(
+        lambda: f64,
+        job: Moments3,
+        setup_m1: f64,
+        setup_m2: f64,
+    ) -> Result<f64, Mg1Error> {
+        Ok(job.mean() + mean_wait_with_setup(lambda, job, setup_m1, setup_m2)?)
+    }
+
+    fn check_stable(lambda: f64, job: Moments3) -> Result<(), Mg1Error> {
+        if !(lambda > 0.0 && lambda.is_finite()) {
+            return Err(Mg1Error::NonPositive {
+                what: "lambda",
+                value: lambda,
+            });
+        }
+        if lambda * job.mean() >= 1.0 {
+            return Err(Mg1Error::Inconsistent {
+                reason: "M/G/1 requires rho < 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// M/M/c formulas (Erlang-C).
+pub mod mmc {
+    use super::*;
+
+    /// The Erlang-C probability that an arrival must wait in an M/M/c queue.
+    ///
+    /// # Errors
+    ///
+    /// [`Mg1Error::NonPositive`] for bad rates or `c == 0`;
+    /// [`Mg1Error::Inconsistent`] if `λ ≥ cμ`.
+    pub fn erlang_c(c: u32, lambda: f64, mu: f64) -> Result<f64, Mg1Error> {
+        check(c, lambda, mu)?;
+        let a = lambda / mu; // offered load
+        let rho = a / c as f64;
+        // Sum_{k<c} a^k/k!, computed iteratively; afterwards term == a^c/c!.
+        let mut term = 1.0;
+        let mut sum = 0.0;
+        for k in 0..c {
+            sum += term;
+            term *= a / (k + 1) as f64;
+        }
+        let pc = term / (1.0 - rho);
+        Ok(pc / (sum + pc))
+    }
+
+    /// Mean waiting time in an M/M/c queue: `E[W] = C(c, a) / (cμ − λ)`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`erlang_c`].
+    pub fn mean_wait(c: u32, lambda: f64, mu: f64) -> Result<f64, Mg1Error> {
+        let pc = erlang_c(c, lambda, mu)?;
+        Ok(pc / (c as f64 * mu - lambda))
+    }
+
+    /// Mean response time `E[T] = 1/μ + E[W]`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`erlang_c`].
+    ///
+    /// # Examples
+    ///
+    /// The CS-CQ analysis must converge to this as `λ_L → 0` (the paper's
+    /// first limiting-case validation):
+    ///
+    /// ```
+    /// let t = cyclesteal_mg1::mmc::mean_response(2, 1.0, 1.0)?;
+    /// assert!((t - 4.0 / 3.0).abs() < 1e-12); // M/M/2 at rho = 0.5
+    /// # Ok::<(), cyclesteal_mg1::Mg1Error>(())
+    /// ```
+    pub fn mean_response(c: u32, lambda: f64, mu: f64) -> Result<f64, Mg1Error> {
+        Ok(1.0 / mu + mean_wait(c, lambda, mu)?)
+    }
+
+    /// Mean number in system via Little's law.
+    ///
+    /// # Errors
+    ///
+    /// As for [`erlang_c`].
+    pub fn mean_number(c: u32, lambda: f64, mu: f64) -> Result<f64, Mg1Error> {
+        Ok(lambda * mean_response(c, lambda, mu)?)
+    }
+
+    fn check(c: u32, lambda: f64, mu: f64) -> Result<(), Mg1Error> {
+        if c == 0 {
+            return Err(Mg1Error::NonPositive {
+                what: "server count",
+                value: 0.0,
+            });
+        }
+        if !(lambda > 0.0 && lambda.is_finite()) {
+            return Err(Mg1Error::NonPositive {
+                what: "lambda",
+                value: lambda,
+            });
+        }
+        if !(mu > 0.0 && mu.is_finite()) {
+            return Err(Mg1Error::NonPositive {
+                what: "mu",
+                value: mu,
+            });
+        }
+        if lambda >= c as f64 * mu {
+            return Err(Mg1Error::Inconsistent {
+                reason: "M/M/c requires lambda < c mu",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_known_values() {
+        assert!((mm1::mean_response(0.5, 1.0).unwrap() - 2.0).abs() < 1e-12);
+        assert!((mm1::mean_wait(0.5, 1.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((mm1::mean_number(0.5, 1.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!(mm1::mean_response(1.0, 1.0).is_err());
+        assert!(mm1::mean_response(-1.0, 1.0).is_err());
+        assert!(mm1::mean_response(0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn pk_reduces_to_mm1_for_exponential() {
+        let job = Moments3::exponential(0.5).unwrap();
+        let w_pk = mg1::mean_wait(1.0, job).unwrap();
+        let w_mm1 = mm1::mean_wait(1.0, 2.0).unwrap();
+        assert!((w_pk - w_mm1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pk_grows_with_variability() {
+        let lo = Moments3::deterministic(1.0).unwrap();
+        let mid = Moments3::exponential(1.0).unwrap();
+        let hi = Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap();
+        let w_lo = mg1::mean_wait(0.5, lo).unwrap();
+        let w_mid = mg1::mean_wait(0.5, mid).unwrap();
+        let w_hi = mg1::mean_wait(0.5, hi).unwrap();
+        assert!(w_lo < w_mid && w_mid < w_hi);
+        // Deterministic is exactly half the exponential wait.
+        assert!((w_lo - 0.5 * w_mid).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pk_rejects_unstable() {
+        let job = Moments3::exponential(1.0).unwrap();
+        assert!(mg1::mean_wait(1.0, job).is_err());
+        assert!(mg1::mean_wait(1.5, job).is_err());
+    }
+
+    #[test]
+    fn mm1_response_variance_closed_form() {
+        // M/M/1 FCFS response is Exp(mu - lambda): variance 1/(mu-lambda)^2.
+        let job = Moments3::exponential(1.0).unwrap();
+        for rho in [0.2, 0.5, 0.8] {
+            let v = mg1::response_variance(rho, job).unwrap();
+            let want = 1.0 / ((1.0 - rho) * (1.0 - rho));
+            assert!((v - want).abs() < 1e-10, "rho {rho}: {v} vs {want}");
+        }
+    }
+
+    #[test]
+    fn wait_second_moment_grows_with_variability() {
+        let lo = Moments3::exponential(1.0).unwrap();
+        let hi = Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap();
+        let a = mg1::wait_second_moment(0.5, lo).unwrap();
+        let b = mg1::wait_second_moment(0.5, hi).unwrap();
+        assert!(b > 3.0 * a);
+        assert!(mg1::wait_second_moment(1.5, lo).is_err());
+    }
+
+    #[test]
+    fn setup_zero_reduces_to_pk() {
+        let job = Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap();
+        let w0 = mg1::mean_wait_with_setup(0.5, job, 0.0, 0.0).unwrap();
+        let pk = mg1::mean_wait(0.5, job).unwrap();
+        assert!((w0 - pk).abs() < 1e-12);
+    }
+
+    #[test]
+    fn setup_increases_wait_monotonically() {
+        let job = Moments3::exponential(1.0).unwrap();
+        // K = Exp(mean k): E[K] = k, E[K^2] = 2k^2.
+        let mut prev = mg1::mean_wait_with_setup(0.5, job, 0.0, 0.0).unwrap();
+        for k in [0.1, 0.5, 1.0, 2.0] {
+            let w = mg1::mean_wait_with_setup(0.5, job, k, 2.0 * k * k).unwrap();
+            assert!(w > prev);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn setup_moment_validation() {
+        let job = Moments3::exponential(1.0).unwrap();
+        assert!(mg1::mean_wait_with_setup(0.5, job, -1.0, 1.0).is_err());
+        assert!(mg1::mean_wait_with_setup(0.5, job, 2.0, 1.0).is_err());
+        assert!(mg1::mean_wait_with_setup(0.5, job, f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn setup_known_value_mm1_with_exp_setup() {
+        // M/M/1 with exponential setup, lambda = 0.5, mu = 1, E[K] = 1:
+        // E[W] = 0.5*2/(2*0.5) + (2*1 + 0.5*2)/(2*(1+0.5)) = 1 + 1 = 2.
+        let job = Moments3::exponential(1.0).unwrap();
+        let w = mg1::mean_wait_with_setup(0.5, job, 1.0, 2.0).unwrap();
+        assert!((w - 2.0).abs() < 1e-12, "w = {w}");
+    }
+
+    #[test]
+    fn wait_distribution_mm1_closed_form() {
+        use cyclesteal_dist::{Distribution, Ph};
+        let job = Ph::exponential(1.0).unwrap();
+        let w = mg1::wait_distribution(0.7, &job).unwrap();
+        // Mean matches P-K; full survival matches rho e^{-(mu-lambda)x}.
+        let pk = mg1::mean_wait(0.7, job.moments()).unwrap();
+        assert!((w.mean() - pk).abs() < 1e-10);
+        for x in [0.0f64, 0.5, 2.0, 5.0] {
+            let want = 0.7 * (-0.3 * x).exp();
+            assert!((w.survival(x) - want).abs() < 1e-9, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn wait_distribution_matches_pk_for_hyperexponential() {
+        use cyclesteal_dist::{Distribution, HyperExp2};
+        let job = HyperExp2::balanced_means(1.0, 8.0).unwrap().to_ph();
+        let w = mg1::wait_distribution(0.6, &job).unwrap();
+        let pk1 = mg1::mean_wait(0.6, job.moments()).unwrap();
+        let pk2 = mg1::wait_second_moment(0.6, job.moments()).unwrap();
+        assert!((w.mean() - pk1).abs() / pk1 < 1e-9, "{} vs {pk1}", w.mean());
+        assert!((w.moment2() - pk2).abs() / pk2 < 1e-9);
+        // Atom at zero = 1 - rho.
+        let atom = 1.0 - w.cdf(0.0);
+        let _ = atom; // cdf(0) includes the atom:
+        assert!((w.cdf(0.0) - 0.4).abs() < 1e-9, "{}", w.cdf(0.0));
+    }
+
+    #[test]
+    fn response_distribution_mm1_is_exponential() {
+        use cyclesteal_dist::{Distribution, Ph};
+        let job = Ph::exponential(1.0).unwrap();
+        let t = mg1::response_distribution(0.5, &job).unwrap();
+        // M/M/1 FCFS response ~ Exp(mu - lambda).
+        assert!((t.mean() - 2.0).abs() < 1e-10);
+        for x in [0.3f64, 1.0, 4.0] {
+            let want = 1.0 - (-0.5 * x).exp();
+            assert!((t.cdf(x) - want).abs() < 1e-9, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn response_distribution_rejects_unstable() {
+        use cyclesteal_dist::Ph;
+        let job = Ph::exponential(1.0).unwrap();
+        assert!(mg1::wait_distribution(1.0, &job).is_err());
+        assert!(mg1::response_distribution(1.5, &job).is_err());
+    }
+
+    #[test]
+    fn erlang_c_known_values() {
+        // M/M/1: C = rho.
+        assert!((mmc::erlang_c(1, 0.3, 1.0).unwrap() - 0.3).abs() < 1e-12);
+        // M/M/2 at rho = 0.5: C = 2 rho^2/(1+rho) = 1/3.
+        assert!((mmc::erlang_c(2, 1.0, 1.0).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmc_reduces_to_mm1() {
+        let w1 = mmc::mean_wait(1, 0.6, 1.0).unwrap();
+        let w2 = mm1::mean_wait(0.6, 1.0).unwrap();
+        assert!((w1 - w2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_fast_server_beats_two_slow_on_response() {
+        // Classic comparison at equal capacity.
+        let t2 = mmc::mean_response(2, 1.2, 1.0).unwrap();
+        let t1 = mmc::mean_response(1, 1.2, 2.0).unwrap();
+        assert!(t1 < t2);
+    }
+
+    #[test]
+    fn mmc_validation() {
+        assert!(mmc::erlang_c(0, 1.0, 1.0).is_err());
+        assert!(mmc::erlang_c(2, 2.0, 1.0).is_err());
+        assert!(mmc::erlang_c(2, -1.0, 1.0).is_err());
+        assert!(mmc::erlang_c(2, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn mmc_large_c_stable() {
+        let w = mmc::mean_wait(50, 45.0, 1.0).unwrap();
+        assert!(w > 0.0 && w.is_finite());
+    }
+}

@@ -1,0 +1,45 @@
+//! Discrete-event simulation of two-host task-assignment policies.
+//!
+//! This crate plays the role of the C simulator the paper validates its
+//! analysis against (Section 4): Poisson arrivals of short and long jobs,
+//! two non-preemptive hosts, and the policies under study:
+//!
+//! * [`PolicyKind::Dedicated`] — shorts to host 0, longs to host 1.
+//! * [`PolicyKind::CsId`] — cycle stealing with immediate dispatch: an
+//!   *arriving* short runs on the long host iff that host is idle.
+//! * [`PolicyKind::CsCq`] — cycle stealing with a central queue and
+//!   renamable hosts (at most one long ever in service; a freed host takes a
+//!   waiting long only if the other host is not serving a long, otherwise
+//!   the first short).
+//! * [`PolicyKind::PriorityCentral`] — the M/G/2/SJF comparator from the
+//!   paper's Section 6: both hosts serve any class, the smaller-mean class
+//!   has non-preemptive priority.
+//! * [`PolicyKind::CentralFcfs`] — both hosts, one FCFS queue, classes
+//!   ignored (an M/G/2; used for M/M/2 validation).
+//!
+//! # Example
+//!
+//! ```
+//! use cyclesteal_dist::Exp;
+//! use cyclesteal_sim::{PolicyKind, SimConfig, SimParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let shorts = Exp::with_mean(1.0)?;
+//! let longs = Exp::with_mean(1.0)?;
+//! let params = SimParams::new(0.5, 0.3, &shorts, &longs)?;
+//! let config = SimConfig { seed: 1, total_jobs: 50_000, ..SimConfig::default() };
+//! let result = cyclesteal_sim::simulate(PolicyKind::CsCq, &params, &config);
+//! assert!(result.short.mean > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod policy;
+mod stats;
+
+pub use engine::{simulate, Arrivals, SimConfig, SimParams, SimResult};
+pub use policy::{JobClass, PolicyKind};
+pub use stats::{replicate, ClassStats, Replicated};

@@ -1,0 +1,642 @@
+//! Task-assignment policies.
+//!
+//! Policies are written against a small functional interface: the engine
+//! tells the policy about arrivals and departures, and the policy answers
+//! with the job (if any) to start on an idle server. Queues live inside the
+//! policy; servers live in the engine.
+
+use std::collections::VecDeque;
+
+/// The class of a job: the paper's "short" (beneficiary) and "long" (donor)
+/// classes. The analysis never requires shorts to actually be shorter —
+/// column (c) of Figures 4–6 deliberately makes "shorts" ten times longer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobClass {
+    /// Beneficiary class (dispatched to the short host, may steal).
+    Short,
+    /// Donor class (owns the long host).
+    Long,
+}
+
+/// Which policy a simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// Shorts to host 0, longs to host 1, no stealing.
+    Dedicated,
+    /// Cycle stealing with immediate dispatch: an arriving short runs on
+    /// the long host iff that host is idle at the arrival instant.
+    CsId,
+    /// Cycle stealing with a central queue and renamable hosts.
+    CsCq,
+    /// Central queue, both hosts serve any class, the smaller-mean class has
+    /// non-preemptive priority (the paper's M/G/2/SJF comparator).
+    PriorityCentral,
+    /// Central queue, both hosts, strict FCFS across classes (an M/G/2 —
+    /// provably identical to Least-Work-Remaining dispatch, per the paper's
+    /// related-work discussion).
+    CentralFcfs,
+    /// Alternating immediate dispatch, class-blind, per-host FCFS (the
+    /// related-work baseline the paper calls "by far the most common").
+    RoundRobin,
+    /// Immediate dispatch to the host with fewer jobs in system,
+    /// class-blind, per-host FCFS (Winston's Shortest-Queue policy).
+    ShortestQueue,
+    /// TAGS — Task Assignment by Guessing Size (Harchol-Balter, JACM 2002;
+    /// cited by the paper as the unknown-size analogue of Dedicated). Every
+    /// job starts at host 0; if it has not finished within `cutoff` it is
+    /// killed and restarted from scratch at host 1.
+    Tags {
+        /// The host-0 processing limit.
+        cutoff: f64,
+    },
+}
+
+/// A job in flight.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Job {
+    pub class: JobClass,
+    pub size: f64,
+    pub arrival: f64,
+}
+
+/// Read-only view of the two servers that policies dispatch against.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ServerView {
+    pub serving: [Option<JobClass>; 2],
+}
+
+impl ServerView {
+    pub fn idle(&self, s: usize) -> bool {
+        self.serving[s].is_none()
+    }
+
+    pub fn any_idle(&self) -> Option<usize> {
+        (0..2).find(|&s| self.idle(s))
+    }
+
+    pub fn long_in_service(&self) -> bool {
+        self.serving.contains(&Some(JobClass::Long))
+    }
+}
+
+/// A dispatch decision: start `job` on server `server` (which must be idle).
+pub(crate) type Start = Option<(usize, Job)>;
+
+/// What happened when a service slice ended.
+pub(crate) enum ServiceEnd {
+    /// The job is done; record its response time.
+    Completed(Job),
+    /// The job was killed and requeued by the policy; optionally start it
+    /// immediately on an idle server.
+    Requeued(Start),
+}
+
+/// The policy interface the engine drives.
+pub(crate) trait Policy {
+    /// A job has arrived; either claim an idle server for it or enqueue it.
+    fn on_arrival(&mut self, job: Job, servers: &ServerView) -> Start;
+
+    /// Server `server` has just gone idle; pick its next job, if any.
+    fn on_departure(&mut self, server: usize, servers: &ServerView) -> Option<Job>;
+
+    /// Number of jobs currently waiting (not in service).
+    fn queued(&self) -> usize;
+
+    /// How much work server `server` performs on `job` before the service
+    /// slice ends (the engine divides by the host speed). Defaults to the
+    /// whole job; TAGS caps host 0 at its cutoff.
+    fn service_demand(&self, server: usize, job: &Job) -> f64 {
+        let _ = server;
+        job.size
+    }
+
+    /// Called when a service slice ends; decides completion vs kill-and-
+    /// requeue. `servers` already shows `server` idle.
+    fn on_service_end(&mut self, server: usize, job: Job, servers: &ServerView) -> ServiceEnd {
+        let _ = (server, servers);
+        ServiceEnd::Completed(job)
+    }
+}
+
+pub(crate) fn build(kind: PolicyKind, short_mean: f64, long_mean: f64) -> Box<dyn Policy> {
+    match kind {
+        PolicyKind::Dedicated => Box::new(Dedicated::default()),
+        PolicyKind::CsId => Box::new(CsId::default()),
+        PolicyKind::CsCq => Box::new(CsCq::default()),
+        PolicyKind::PriorityCentral => Box::new(PriorityCentral {
+            prefer: if short_mean <= long_mean {
+                JobClass::Short
+            } else {
+                JobClass::Long
+            },
+            queues: Default::default(),
+        }),
+        PolicyKind::CentralFcfs => Box::new(CentralFcfs::default()),
+        PolicyKind::RoundRobin => Box::new(RoundRobin::default()),
+        PolicyKind::ShortestQueue => Box::new(ShortestQueue::default()),
+        PolicyKind::Tags { cutoff } => {
+            assert!(
+                cutoff > 0.0 && cutoff.is_finite(),
+                "TAGS cutoff must be positive and finite"
+            );
+            Box::new(Tags {
+                cutoff,
+                queues: Default::default(),
+            })
+        }
+    }
+}
+
+/// Per-class FIFO queues used by several policies.
+#[derive(Debug, Default)]
+struct ClassQueues {
+    short: VecDeque<Job>,
+    long: VecDeque<Job>,
+}
+
+impl ClassQueues {
+    fn push(&mut self, job: Job) {
+        match job.class {
+            JobClass::Short => self.short.push_back(job),
+            JobClass::Long => self.long.push_back(job),
+        }
+    }
+
+    fn pop(&mut self, class: JobClass) -> Option<Job> {
+        match class {
+            JobClass::Short => self.short.pop_front(),
+            JobClass::Long => self.long.pop_front(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.short.len() + self.long.len()
+    }
+}
+
+/// Host 0 is the short host, host 1 the long host, no interaction.
+#[derive(Debug, Default)]
+struct Dedicated {
+    queues: ClassQueues,
+}
+
+const SHORT_HOST: usize = 0;
+const LONG_HOST: usize = 1;
+
+fn home(class: JobClass) -> usize {
+    match class {
+        JobClass::Short => SHORT_HOST,
+        JobClass::Long => LONG_HOST,
+    }
+}
+
+impl Policy for Dedicated {
+    fn on_arrival(&mut self, job: Job, servers: &ServerView) -> Start {
+        let host = home(job.class);
+        if servers.idle(host) {
+            Some((host, job))
+        } else {
+            self.queues.push(job);
+            None
+        }
+    }
+
+    fn on_departure(&mut self, server: usize, _servers: &ServerView) -> Option<Job> {
+        let class = if server == SHORT_HOST {
+            JobClass::Short
+        } else {
+            JobClass::Long
+        };
+        self.queues.pop(class)
+    }
+
+    fn queued(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+/// Cycle stealing with immediate dispatch (paper Figure 1(a)).
+///
+/// An arriving short first checks whether the long host is idle; if so it is
+/// dispatched there, otherwise to the short host. Queued shorts never
+/// migrate: only new arrivals can steal.
+#[derive(Debug, Default)]
+struct CsId {
+    queues: ClassQueues,
+}
+
+impl Policy for CsId {
+    fn on_arrival(&mut self, job: Job, servers: &ServerView) -> Start {
+        match job.class {
+            JobClass::Long => {
+                if servers.idle(LONG_HOST) {
+                    Some((LONG_HOST, job))
+                } else {
+                    self.queues.push(job);
+                    None
+                }
+            }
+            JobClass::Short => {
+                if servers.idle(LONG_HOST) {
+                    Some((LONG_HOST, job))
+                } else if servers.idle(SHORT_HOST) {
+                    Some((SHORT_HOST, job))
+                } else {
+                    self.queues.push(job);
+                    None
+                }
+            }
+        }
+    }
+
+    fn on_departure(&mut self, server: usize, _servers: &ServerView) -> Option<Job> {
+        // The long host only ever pulls queued longs; queued shorts belong
+        // to the short host.
+        let class = if server == SHORT_HOST {
+            JobClass::Short
+        } else {
+            JobClass::Long
+        };
+        self.queues.pop(class)
+    }
+
+    fn queued(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+/// Cycle stealing with a central queue and renamable hosts
+/// (paper Figure 1(b)).
+///
+/// Invariant: at most one long job is ever in service — the host serving a
+/// long *is* the long host; the other host only takes shorts. A freed host
+/// takes the first waiting long if the other host is not serving a long,
+/// otherwise the first waiting short.
+#[derive(Debug, Default)]
+struct CsCq {
+    queues: ClassQueues,
+}
+
+impl Policy for CsCq {
+    fn on_arrival(&mut self, job: Job, servers: &ServerView) -> Start {
+        match job.class {
+            JobClass::Long => {
+                if !servers.long_in_service() {
+                    if let Some(s) = servers.any_idle() {
+                        return Some((s, job));
+                    }
+                }
+                self.queues.push(job);
+                None
+            }
+            JobClass::Short => {
+                if let Some(s) = servers.any_idle() {
+                    Some((s, job))
+                } else {
+                    self.queues.push(job);
+                    None
+                }
+            }
+        }
+    }
+
+    fn on_departure(&mut self, server: usize, servers: &ServerView) -> Option<Job> {
+        let other_serving_long = servers.serving[1 - server] == Some(JobClass::Long);
+        if !other_serving_long {
+            if let Some(long) = self.queues.pop(JobClass::Long) {
+                return Some(long);
+            }
+        }
+        self.queues.pop(JobClass::Short)
+    }
+
+    fn queued(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+/// Central queue, both hosts serve any class, non-preemptive priority to the
+/// class with the smaller mean (M/G/2/SJF in the paper's Section 6).
+#[derive(Debug)]
+struct PriorityCentral {
+    prefer: JobClass,
+    queues: ClassQueues,
+}
+
+impl Policy for PriorityCentral {
+    fn on_arrival(&mut self, job: Job, servers: &ServerView) -> Start {
+        if let Some(s) = servers.any_idle() {
+            Some((s, job))
+        } else {
+            self.queues.push(job);
+            None
+        }
+    }
+
+    fn on_departure(&mut self, _server: usize, _servers: &ServerView) -> Option<Job> {
+        let other = match self.prefer {
+            JobClass::Short => JobClass::Long,
+            JobClass::Long => JobClass::Short,
+        };
+        self.queues
+            .pop(self.prefer)
+            .or_else(|| self.queues.pop(other))
+    }
+
+    fn queued(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+/// Central queue, both hosts, strict FCFS across classes.
+#[derive(Debug, Default)]
+struct CentralFcfs {
+    queue: VecDeque<Job>,
+}
+
+impl Policy for CentralFcfs {
+    fn on_arrival(&mut self, job: Job, servers: &ServerView) -> Start {
+        if let Some(s) = servers.any_idle() {
+            Some((s, job))
+        } else {
+            self.queue.push_back(job);
+            None
+        }
+    }
+
+    fn on_departure(&mut self, _server: usize, _servers: &ServerView) -> Option<Job> {
+        self.queue.pop_front()
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Class-blind alternating dispatch with per-host FCFS queues.
+#[derive(Debug, Default)]
+struct RoundRobin {
+    queues: [VecDeque<Job>; 2],
+    next: usize,
+}
+
+impl Policy for RoundRobin {
+    fn on_arrival(&mut self, job: Job, servers: &ServerView) -> Start {
+        let host = self.next;
+        self.next = 1 - self.next;
+        if servers.idle(host) {
+            Some((host, job))
+        } else {
+            self.queues[host].push_back(job);
+            None
+        }
+    }
+
+    fn on_departure(&mut self, server: usize, _servers: &ServerView) -> Option<Job> {
+        self.queues[server].pop_front()
+    }
+
+    fn queued(&self) -> usize {
+        self.queues[0].len() + self.queues[1].len()
+    }
+}
+
+/// Class-blind dispatch to the host with fewer jobs in system (in service
+/// plus queued), ties to host 0; per-host FCFS queues.
+#[derive(Debug, Default)]
+struct ShortestQueue {
+    queues: [VecDeque<Job>; 2],
+}
+
+impl Policy for ShortestQueue {
+    fn on_arrival(&mut self, job: Job, servers: &ServerView) -> Start {
+        let count = |h: usize| self.queues[h].len() + usize::from(!servers.idle(h));
+        let host = if count(0) <= count(1) { 0 } else { 1 };
+        if servers.idle(host) {
+            Some((host, job))
+        } else {
+            self.queues[host].push_back(job);
+            None
+        }
+    }
+
+    fn on_departure(&mut self, server: usize, _servers: &ServerView) -> Option<Job> {
+        self.queues[server].pop_front()
+    }
+
+    fn queued(&self) -> usize {
+        self.queues[0].len() + self.queues[1].len()
+    }
+}
+
+/// TAGS: all jobs start at host 0 and run at most `cutoff`; survivors of
+/// the kill restart from scratch at host 1. Class-blind (the whole point of
+/// TAGS is that sizes are unknown at dispatch time).
+#[derive(Debug)]
+struct Tags {
+    cutoff: f64,
+    queues: [VecDeque<Job>; 2],
+}
+
+impl Policy for Tags {
+    fn on_arrival(&mut self, job: Job, servers: &ServerView) -> Start {
+        if servers.idle(0) {
+            Some((0, job))
+        } else {
+            self.queues[0].push_back(job);
+            None
+        }
+    }
+
+    fn on_departure(&mut self, server: usize, _servers: &ServerView) -> Option<Job> {
+        self.queues[server].pop_front()
+    }
+
+    fn queued(&self) -> usize {
+        self.queues[0].len() + self.queues[1].len()
+    }
+
+    fn service_demand(&self, server: usize, job: &Job) -> f64 {
+        if server == 0 {
+            job.size.min(self.cutoff)
+        } else {
+            job.size
+        }
+    }
+
+    fn on_service_end(&mut self, server: usize, job: Job, servers: &ServerView) -> ServiceEnd {
+        if server == 1 || job.size <= self.cutoff {
+            return ServiceEnd::Completed(job);
+        }
+        // Killed at the cutoff: restart from scratch at host 1.
+        if servers.idle(1) {
+            ServiceEnd::Requeued(Some((1, job)))
+        } else {
+            self.queues[1].push_back(job);
+            ServiceEnd::Requeued(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(class: JobClass) -> Job {
+        Job {
+            class,
+            size: 1.0,
+            arrival: 0.0,
+        }
+    }
+
+    fn view(s0: Option<JobClass>, s1: Option<JobClass>) -> ServerView {
+        ServerView { serving: [s0, s1] }
+    }
+
+    #[test]
+    fn dedicated_routes_by_class() {
+        let mut p = Dedicated::default();
+        let idle = view(None, None);
+        assert_eq!(p.on_arrival(job(JobClass::Short), &idle).unwrap().0, 0);
+        assert_eq!(p.on_arrival(job(JobClass::Long), &idle).unwrap().0, 1);
+        // Busy home host queues even if the other host is idle.
+        let busy0 = view(Some(JobClass::Short), None);
+        assert!(p.on_arrival(job(JobClass::Short), &busy0).is_none());
+        assert_eq!(p.queued(), 1);
+        assert!(p.on_departure(0, &view(None, None)).is_some());
+    }
+
+    #[test]
+    fn cs_id_short_steals_idle_long_host() {
+        let mut p = CsId::default();
+        // Long host idle: the short goes there even if host 0 is also idle.
+        assert_eq!(
+            p.on_arrival(job(JobClass::Short), &view(None, None))
+                .unwrap()
+                .0,
+            LONG_HOST
+        );
+        // Long host busy: the short uses the short host.
+        let v = view(None, Some(JobClass::Long));
+        assert_eq!(
+            p.on_arrival(job(JobClass::Short), &v).unwrap().0,
+            SHORT_HOST
+        );
+        // Both busy: queue.
+        let v = view(Some(JobClass::Short), Some(JobClass::Short));
+        assert!(p.on_arrival(job(JobClass::Short), &v).is_none());
+        // The freed long host never takes the queued short.
+        assert!(p.on_departure(LONG_HOST, &view(None, None)).is_none());
+        assert!(p.on_departure(SHORT_HOST, &view(None, None)).is_some());
+    }
+
+    #[test]
+    fn cs_cq_at_most_one_long_in_service() {
+        let mut p = CsCq::default();
+        // A long arrives while another long is served: it waits even though
+        // a server is idle (the idle server is the "short host").
+        let v = view(None, Some(JobClass::Long));
+        assert!(p.on_arrival(job(JobClass::Long), &v).is_none());
+        assert_eq!(p.queued(), 1);
+        // When the other host serves a long, a freed host only takes shorts.
+        assert!(p.on_departure(0, &v).is_none());
+        // When the other host serves a short, a freed host takes the long
+        // (renaming).
+        let v = view(None, Some(JobClass::Short));
+        let next = p.on_departure(0, &v).unwrap();
+        assert_eq!(next.class, JobClass::Long);
+    }
+
+    #[test]
+    fn cs_cq_shorts_use_any_idle_server() {
+        let mut p = CsCq::default();
+        let v = view(Some(JobClass::Short), None);
+        assert_eq!(p.on_arrival(job(JobClass::Short), &v).unwrap().0, 1);
+    }
+
+    #[test]
+    fn cs_cq_prefers_long_over_short_on_free() {
+        let mut p = CsCq::default();
+        let both_busy = view(Some(JobClass::Short), Some(JobClass::Short));
+        assert!(p.on_arrival(job(JobClass::Short), &both_busy).is_none());
+        assert!(p.on_arrival(job(JobClass::Long), &both_busy).is_none());
+        // Server 0 frees while server 1 serves a short: take the long first.
+        let v = view(None, Some(JobClass::Short));
+        assert_eq!(p.on_departure(0, &v).unwrap().class, JobClass::Long);
+        // Next free server takes the waiting short.
+        assert_eq!(
+            p.on_departure(1, &view(None, Some(JobClass::Long)))
+                .unwrap()
+                .class,
+            JobClass::Short
+        );
+    }
+
+    #[test]
+    fn priority_central_prefers_configured_class() {
+        let mut p = PriorityCentral {
+            prefer: JobClass::Long,
+            queues: Default::default(),
+        };
+        let busy = view(Some(JobClass::Short), Some(JobClass::Short));
+        assert!(p.on_arrival(job(JobClass::Short), &busy).is_none());
+        assert!(p.on_arrival(job(JobClass::Long), &busy).is_none());
+        assert_eq!(p.on_departure(0, &busy).unwrap().class, JobClass::Long);
+        assert_eq!(p.on_departure(0, &busy).unwrap().class, JobClass::Short);
+    }
+
+    #[test]
+    fn build_selects_sjf_preference_by_mean() {
+        // shorts mean 10, longs mean 1 (column (c)): SJF prefers longs.
+        let mut p = build(PolicyKind::PriorityCentral, 10.0, 1.0);
+        let busy = view(Some(JobClass::Short), Some(JobClass::Short));
+        assert!(p.on_arrival(job(JobClass::Short), &busy).is_none());
+        assert!(p.on_arrival(job(JobClass::Long), &busy).is_none());
+        assert_eq!(p.on_departure(0, &busy).unwrap().class, JobClass::Long);
+    }
+
+    #[test]
+    fn round_robin_alternates_hosts() {
+        let mut p = RoundRobin::default();
+        let idle = view(None, None);
+        assert_eq!(p.on_arrival(job(JobClass::Short), &idle).unwrap().0, 0);
+        assert_eq!(p.on_arrival(job(JobClass::Long), &idle).unwrap().0, 1);
+        assert_eq!(p.on_arrival(job(JobClass::Short), &idle).unwrap().0, 0);
+        // Next up is host 1 (idle here), then host 0 again — which is busy,
+        // so the job queues at host 0 even though host 1 is idle.
+        let busy0 = view(Some(JobClass::Short), None);
+        assert_eq!(p.on_arrival(job(JobClass::Long), &busy0).unwrap().0, 1);
+        assert!(p.on_arrival(job(JobClass::Short), &busy0).is_none());
+        assert_eq!(p.queued(), 1);
+        assert!(p.on_departure(1, &idle).is_none()); // queued at host 0
+        assert!(p.on_departure(0, &idle).is_some());
+    }
+
+    #[test]
+    fn shortest_queue_picks_the_lighter_host() {
+        let mut p = ShortestQueue::default();
+        let busy_both = view(Some(JobClass::Short), Some(JobClass::Short));
+        // Both empty queues: tie goes to host 0.
+        assert!(p.on_arrival(job(JobClass::Short), &busy_both).is_none());
+        assert_eq!(p.queues[0].len(), 1);
+        // Now host 1 is lighter.
+        assert!(p.on_arrival(job(JobClass::Short), &busy_both).is_none());
+        assert_eq!(p.queues[1].len(), 1);
+        // An idle lighter host gets the job immediately.
+        let idle1 = view(Some(JobClass::Short), None);
+        let mut q = ShortestQueue::default();
+        assert_eq!(q.on_arrival(job(JobClass::Long), &idle1).unwrap().0, 1);
+    }
+
+    #[test]
+    fn central_fcfs_is_order_preserving() {
+        let mut p = CentralFcfs::default();
+        let busy = view(Some(JobClass::Short), Some(JobClass::Long));
+        assert!(p.on_arrival(job(JobClass::Long), &busy).is_none());
+        assert!(p.on_arrival(job(JobClass::Short), &busy).is_none());
+        assert_eq!(p.on_departure(0, &busy).unwrap().class, JobClass::Long);
+        assert_eq!(p.on_departure(0, &busy).unwrap().class, JobClass::Short);
+        assert!(p.on_departure(0, &busy).is_none());
+    }
+}

@@ -1,0 +1,211 @@
+//! Output analysis: batch-means confidence intervals and independent
+//! replications.
+
+use crate::engine::{simulate, SimConfig, SimParams, SimResult};
+use crate::policy::PolicyKind;
+
+/// Response-time statistics for one job class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// Number of observations after warmup.
+    pub count: usize,
+    /// Sample mean (0 when `count == 0`).
+    pub mean: f64,
+    /// Half-width of a 95% confidence interval from batch means
+    /// (0 when fewer than two batches could be formed).
+    pub ci_half: f64,
+    /// Sample variance of the raw observations.
+    pub variance: f64,
+    /// Empirical 50th/95th/99th percentiles (0 when `count == 0`).
+    pub percentiles: [f64; 3],
+}
+
+impl ClassStats {
+    /// Empty statistics (no observations).
+    pub fn empty() -> Self {
+        ClassStats {
+            count: 0,
+            mean: 0.0,
+            ci_half: 0.0,
+            variance: 0.0,
+            percentiles: [0.0; 3],
+        }
+    }
+
+    /// Builds statistics from raw observations using the batch-means method:
+    /// the series is cut into `batches` equal batches, and the CI uses the
+    /// Student-t quantile over the batch means (batching absorbs the serial
+    /// correlation of successive response times).
+    pub fn from_samples(samples: &[f64], batches: usize) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return ClassStats::empty();
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let variance = if n > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+
+        let b = batches.max(2).min(n);
+        let per = n / b;
+        let mut ci_half = 0.0;
+        if per >= 1 && b >= 2 {
+            let batch_means: Vec<f64> = (0..b)
+                .map(|i| samples[i * per..(i + 1) * per].iter().sum::<f64>() / per as f64)
+                .collect();
+            let bm = batch_means.iter().sum::<f64>() / b as f64;
+            let s2 =
+                batch_means.iter().map(|x| (x - bm) * (x - bm)).sum::<f64>() / (b as f64 - 1.0);
+            ci_half = t_quantile_975(b - 1) * (s2 / b as f64).sqrt();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let pct = |q: f64| sorted[(((n - 1) as f64) * q).round() as usize];
+        ClassStats {
+            count: n,
+            mean,
+            ci_half,
+            variance,
+            percentiles: [pct(0.50), pct(0.95), pct(0.99)],
+        }
+    }
+
+    /// Relative half-width `ci_half / mean` (0 for an empty or zero-mean
+    /// series) — a quick precision gauge.
+    pub fn relative_precision(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.ci_half / self.mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Two-sided 97.5% Student-t quantile (for 95% CIs) by degrees of freedom.
+fn t_quantile_975(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Result of independent replications: per-class grand means with
+/// across-replication confidence intervals.
+#[derive(Debug, Clone)]
+pub struct Replicated {
+    /// Grand mean and CI of short-class response times.
+    pub short: ClassStats,
+    /// Grand mean and CI of long-class response times.
+    pub long: ClassStats,
+    /// Individual replication results.
+    pub runs: Vec<SimResult>,
+}
+
+/// Runs `reps` independent replications (seeds `base_seed..base_seed+reps`)
+/// and summarizes across them.
+///
+/// # Panics
+///
+/// Panics if `reps == 0` or `config.total_jobs == 0`.
+pub fn replicate(
+    kind: PolicyKind,
+    params: &SimParams<'_>,
+    config: &SimConfig,
+    reps: usize,
+) -> Replicated {
+    assert!(reps > 0, "need at least one replication");
+    let runs: Vec<SimResult> = (0..reps)
+        .map(|i| {
+            let cfg = SimConfig {
+                seed: config.seed.wrapping_add(i as u64),
+                ..*config
+            };
+            simulate(kind, params, &cfg)
+        })
+        .collect();
+    let short_means: Vec<f64> = runs
+        .iter()
+        .filter(|r| r.short.count > 0)
+        .map(|r| r.short.mean)
+        .collect();
+    let long_means: Vec<f64> = runs
+        .iter()
+        .filter(|r| r.long.count > 0)
+        .map(|r| r.long.mean)
+        .collect();
+    Replicated {
+        short: ClassStats::from_samples(&short_means, short_means.len()),
+        long: ClassStats::from_samples(&long_means, long_means.len()),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples() {
+        let s = ClassStats::from_samples(&[], 20);
+        assert_eq!(s, ClassStats::empty());
+        assert_eq!(s.relative_precision(), 0.0);
+    }
+
+    #[test]
+    fn constant_samples_have_zero_ci() {
+        let s = ClassStats::from_samples(&[2.0; 100], 10);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.ci_half, 0.0);
+        assert_eq!(s.variance, 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance_match_hand_computation() {
+        let s = ClassStats::from_samples(&[1.0, 2.0, 3.0, 4.0], 2);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.variance - 5.0 / 3.0).abs() < 1e-12);
+        assert!(s.ci_half > 0.0);
+    }
+
+    #[test]
+    fn t_table_sane() {
+        assert!(t_quantile_975(1) > t_quantile_975(5));
+        assert!((t_quantile_975(19) - 2.093).abs() < 1e-9);
+        assert_eq!(t_quantile_975(100), 1.96);
+        assert_eq!(t_quantile_975(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn percentiles_of_known_series() {
+        let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = ClassStats::from_samples(&data, 10);
+        assert_eq!(s.percentiles[0], 51.0); // median of 1..=100 (rounded index)
+        assert_eq!(s.percentiles[1], 95.0);
+        assert_eq!(s.percentiles[2], 99.0);
+        // Percentiles are order statistics, so permutation-invariant.
+        let mut shuffled = data.clone();
+        shuffled.reverse();
+        let s2 = ClassStats::from_samples(&shuffled, 10);
+        assert_eq!(s.percentiles, s2.percentiles);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_data() {
+        // AR-free synthetic data: alternating values.
+        let small: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let large: Vec<f64> = (0..10_000).map(|i| (i % 7) as f64).collect();
+        let s_small = ClassStats::from_samples(&small, 20);
+        let s_large = ClassStats::from_samples(&large, 20);
+        assert!(s_large.ci_half < s_small.ci_half);
+    }
+}

@@ -1,0 +1,411 @@
+//! Simulator validation against independent closed-form results.
+//!
+//! These tests are the simulator's license to operate: every policy path is
+//! checked against an exact queueing formula or an exact structural
+//! invariant before the simulator is allowed to arbitrate the paper's
+//! approximate analysis.
+
+use cyclesteal_dist::{Deterministic, Distribution, Exp, HyperExp2};
+use cyclesteal_mg1::{mg1, mm1, mmc};
+use cyclesteal_sim::{replicate, simulate, PolicyKind, SimConfig, SimParams};
+
+fn cfg(seed: u64, jobs: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        total_jobs: jobs,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn dedicated_matches_two_mm1_queues() {
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = Exp::with_mean(2.0).unwrap();
+    let params = SimParams::new(0.7, 0.25, &short, &long).unwrap();
+    let r = simulate(PolicyKind::Dedicated, &params, &cfg(1, 400_000));
+
+    let want_s = mm1::mean_response(0.7, 1.0).unwrap();
+    let want_l = mm1::mean_response(0.25, 0.5).unwrap();
+    assert!(
+        (r.short.mean - want_s).abs() / want_s < 0.03,
+        "short: {} vs {want_s}",
+        r.short.mean
+    );
+    assert!(
+        (r.long.mean - want_l).abs() / want_l < 0.03,
+        "long: {} vs {want_l}",
+        r.long.mean
+    );
+}
+
+#[test]
+fn dedicated_matches_pollaczek_khinchine_for_h2_jobs() {
+    let short = HyperExp2::balanced_means(1.0, 8.0).unwrap();
+    let long = Exp::with_mean(1.0).unwrap();
+    let params = SimParams::new(0.6, 0.3, &short, &long).unwrap();
+    let r = simulate(PolicyKind::Dedicated, &params, &cfg(2, 600_000));
+
+    let want = mg1::mean_response(0.6, short.moments()).unwrap();
+    assert!(
+        (r.short.mean - want).abs() / want < 0.05,
+        "short: {} vs P-K {want}",
+        r.short.mean
+    );
+}
+
+#[test]
+fn central_fcfs_matches_mm2() {
+    // Single class via two identical exponential classes is not FCFS-fair;
+    // instead run shorts only (lambda_l = 0) through the central FCFS queue.
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = Exp::with_mean(1.0).unwrap();
+    let params = SimParams::new(1.2, 0.0, &short, &long).unwrap();
+    let r = simulate(PolicyKind::CentralFcfs, &params, &cfg(3, 400_000));
+
+    let want = mmc::mean_response(2, 1.2, 1.0).unwrap();
+    assert!(
+        (r.short.mean - want).abs() / want < 0.03,
+        "{} vs M/M/2 {want}",
+        r.short.mean
+    );
+}
+
+#[test]
+fn cs_cq_with_vanishing_longs_is_mm2_for_shorts() {
+    // Paper Section 4, limiting case: lambda_l -> 0 turns CS-CQ into M/M/2
+    // for the shorts.
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = Exp::with_mean(1.0).unwrap();
+    let params = SimParams::new(1.4, 1e-4, &short, &long).unwrap();
+    let r = simulate(PolicyKind::CsCq, &params, &cfg(4, 400_000));
+
+    let want = mmc::mean_response(2, 1.4, 1.0).unwrap();
+    assert!(
+        (r.short.mean - want).abs() / want < 0.04,
+        "{} vs M/M/2 {want}",
+        r.short.mean
+    );
+}
+
+#[test]
+fn cs_id_long_host_idle_probability_matches_work_balance() {
+    // Exact structural property of CS-ID: the long host's utilization is
+    // rho_l + q rho_s with q = P(long host idle) = (1 - rho_l)/(1 + rho_s).
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = Exp::with_mean(1.0).unwrap();
+    let (rho_s, rho_l) = (0.8, 0.4);
+    let params = SimParams::new(rho_s, rho_l, &short, &long).unwrap();
+    let r = simulate(PolicyKind::CsId, &params, &cfg(5, 600_000));
+
+    let q = (1.0 - rho_l) / (1.0 + rho_s);
+    let want_util_long_host = rho_l + q * rho_s;
+    assert!(
+        (r.utilization[1] - want_util_long_host).abs() < 0.01,
+        "util {} vs {want_util_long_host}",
+        r.utilization[1]
+    );
+}
+
+#[test]
+fn cs_cq_dominates_cs_id_dominates_dedicated_for_shorts() {
+    // The paper's headline ordering at moderate loads.
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = Exp::with_mean(1.0).unwrap();
+    let params = SimParams::new(0.9, 0.5, &short, &long).unwrap();
+    let c = cfg(6, 400_000);
+
+    let ded = simulate(PolicyKind::Dedicated, &params, &c);
+    let csid = simulate(PolicyKind::CsId, &params, &c);
+    let cscq = simulate(PolicyKind::CsCq, &params, &c);
+    assert!(
+        cscq.short.mean < csid.short.mean && csid.short.mean < ded.short.mean,
+        "cscq {} csid {} ded {}",
+        cscq.short.mean,
+        csid.short.mean,
+        ded.short.mean
+    );
+    // Long jobs suffer only mildly under stealing (well under 2x here).
+    assert!(cscq.long.mean < 1.5 * ded.long.mean);
+    assert!(csid.long.mean < 1.5 * ded.long.mean);
+}
+
+#[test]
+fn cs_cq_stabilizes_overloaded_shorts() {
+    // rho_s = 1.3 > 1: Dedicated diverges, CS-CQ (stable for
+    // rho_s < 2 - rho_l = 1.7) keeps response times modest.
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = Exp::with_mean(1.0).unwrap();
+    let params = SimParams::new(1.3, 0.3, &short, &long).unwrap();
+    let c = cfg(7, 400_000);
+
+    let cscq = simulate(PolicyKind::CsCq, &params, &c);
+    let ded = simulate(PolicyKind::Dedicated, &params, &c);
+    assert!(
+        cscq.short.mean * 5.0 < ded.short.mean,
+        "cscq {} ded {}",
+        cscq.short.mean,
+        ded.short.mean
+    );
+}
+
+#[test]
+fn priority_central_prefers_the_shorter_class() {
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = Exp::with_mean(10.0).unwrap();
+    let params = SimParams::new(0.6, 0.06, &short, &long).unwrap();
+    let c = cfg(8, 300_000);
+    let r = simulate(PolicyKind::PriorityCentral, &params, &c);
+    // Shorts should do far better than longs wait-wise.
+    assert!(r.short.mean < r.long.mean);
+}
+
+#[test]
+fn replications_tighten_confidence() {
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = Exp::with_mean(1.0).unwrap();
+    let params = SimParams::new(0.8, 0.4, &short, &long).unwrap();
+    let rep = replicate(PolicyKind::CsCq, &params, &cfg(9, 60_000), 8);
+    assert_eq!(rep.runs.len(), 8);
+    assert!(rep.short.count == 8);
+    // The replication CI should be a small fraction of the mean.
+    assert!(rep.short.relative_precision() < 0.1);
+    // And the replication mean should be close to a single long run.
+    let big = simulate(PolicyKind::CsCq, &params, &cfg(100, 500_000));
+    assert!((rep.short.mean - big.short.mean).abs() / big.short.mean < 0.05);
+}
+
+#[test]
+fn work_conservation_of_central_queue_policies() {
+    // Total utilization equals total offered load for any stable
+    // work-conserving configuration.
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = Exp::with_mean(1.0).unwrap();
+    let params = SimParams::new(0.9, 0.6, &short, &long).unwrap();
+    let c = cfg(10, 400_000);
+    for kind in [
+        PolicyKind::CsCq,
+        PolicyKind::PriorityCentral,
+        PolicyKind::CentralFcfs,
+    ] {
+        let r = simulate(kind, &params, &c);
+        let total = r.utilization[0] + r.utilization[1];
+        assert!(
+            (total - 1.5).abs() < 0.02,
+            "{kind:?}: total utilization {total}"
+        );
+    }
+}
+
+#[test]
+fn littles_law_holds_in_simulation() {
+    // E[N] = lambda E[T] per class -- an internal consistency check tying
+    // the time-average and the per-job statistics together.
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = Exp::with_mean(1.0).unwrap();
+    let params = SimParams::new(0.9, 0.5, &short, &long).unwrap();
+    for kind in [PolicyKind::Dedicated, PolicyKind::CsId, PolicyKind::CsCq] {
+        let r = simulate(kind, &params, &cfg(21, 400_000));
+        let want_ns = 0.9 * r.short.mean;
+        let want_nl = 0.5 * r.long.mean;
+        assert!(
+            (r.mean_in_system[0] - want_ns).abs() / want_ns < 0.05,
+            "{kind:?} shorts: N {} vs lambda*T {want_ns}",
+            r.mean_in_system[0]
+        );
+        assert!(
+            (r.mean_in_system[1] - want_nl).abs() / want_nl < 0.05,
+            "{kind:?} longs: N {} vs lambda*T {want_nl}",
+            r.mean_in_system[1]
+        );
+    }
+}
+
+#[test]
+fn pooling_hierarchy_round_robin_shortest_queue_central() {
+    // Classic ordering for class-blind dispatch of a single exponential
+    // stream: Round-Robin <= Shortest-Queue <= central M/G/2 in delay
+    // (more information, more pooling).
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = Exp::with_mean(1.0).unwrap();
+    let params = SimParams::new(1.4, 0.0, &short, &long).unwrap();
+    let c = cfg(30, 400_000);
+    let rr = simulate(PolicyKind::RoundRobin, &params, &c);
+    let sq = simulate(PolicyKind::ShortestQueue, &params, &c);
+    let fcfs = simulate(PolicyKind::CentralFcfs, &params, &c);
+    assert!(
+        fcfs.short.mean < sq.short.mean && sq.short.mean < rr.short.mean,
+        "fcfs {} sq {} rr {}",
+        fcfs.short.mean,
+        sq.short.mean,
+        rr.short.mean
+    );
+}
+
+#[test]
+fn dedicated_beats_class_blind_pooling_under_high_variability() {
+    // The paper's motivating claim (related work): with highly variable
+    // job sizes, segregating by size (Dedicated) far outperforms policies
+    // that let shorts get stuck behind longs (M/G/2, Shortest-Queue).
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = Exp::with_mean(50.0).unwrap();
+    let params = SimParams::new(0.5, 0.5 / 50.0, &short, &long).unwrap();
+    let c = cfg(31, 400_000);
+    let ded = simulate(PolicyKind::Dedicated, &params, &c);
+    let fcfs = simulate(PolicyKind::CentralFcfs, &params, &c);
+    let sq = simulate(PolicyKind::ShortestQueue, &params, &c);
+    assert!(
+        ded.short.mean * 2.0 < fcfs.short.mean,
+        "ded {} vs fcfs {}",
+        ded.short.mean,
+        fcfs.short.mean
+    );
+    assert!(
+        ded.short.mean * 2.0 < sq.short.mean,
+        "ded {} vs sq {}",
+        ded.short.mean,
+        sq.short.mean
+    );
+}
+
+#[test]
+fn response_time_variance_matches_mg1_formula() {
+    // Dedicated shorts see an M/G/1; the simulator's response-time variance
+    // must match the Takagi second-moment formula.
+    let short = HyperExp2::balanced_means(1.0, 4.0).unwrap();
+    let long = Exp::with_mean(1.0).unwrap();
+    let params = SimParams::new(0.6, 0.3, &short, &long).unwrap();
+    let r = simulate(PolicyKind::Dedicated, &params, &cfg(40, 800_000));
+    let want = mg1::response_variance(0.6, short.moments()).unwrap();
+    assert!(
+        (r.short.variance - want).abs() / want < 0.08,
+        "var {} vs {want}",
+        r.short.variance
+    );
+    // Percentile sanity: median below mean for a right-skewed law, ordered
+    // tails.
+    assert!(r.short.percentiles[0] < r.short.mean);
+    assert!(r.short.percentiles[0] < r.short.percentiles[1]);
+    assert!(r.short.percentiles[1] < r.short.percentiles[2]);
+}
+
+#[test]
+fn waiting_times_match_pollaczek_khinchine() {
+    let short = HyperExp2::balanced_means(1.0, 4.0).unwrap();
+    let long = Exp::with_mean(1.0).unwrap();
+    let params = SimParams::new(0.7, 0.4, &short, &long).unwrap();
+    let r = simulate(PolicyKind::Dedicated, &params, &cfg(45, 600_000));
+    let want_ws = mg1::mean_wait(0.7, short.moments()).unwrap();
+    let want_wl = mg1::mean_wait(0.4, long.moments()).unwrap();
+    assert!(
+        (r.short_wait.mean - want_ws).abs() / want_ws < 0.05,
+        "short wait {} vs P-K {want_ws}",
+        r.short_wait.mean
+    );
+    assert!(
+        (r.long_wait.mean - want_wl).abs() / want_wl < 0.05,
+        "long wait {} vs P-K {want_wl}",
+        r.long_wait.mean
+    );
+    // Response = wait + service in expectation.
+    assert!((r.short.mean - r.short_wait.mean - 1.0).abs() < 0.02);
+}
+
+#[test]
+fn tags_with_huge_cutoff_is_single_mg1() {
+    // Nothing is ever killed: host 0 is a plain M/G/1, host 1 idles.
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = Exp::with_mean(1.0).unwrap();
+    let params = SimParams::new(0.4, 0.3, &short, &long).unwrap();
+    let r = simulate(
+        PolicyKind::Tags { cutoff: 1e12 },
+        &params,
+        &cfg(50, 400_000),
+    );
+    // Both classes are exponential mean 1: one M/G/1 at rho = 0.7.
+    let want = mg1::mean_response(0.7, short.moments()).unwrap();
+    assert!(
+        (r.short.mean - want).abs() / want < 0.04,
+        "{} vs {want}",
+        r.short.mean
+    );
+    assert!(r.utilization[1] < 1e-9, "host 1 should idle");
+}
+
+#[test]
+fn tags_kill_fraction_and_restart_utilization() {
+    // Exponential(1) jobs, cutoff 1: a fraction e^{-1} exceeds the cutoff;
+    // each survivor restarts with its full size at host 1 where
+    // E[X | X > 1] = 2 by memorylessness. Host 0 works min(X, 1) per job:
+    // E[min(X,1)] = 1 - e^{-1}.
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = Exp::with_mean(1.0).unwrap();
+    let lambda_total = 0.5;
+    let params = SimParams::new(0.25, 0.25, &short, &long).unwrap();
+    let r = simulate(PolicyKind::Tags { cutoff: 1.0 }, &params, &cfg(51, 600_000));
+    let e = (-1.0f64).exp();
+    let want_u0 = lambda_total * (1.0 - e);
+    let want_u1 = lambda_total * e * 2.0;
+    assert!(
+        (r.utilization[0] - want_u0).abs() < 0.01,
+        "u0 {} vs {want_u0}",
+        r.utilization[0]
+    );
+    assert!(
+        (r.utilization[1] - want_u1).abs() < 0.01,
+        "u1 {} vs {want_u1}",
+        r.utilization[1]
+    );
+}
+
+#[test]
+fn tags_approaches_dedicated_for_bimodal_sizes() {
+    // The related-work claim: with a clean size separation and a cutoff
+    // between the modes, TAGS (which cannot see sizes) performs like
+    // Dedicated (which can) for the short jobs.
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = Deterministic::new(50.0).unwrap();
+    let params = SimParams::new(0.5, 0.01, &short, &long).unwrap();
+    let c = cfg(52, 400_000);
+    let tags = simulate(PolicyKind::Tags { cutoff: 10.0 }, &params, &c);
+    let ded = simulate(PolicyKind::Dedicated, &params, &c);
+    // TAGS shorts pay the occasional 10-unit blockage of a long's probe
+    // slice, so "almost as well": within a factor ~2 of Dedicated while
+    // class-blind M/G/2 is far worse.
+    let fcfs = simulate(PolicyKind::CentralFcfs, &params, &c);
+    assert!(
+        tags.short.mean < 2.5 * ded.short.mean,
+        "tags {} vs ded {}",
+        tags.short.mean,
+        ded.short.mean
+    );
+    assert!(
+        tags.short.mean < fcfs.short.mean,
+        "tags {} vs fcfs {}",
+        tags.short.mean,
+        fcfs.short.mean
+    );
+}
+
+#[test]
+fn response_percentiles_match_mph1_distribution() {
+    // The simulator's empirical percentiles against the exact M/PH/1
+    // response-time law (PH ladder-height construction).
+    let short = HyperExp2::balanced_means(1.0, 4.0).unwrap();
+    let long = Exp::with_mean(1.0).unwrap();
+    let params = SimParams::new(0.6, 0.3, &short, &long).unwrap();
+    let r = simulate(PolicyKind::Dedicated, &params, &cfg(55, 800_000));
+
+    let t_dist = mg1::response_distribution(0.6, &short.to_ph()).unwrap();
+    for (q, x) in [
+        (0.50, r.short.percentiles[0]),
+        (0.95, r.short.percentiles[1]),
+        (0.99, r.short.percentiles[2]),
+    ] {
+        let cdf = t_dist.cdf(x);
+        assert!((cdf - q).abs() < 0.01, "F(sim p{q}) = {cdf} at x = {x}");
+    }
+    // And the waiting-time law against the wait percentiles.
+    let w_dist = mg1::wait_distribution(0.6, &short.to_ph()).unwrap();
+    let cdf95 = w_dist.cdf(r.short_wait.percentiles[1]);
+    assert!((cdf95 - 0.95).abs() < 0.01, "wait F(p95) = {cdf95}");
+}

@@ -1,0 +1,82 @@
+//! Section-4-style validation demo: the approximate analysis against the
+//! discrete-event simulator, side by side with confidence intervals.
+//!
+//! Run with: `cargo run --release --example analysis_vs_simulation`
+
+use cyclesteal::core::{cs_cq, cs_id, SystemParams};
+use cyclesteal::dist::{Distribution, Exp, HyperExp2, Moments3};
+use cyclesteal::sim::{simulate, PolicyKind, SimConfig, SimParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let shorts = Exp::with_mean(1.0)?;
+    let longs_exp = Exp::with_mean(1.0)?;
+    let longs_h2 = HyperExp2::balanced_means(1.0, 8.0)?;
+
+    let config = SimConfig {
+        seed: 20030701, // ICDCS 2003
+        total_jobs: 1_000_000,
+        ..SimConfig::default()
+    };
+
+    println!("Analysis vs simulation (1M jobs/run). Paper target: within a few percent.\n");
+    println!(
+        "{:<8} {:>5} {:>5} {:>4} | {:>9} {:>16} {:>6}",
+        "policy", "rho_s", "rho_l", "C2", "analysis", "simulation", "diff%"
+    );
+
+    for &(rho_s, rho_l, c2) in &[
+        (0.5, 0.5, 1.0),
+        (0.9, 0.5, 1.0),
+        (1.2, 0.5, 1.0),
+        (0.9, 0.5, 8.0),
+        (1.2, 0.3, 8.0),
+    ] {
+        let long_moments = if c2 == 1.0 {
+            Moments3::exponential(1.0)?
+        } else {
+            Moments3::from_mean_scv_balanced(1.0, c2)?
+        };
+        let long_dist: &dyn Distribution = if c2 == 1.0 { &longs_exp } else { &longs_h2 };
+        let params = SystemParams::from_loads(rho_s, 1.0, rho_l, long_moments)?;
+        let sim_params = SimParams::new(params.lambda_s(), params.lambda_l(), &shorts, long_dist)?;
+
+        for (name, kind, ana) in [
+            (
+                "CS-ID",
+                PolicyKind::CsId,
+                cs_id::analyze(&params).map(|r| (r.short_response, r.long_response))?,
+            ),
+            (
+                "CS-CQ",
+                PolicyKind::CsCq,
+                cs_cq::analyze(&params).map(|r| (r.short_response, r.long_response))?,
+            ),
+        ] {
+            let sim = simulate(kind, &sim_params, &config);
+            for (class, a, s, ci) in [
+                ("shorts", ana.0, sim.short.mean, sim.short.ci_half),
+                ("longs", ana.1, sim.long.mean, sim.long.ci_half),
+            ] {
+                println!(
+                    "{:<8} {:>5.2} {:>5.2} {:>4.0} | {:>9.4} {:>9.4} ±{:>5.3} {:>6.2}",
+                    format!("{name}/{class}"),
+                    rho_s,
+                    rho_l,
+                    c2,
+                    a,
+                    s,
+                    ci,
+                    100.0 * (a - s) / s
+                );
+            }
+        }
+    }
+
+    println!(
+        "\nNote the paper's own caveat (Section 4): near saturation the *simulation*\n\
+         confidence degrades much faster than the analysis — visible above as wider CIs\n\
+         at the highest loads. The analysis runs in microseconds; each simulation row\n\
+         took hundreds of milliseconds."
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Beyond the paper's Poisson model: short jobs arriving in bursts
+//! (a Markov-modulated Poisson process), the generalization the paper
+//! points to with "can be generalized to a MAP [11]".
+//!
+//! The analytic chain absorbs the MAP by taking the product of its phases
+//! with the chain phases; this example sweeps burstiness and shows both the
+//! analysis and a confirming simulation.
+//!
+//! Run with: `cargo run --release --example bursty_arrivals`
+
+use cyclesteal::core::{cs_cq, SystemParams};
+use cyclesteal::dist::{Exp, Map};
+use cyclesteal::sim::{simulate, Arrivals, PolicyKind, SimConfig, SimParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (rho_s, rho_l) = (0.9, 0.5);
+    let shorts = Exp::with_mean(1.0)?;
+    let longs = Exp::with_mean(1.0)?;
+    let params = SystemParams::exponential(rho_s, 1.0, rho_l, 1.0)?;
+
+    println!(
+        "CS-CQ with bursty short arrivals (MMPP, mean rate {rho_s}), rho_l = {rho_l}.\n\
+         burst ratio = intensity in the 'on' phase over the 'off' phase;\n\
+         sojourn = mean time per phase (longer sojourns = slower, deeper bursts).\n"
+    );
+    println!(
+        "{:>6} {:>8} {:>8} {:>11} {:>11} {:>13}",
+        "burst", "sojourn", "IA scv", "E[Ts] ana", "E[Ts] sim", "E[Tl] ana"
+    );
+
+    // Poisson baseline.
+    let base = cs_cq::analyze(&params)?;
+    println!(
+        "{:>6} {:>8} {:>8.2} {:>11.4} {:>11} {:>13.4}",
+        "1 (Poisson)", "-", 1.0, base.short_response, "-", base.long_response
+    );
+
+    let config = SimConfig {
+        seed: 77,
+        total_jobs: 1_000_000,
+        ..SimConfig::default()
+    };
+    for (burst, sojourn) in [
+        (3.0, 1.0),
+        (3.0, 10.0),
+        (9.0, 1.0),
+        (9.0, 10.0),
+        (9.0, 50.0),
+    ] {
+        let map = Map::bursty(rho_s, burst, sojourn)?;
+        let ana = cs_cq::analyze_map(&params, &map)?;
+        let sp = SimParams::with_arrivals(
+            Arrivals::Map(&map),
+            Arrivals::Poisson(params.lambda_l()),
+            &shorts,
+            &longs,
+        )?;
+        let sim = simulate(PolicyKind::CsCq, &sp, &config);
+        println!(
+            "{:>6} {:>8} {:>8.2} {:>11.4} {:>11.4} {:>13.4}",
+            burst,
+            sojourn,
+            map.interarrival_scv(),
+            ana.short_response,
+            sim.short.mean,
+            ana.long_response
+        );
+    }
+
+    println!(
+        "\nBurstiness is invisible in the mean rate but devastating for delay: deep bursts\n\
+         (high ratio, long sojourns) multiply the short response several-fold while the\n\
+         longs barely notice — they only interact with the shorts through the setup\n\
+         probability. The matrix-analytic machinery handles all of it exactly as the\n\
+         paper promised: the busy-period transitions never change, only the phase space."
+    );
+    Ok(())
+}

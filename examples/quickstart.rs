@@ -1,0 +1,71 @@
+//! Quickstart: compare the three task-assignment policies on one workload.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cyclesteal::core::{cs_cq, cs_id, dedicated, stability, SystemParams};
+use cyclesteal::dist::Moments3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A moderately loaded system: short jobs with mean 1 (exponential),
+    // long jobs with mean 1 but high variability (C^2 = 8), rho_s = 0.9,
+    // rho_l = 0.5.
+    let longs = Moments3::from_mean_scv_balanced(1.0, 8.0)?;
+    let params = SystemParams::from_loads(0.9, 1.0, 0.5, longs)?;
+
+    println!(
+        "Workload: rho_s = {:.2}, rho_l = {:.2}",
+        params.rho_s(),
+        params.rho_l()
+    );
+    println!(
+        "  shorts: exponential, mean {:.1}; longs: Coxian fit, mean {:.1}, C^2 = {:.1}\n",
+        params.mean_s(),
+        longs.mean(),
+        longs.scv()
+    );
+
+    println!(
+        "{:<12} {:>16} {:>16}",
+        "policy", "E[T] shorts", "E[T] longs"
+    );
+    let ded = dedicated::analyze(&params)?;
+    println!(
+        "{:<12} {:>16.4} {:>16.4}",
+        "Dedicated", ded.short_response, ded.long_response
+    );
+    let id = cs_id::analyze(&params)?;
+    println!(
+        "{:<12} {:>16.4} {:>16.4}",
+        "CS-ID", id.short_response, id.long_response
+    );
+    let cq = cs_cq::analyze(&params)?;
+    println!(
+        "{:<12} {:>16.4} {:>16.4}",
+        "CS-CQ", cq.short_response, cq.long_response
+    );
+
+    println!(
+        "\nShort jobs gain {:.1}% (CS-CQ vs Dedicated); long jobs pay {:.1}%.",
+        100.0 * (1.0 - cq.short_response / ded.short_response),
+        100.0 * (cq.long_response / ded.long_response - 1.0)
+    );
+    println!(
+        "An arriving short steals the long host with probability {:.3} (CS-ID).",
+        id.steal_probability
+    );
+
+    // Theorem 1: how much further could the short load grow?
+    let rho_l = params.rho_l();
+    println!("\nStability frontier at rho_l = {rho_l:.2} (Theorem 1):");
+    for (name, policy) in [
+        ("Dedicated", stability::Policy::Dedicated),
+        ("CS-ID", stability::Policy::CsId),
+        ("CS-CQ", stability::Policy::CsCq),
+    ] {
+        println!(
+            "  {name:<10} rho_s < {:.4}",
+            stability::max_rho_s(policy, rho_l)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! The paper's motivating scenario (Table 1): a supercomputing center with
+//! two run-to-completion host groups. Users tag jobs as "short" (interactive
+//! experiments, mean 1 time unit) or "long" (production runs, mean 10, high
+//! variability). Should the operator keep the hosts dedicated, or let short
+//! jobs steal idle cycles of the long host?
+//!
+//! Run with: `cargo run --release --example supercomputing`
+
+use cyclesteal::core::{cs_cq, cs_id, dedicated, SystemParams};
+use cyclesteal::dist::Moments3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Long production jobs: mean 10, squared coefficient of variation 8
+    // (empirical supercomputing size distributions are highly variable).
+    let longs = Moments3::from_mean_scv_balanced(10.0, 8.0)?;
+    let rho_l = 0.5; // the long host sits half-loaded on average
+
+    println!("Supercomputing center: shorts Exp(mean 1), longs mean 10 / C^2 = 8, rho_l = 0.5\n");
+    println!(
+        "{:>6} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+        "rho_s", "ded E[Ts]", "id E[Ts]", "cq E[Ts]", "ded E[Tl]", "id E[Tl]", "cq E[Tl]"
+    );
+
+    for &rho_s in &[0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.05, 1.2, 1.4] {
+        let params = SystemParams::from_loads(rho_s, 1.0, rho_l, longs)?;
+        let ded = dedicated::analyze(&params);
+        let id = cs_id::analyze(&params);
+        let cq = cs_cq::analyze(&params);
+        let fmt = |v: Result<f64, _>| match v {
+            Ok(x) => format!("{x:>10.3}"),
+            Err(_) => format!("{:>10}", "unstable"),
+        };
+        println!(
+            "{rho_s:>6.2} | {} {} {} | {} {} {}",
+            fmt(ded.as_ref().map(|r| r.short_response).map_err(|_| ())),
+            fmt(id.as_ref().map(|r| r.short_response).map_err(|_| ())),
+            fmt(cq.as_ref().map(|r| r.short_response).map_err(|_| ())),
+            fmt(ded.as_ref().map(|r| r.long_response).map_err(|_| ())),
+            fmt(id.as_ref().map(|r| r.long_response).map_err(|_| ())),
+            fmt(cq.as_ref().map(|r| r.long_response).map_err(|_| ())),
+        );
+    }
+
+    println!(
+        "\nReading the table: once rho_s approaches 1, Dedicated's short queue explodes while\n\
+         cycle stealing keeps serving — and even at rho_s > 1 (impossible for Dedicated),\n\
+         CS-CQ holds short response times to a few service times. The long jobs pay only\n\
+         a small premium because they only ever lose idle cycles plus at most one residual\n\
+         short service."
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Trace-driven evaluation: the operator has an accounting log, not a
+//! parametric model. The `Empirical` distribution feeds the *same* law to
+//! both sides — its sample moments go into the analysis, and bootstrap
+//! resampling drives the simulator — so the two can be compared on the
+//! workload the system actually saw.
+//!
+//! Run with: `cargo run --release --example trace_driven`
+
+use cyclesteal::core::{cs_cq, dedicated, SystemParams};
+use cyclesteal::dist::{Distribution, Empirical, Exp, LogNormal};
+use cyclesteal::sim::{simulate, PolicyKind, SimConfig, SimParams};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Synthesize a plausible "accounting log" of long-job runtimes: a
+    // lognormal with mean 10 and scv 6 (heavy but finite tail), 50k entries.
+    // In production this vector would come straight from the scheduler log.
+    let generator = LogNormal::from_mean_scv(10.0, 6.0)?;
+    let mut rng = SmallRng::seed_from_u64(0x70ACE);
+    let log: Vec<f64> = (0..50_000).map(|_| generator.sample(&mut rng)).collect();
+    let trace = Empirical::from_samples(log)?;
+
+    println!(
+        "Long-job trace: {} entries, mean {:.3}, scv {:.3}, third moment {:.1}",
+        trace.len(),
+        trace.mean(),
+        trace.scv(),
+        trace.moment3()
+    );
+
+    // Operator question: at rho_l = 0.4 from these longs, how much short
+    // traffic can one host absorb, and what does stealing buy?
+    let lambda_l = 0.4 / trace.mean();
+    let shorts = Exp::with_mean(1.0)?;
+
+    println!(
+        "\n{:>6} | {:>12} {:>12} | {:>12} {:>14}",
+        "rho_s", "ded E[Ts]", "cq E[Ts]", "cq E[Tl]", "cq sim E[Ts]"
+    );
+    for rho_s in [0.5, 0.8, 0.95, 1.2, 1.4] {
+        let params = SystemParams::new(rho_s, 1.0, lambda_l, trace.moments())?;
+        let ded = dedicated::analyze(&params)
+            .map(|r| format!("{:>12.3}", r.short_response))
+            .unwrap_or_else(|_| format!("{:>12}", "unstable"));
+        let cq = cs_cq::analyze(&params)?;
+
+        let sim_params = SimParams::new(params.lambda_s(), params.lambda_l(), &shorts, &trace)?;
+        let sim = simulate(
+            PolicyKind::CsCq,
+            &sim_params,
+            &SimConfig {
+                seed: 3,
+                total_jobs: 400_000,
+                ..SimConfig::default()
+            },
+        );
+        println!(
+            "{rho_s:>6.2} | {ded} {:>12.3} | {:>12.3} {:>14.3}",
+            cq.short_response, cq.long_response, sim.short.mean
+        );
+    }
+
+    println!(
+        "\nThe analysis consumed only the trace's first three moments, the simulator\n\
+         replayed the trace itself — agreement between the last two columns means the\n\
+         three-moment summary was enough for this workload, which is the practical\n\
+         content of the paper's moment-matching methodology. (Push rho_s toward the\n\
+         frontier at {:.2} and both the approximation and the simulation strain, as\n\
+         EXPERIMENTS.md quantifies.)",
+        2.0 - 0.4
+    );
+    Ok(())
+}

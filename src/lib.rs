@@ -1,0 +1,55 @@
+//! # cyclesteal
+//!
+//! A complete, tested reproduction of
+//! *Analysis of Task Assignment with Cycle Stealing under Central Queue*
+//! (Harchol-Balter, Li, Osogami, Scheller-Wolf, Squillante — ICDCS 2003):
+//! the analysis of two-host task assignment where short jobs may steal the
+//! long host's idle cycles.
+//!
+//! The workspace provides both sides of the paper:
+//!
+//! * **Analysis** ([`core`]) — the busy-period-transition QBD for CS-CQ,
+//!   the Markov-modulated decomposition for CS-ID, the Dedicated baseline,
+//!   and Theorem 1's stability regions; built on the probability toolkit in
+//!   [`dist`] (moments, phase-type fitting, busy-period calculus), the
+//!   matrix-analytic solver in [`markov`], the dense kernel in [`linalg`],
+//!   and the closed forms in [`mg1`].
+//! * **Simulation** ([`sim`]) — a discrete-event simulator for all policies
+//!   (plus the Section-6 M/G/2/SJF comparator), used to validate every
+//!   approximation the analysis makes.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cyclesteal::core::{cs_cq, cs_id, dedicated, SystemParams};
+//!
+//! # fn main() -> Result<(), cyclesteal::core::AnalysisError> {
+//! // rho_s = 1.2: Dedicated can't even stay stable; cycle stealing can.
+//! let params = SystemParams::exponential(1.2, 1.0, 0.5, 1.0)?;
+//!
+//! assert!(dedicated::analyze(&params).is_err()); // unstable
+//! let id = cs_id::analyze(&params)?;
+//! let cq = cs_cq::analyze(&params)?;
+//! assert!(cq.short_response < id.short_response);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios and the
+//! `cyclesteal-bench` crate for the binaries regenerating every figure and
+//! table of the paper.
+
+#![warn(missing_docs)]
+
+/// The paper's analysis: CS-CQ, CS-ID, Dedicated, stability (Theorem 1).
+pub use cyclesteal_core as core;
+/// Distributions, moments, phase-type fitting, busy-period calculus.
+pub use cyclesteal_dist as dist;
+/// Dense linear algebra sized for matrix-analytic methods.
+pub use cyclesteal_linalg as linalg;
+/// Finite CTMC and QBD solvers.
+pub use cyclesteal_markov as markov;
+/// Closed-form M/M/1, M/G/1(+setup), M/M/c formulas.
+pub use cyclesteal_mg1 as mg1;
+/// Discrete-event simulation of all policies.
+pub use cyclesteal_sim as sim;

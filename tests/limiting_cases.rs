@@ -1,0 +1,93 @@
+//! Section 4 of the paper, "Validation against known limiting cases": as a
+//! class's traffic vanishes or saturates, the CS-CQ analysis must reduce to
+//! classical models with exact solutions — the M/M/2 queue, the M/G/1
+//! queue, and the M/G/1 queue with setup.
+
+use cyclesteal::core::{cs_cq, cs_id, SystemParams};
+use cyclesteal::dist::Moments3;
+use cyclesteal::mg1::{mg1, mmc};
+
+/// `λ_L → 0`: shorts under CS-CQ see a plain M/M/2 (both hosts theirs).
+#[test]
+fn cs_cq_shorts_approach_mm2() {
+    for rho_s in [0.3, 0.8, 1.2, 1.6, 1.9] {
+        let p = SystemParams::exponential(rho_s, 1.0, 1e-8, 1.0).unwrap();
+        let got = cs_cq::analyze(&p).unwrap().short_response;
+        let want = mmc::mean_response(2, rho_s, 1.0).unwrap();
+        assert!(
+            (got - want).abs() / want < 1e-4,
+            "rho_s = {rho_s}: {got} vs M/M/2 {want}"
+        );
+    }
+}
+
+/// `λ_S → 0`: longs under CS-CQ see a plain M/G/1 — no setup ever.
+#[test]
+fn cs_cq_longs_approach_mg1() {
+    for scv in [1.0, 8.0] {
+        let longs = Moments3::from_mean_scv_balanced(1.0, scv).unwrap();
+        for rho_l in [0.3, 0.7, 0.9] {
+            let p = SystemParams::from_loads(1e-8, 1.0, rho_l, longs).unwrap();
+            let got = cs_cq::analyze(&p).unwrap().long_response;
+            let want = mg1::mean_response(rho_l / longs.mean(), longs).unwrap();
+            assert!(
+                (got - want).abs() / want < 1e-4,
+                "C2 = {scv}, rho_l = {rho_l}: {got} vs M/G/1 {want}"
+            );
+        }
+    }
+}
+
+/// Short-class saturation: when `ρ_S ≥ 2 − ρ_L`, every long busy period
+/// starts against two busy shorts, so the longs see exactly an M/G/1 with
+/// an `Exp(2μ_S)` setup. The stable analysis must approach that limit from
+/// below as `ρ_S` rises.
+#[test]
+fn cs_cq_longs_approach_mg1_with_setup_at_saturation() {
+    let longs = Moments3::exponential(1.0).unwrap();
+    let lambda_l = 0.5;
+    let theta = 2.0; // 2 mu_s with mu_s = 1
+    let want =
+        mg1::mean_response_with_setup(lambda_l, longs, 1.0 / theta, 2.0 / (theta * theta)).unwrap();
+
+    let saturated =
+        cs_cq::long_response_saturated(&SystemParams::exponential(1.4, 1.0, 0.5, 1.0).unwrap())
+            .unwrap();
+    assert!((saturated - want).abs() < 1e-12);
+
+    // The chain solution converges to the saturated value as rho_s -> 1.5.
+    let mut prev_gap = f64::INFINITY;
+    for rho_s in [1.0, 1.2, 1.35, 1.45, 1.49] {
+        let p = SystemParams::exponential(rho_s, 1.0, 0.5, 1.0).unwrap();
+        let got = cs_cq::analyze(&p).unwrap().long_response;
+        let gap = want - got;
+        assert!(
+            gap > -1e-9,
+            "rho_s = {rho_s}: chain exceeded the saturated bound"
+        );
+        assert!(gap < prev_gap + 1e-12, "gap must shrink, rho_s = {rho_s}");
+        prev_gap = gap;
+    }
+    assert!(prev_gap < 0.02, "terminal gap {prev_gap}");
+}
+
+/// `λ_S → 0` for CS-ID as well: both the setup probability and the steal
+/// interference vanish.
+#[test]
+fn cs_id_longs_approach_mg1() {
+    let longs = Moments3::from_mean_scv_balanced(2.0, 8.0).unwrap();
+    let p = SystemParams::from_loads(1e-9, 1.0, 0.6, longs).unwrap();
+    let got = cs_id::long_response(&p).unwrap();
+    let want = mg1::mean_response(0.3, longs).unwrap();
+    assert!((got - want).abs() / want < 1e-6);
+}
+
+/// `ρ_L → 1`: the long class dominates; shorts effectively never steal, so
+/// CS-CQ's short response approaches the Dedicated M/M/1 value.
+#[test]
+fn cs_cq_shorts_approach_mm1_when_longs_saturate() {
+    let p = SystemParams::exponential(0.5, 1.0, 0.999, 1.0).unwrap();
+    let got = cs_cq::analyze(&p).unwrap().short_response;
+    let want = 1.0 / (1.0 - 0.5); // M/M/1 at rho = 0.5
+    assert!((got - want).abs() / want < 0.02, "{got} vs M/M/1 {want}");
+}

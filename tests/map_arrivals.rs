@@ -1,0 +1,158 @@
+//! Validation of the MAP-arrival generalization: the CS-CQ product-chain
+//! analysis against the simulator driving the *same* MAP.
+
+use cyclesteal::core::{cs_cq, SystemParams};
+use cyclesteal::dist::{Exp, Map, Moments3};
+use cyclesteal::sim::{simulate, Arrivals, PolicyKind, SimConfig, SimParams};
+
+fn validate(map: &Map, rho_l: f64, scv_l: f64, seed: u64, tol: f64) {
+    let shorts = Exp::with_mean(1.0).unwrap();
+    let longs_m = Moments3::from_mean_scv_balanced(1.0, scv_l).unwrap();
+    let params = SystemParams::new(map.rate(), 1.0, rho_l, longs_m).unwrap();
+    let ana = cs_cq::analyze_map(&params, map).unwrap();
+
+    let longs_exp;
+    let longs_h2;
+    let long_dist: &dyn cyclesteal::dist::Distribution = if scv_l == 1.0 {
+        longs_exp = Exp::with_mean(1.0).unwrap();
+        &longs_exp
+    } else {
+        longs_h2 = cyclesteal::dist::HyperExp2::balanced_means(1.0, scv_l).unwrap();
+        &longs_h2
+    };
+    let sp = SimParams::with_arrivals(
+        Arrivals::Map(map),
+        Arrivals::Poisson(params.lambda_l()),
+        &shorts,
+        long_dist,
+    )
+    .unwrap();
+    let sim = simulate(
+        PolicyKind::CsCq,
+        &sp,
+        &SimConfig {
+            seed,
+            total_jobs: 1_500_000,
+            ..SimConfig::default()
+        },
+    );
+    let err_s = (ana.short_response - sim.short.mean).abs() / sim.short.mean;
+    let err_l = (ana.long_response - sim.long.mean).abs() / sim.long.mean;
+    assert!(
+        err_s < tol,
+        "shorts: analysis {} vs sim {} ± {} ({:.1}%)",
+        ana.short_response,
+        sim.short.mean,
+        sim.short.ci_half,
+        100.0 * err_s
+    );
+    assert!(
+        err_l < tol,
+        "longs: analysis {} vs sim {} ({:.1}%)",
+        ana.long_response,
+        sim.long.mean,
+        100.0 * err_l
+    );
+}
+
+#[test]
+fn mmpp_shorts_moderate_burstiness() {
+    let map = Map::bursty(0.7, 4.0, 2.0).unwrap();
+    validate(&map, 0.5, 1.0, 11, 0.04);
+}
+
+#[test]
+fn mmpp_shorts_high_burstiness() {
+    let map = Map::bursty(0.8, 9.0, 5.0).unwrap();
+    validate(&map, 0.4, 1.0, 12, 0.05);
+}
+
+#[test]
+fn mmpp_shorts_with_coxian_longs() {
+    let map = Map::bursty(0.7, 4.0, 2.0).unwrap();
+    validate(&map, 0.5, 8.0, 13, 0.06);
+}
+
+#[test]
+fn asymmetric_mmpp_shorts() {
+    // Unequal sojourns: 80% of time calm, 20% bursty.
+    let map = Map::mmpp2(0.05, 0.2, 0.4, 2.0).unwrap();
+    validate(&map, 0.5, 1.0, 14, 0.05);
+}
+
+#[test]
+fn cs_id_mmpp_shorts_match_simulation() {
+    let shorts = Exp::with_mean(1.0).unwrap();
+    let longs = Exp::with_mean(1.0).unwrap();
+    let map = Map::bursty(0.8, 4.0, 2.0).unwrap();
+    let params =
+        SystemParams::new(map.rate(), 1.0, 0.4, Moments3::exponential(1.0).unwrap()).unwrap();
+    let ana = cyclesteal::core::cs_id::analyze_map(&params, &map).unwrap();
+
+    let sp = SimParams::with_arrivals(
+        Arrivals::Map(&map),
+        Arrivals::Poisson(params.lambda_l()),
+        &shorts,
+        &longs,
+    )
+    .unwrap();
+    let sim = simulate(
+        PolicyKind::CsId,
+        &sp,
+        &SimConfig {
+            seed: 21,
+            total_jobs: 1_500_000,
+            ..SimConfig::default()
+        },
+    );
+    let err_s = (ana.short_response - sim.short.mean).abs() / sim.short.mean;
+    let err_l = (ana.long_response - sim.long.mean).abs() / sim.long.mean;
+    assert!(
+        err_s < 0.05,
+        "shorts: {} vs sim {} ({:.1}%)",
+        ana.short_response,
+        sim.short.mean,
+        100.0 * err_s
+    );
+    assert!(
+        err_l < 0.04,
+        "longs: {} vs sim {}",
+        ana.long_response,
+        sim.long.mean
+    );
+}
+
+#[test]
+fn cs_id_map_steal_probability_matches_simulation_utilization() {
+    // Work balance at the long host holds for any arrival process:
+    // utilization = rho_l + q_steal * rho_s.
+    let shorts = Exp::with_mean(1.0).unwrap();
+    let longs = Exp::with_mean(1.0).unwrap();
+    let map = Map::bursty(0.9, 9.0, 5.0).unwrap();
+    let params =
+        SystemParams::new(map.rate(), 1.0, 0.3, Moments3::exponential(1.0).unwrap()).unwrap();
+    let ana = cyclesteal::core::cs_id::analyze_map(&params, &map).unwrap();
+
+    let sp = SimParams::with_arrivals(
+        Arrivals::Map(&map),
+        Arrivals::Poisson(params.lambda_l()),
+        &shorts,
+        &longs,
+    )
+    .unwrap();
+    let sim = simulate(
+        PolicyKind::CsId,
+        &sp,
+        &SimConfig {
+            seed: 22,
+            total_jobs: 1_500_000,
+            ..SimConfig::default()
+        },
+    );
+    let want_util = 0.3 + ana.steal_probability * 0.9;
+    assert!(
+        (sim.utilization[1] - want_util).abs() < 0.01,
+        "util {} vs {want_util}",
+        sim.utilization[1]
+    );
+}

@@ -1,0 +1,165 @@
+//! The paper's headline quantitative claims, asserted against this
+//! reproduction's analysis (Section 5 of the paper; anchor values
+//! cross-checked by simulation where the paper only shows graphs).
+
+use cyclesteal::core::stability::{max_rho_l_for_shorts, max_rho_s, Policy};
+use cyclesteal::core::{cs_cq, cs_id, dedicated, SystemParams};
+use cyclesteal::dist::Moments3;
+
+fn exp_params(rho_s: f64, rho_l: f64) -> SystemParams {
+    SystemParams::exponential(rho_s, 1.0, rho_l, 1.0).unwrap()
+}
+
+/// "Results show that cycle stealing can reduce mean response time for
+/// short jobs by orders of magnitude" — at rho_s near Dedicated's
+/// saturation, with rho_l = 0.5.
+#[test]
+fn shorts_gain_an_order_of_magnitude_near_saturation() {
+    let p = exp_params(0.98, 0.5);
+    let ded = dedicated::analyze(&p).unwrap().short_response;
+    let cq = cs_cq::analyze(&p).unwrap().short_response;
+    assert!(ded / cq > 10.0, "improvement factor only {}", ded / cq);
+}
+
+/// "while long jobs are only slightly penalized": at rho_s -> 1, the
+/// penalty to longs is ~10% under CS-CQ and ~25% under CS-ID
+/// (Figure 4 row 2 column (a)).
+#[test]
+fn long_penalty_matches_figure4a() {
+    let p = exp_params(0.999, 0.5);
+    let ded = dedicated::analyze(&p).unwrap().long_response;
+    let cq = cs_cq::analyze(&p).unwrap().long_response;
+    let id = cs_id::analyze(&p).unwrap().long_response;
+    let pen_cq = cq / ded - 1.0;
+    let pen_id = id / ded - 1.0;
+    assert!((0.05..0.15).contains(&pen_cq), "CS-CQ penalty {pen_cq}");
+    assert!((0.15..0.35).contains(&pen_id), "CS-ID penalty {pen_id}");
+    // "the penalty to long jobs appears lower under CS-CQ than under CS-ID"
+    assert!(pen_cq < pen_id);
+}
+
+/// Figure 4 row 2 column (b): when shorts (mean 1) are 10x shorter than
+/// longs (mean 10), the long penalty drops to ~1% under CS-CQ and ~2.5%
+/// under CS-ID.
+#[test]
+fn long_penalty_tiny_when_shorts_are_short() {
+    let p = SystemParams::exponential(0.999, 1.0, 0.5, 10.0).unwrap();
+    let ded = dedicated::analyze(&p).unwrap().long_response;
+    let cq = cs_cq::analyze(&p).unwrap().long_response;
+    let id = cs_id::analyze(&p).unwrap().long_response;
+    let pen_cq = cq / ded - 1.0;
+    let pen_id = id / ded - 1.0;
+    assert!(pen_cq < 0.02, "CS-CQ penalty {pen_cq}");
+    assert!(pen_id < 0.04, "CS-ID penalty {pen_id}");
+}
+
+/// The pathological column (c): "shorts" 10x longer than "longs". The
+/// donors suffer more, but the beneficiaries' gain still dominates.
+#[test]
+fn pathological_case_benefit_exceeds_penalty() {
+    let p = SystemParams::exponential(0.95, 10.0, 0.5, 1.0).unwrap();
+    let ded = dedicated::analyze(&p).unwrap();
+    let cq = cs_cq::analyze(&p).unwrap();
+    let benefit = ded.short_response - cq.short_response;
+    let penalty = cq.long_response - ded.long_response;
+    assert!(penalty > 0.0);
+    assert!(benefit > penalty, "benefit {benefit} vs penalty {penalty}");
+}
+
+/// "CS-CQ is always superior to CS-ID, and both are far better than
+/// Dedicated" — swept across the Dedicated-stable region.
+#[test]
+fn policy_ordering_throughout_stable_region() {
+    for rho_s in [0.2, 0.4, 0.6, 0.8, 0.9, 0.95] {
+        for rho_l in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let p = exp_params(rho_s, rho_l);
+            let ded = dedicated::analyze(&p).unwrap().short_response;
+            let id = cs_id::analyze(&p).unwrap().short_response;
+            let cq = cs_cq::analyze(&p).unwrap().short_response;
+            assert!(
+                cq <= id + 1e-9 && id <= ded + 1e-9,
+                "({rho_s},{rho_l}): cq {cq} id {id} ded {ded}"
+            );
+        }
+    }
+}
+
+/// Theorem 1 / Figure 3 anchors: at rho_l near 0 CS-ID reaches ~1.6 and
+/// CS-CQ reaches 2; and Figure 6's asymptotes at rho_s = 1.5.
+#[test]
+fn stability_anchors() {
+    assert!((max_rho_s(Policy::CsId, 0.0) - 1.618).abs() < 2e-3);
+    assert!((max_rho_s(Policy::CsCq, 0.0) - 2.0).abs() < 1e-12);
+    assert!((max_rho_l_for_shorts(Policy::CsId, 1.5) - 1.0 / 6.0).abs() < 1e-12);
+    assert!((max_rho_l_for_shorts(Policy::CsCq, 1.5) - 0.5).abs() < 1e-12);
+}
+
+/// Figure 4(a) right edge: as rho_s -> CS-ID's asymptote (~1.28 at
+/// rho_l = 0.5), CS-ID's short response diverges while CS-CQ stays small
+/// (the paper's graph reads roughly 7).
+#[test]
+fn cs_cq_finite_at_cs_id_asymptote() {
+    let p = exp_params(1.28, 0.5);
+    let cq = cs_cq::analyze(&p).unwrap().short_response;
+    assert!(cq > 4.0 && cq < 9.0, "cq = {cq}");
+    let id = cs_id::analyze(&p).unwrap().short_response;
+    assert!(id > 5.0 * cq, "cs-id should be near divergence, got {id}");
+}
+
+/// Figure 5: raising long-job variability to C^2 = 8 "does not seem to have
+/// much effect on the mean benefit that cycle stealing offers to short
+/// jobs", while long response rises with variability but with a similar
+/// absolute increase (so a smaller relative penalty).
+#[test]
+fn high_variability_longs_keep_the_benefit() {
+    let longs8 = Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap();
+    let p1 = exp_params(0.9, 0.5);
+    let p8 = SystemParams::from_loads(0.9, 1.0, 0.5, longs8).unwrap();
+
+    let gain1 = dedicated::analyze(&p1).unwrap().short_response
+        / cs_cq::analyze(&p1).unwrap().short_response;
+    let gain8 = dedicated::analyze(&p8).unwrap().short_response
+        / cs_cq::analyze(&p8).unwrap().short_response;
+    assert!(
+        (gain1 - gain8).abs() / gain1 < 0.3,
+        "gain(C2=1) = {gain1}, gain(C2=8) = {gain8}"
+    );
+
+    // Relative long penalty shrinks with variability (Figure 5 row 2 (a):
+    // under 5% for CS-CQ even at rho_s -> 1).
+    let p8_sat = SystemParams::from_loads(0.999, 1.0, 0.5, longs8).unwrap();
+    let pen = cs_cq::analyze(&p8_sat).unwrap().long_response
+        / dedicated::analyze(&p8_sat).unwrap().long_response
+        - 1.0;
+    assert!(pen < 0.05, "penalty {pen}");
+}
+
+/// Figure 6 row 2: with rho_s = 1.5, the long-job penalty of cycle stealing
+/// (vs Dedicated) vanishes as rho_l -> 1 in the equal-means case: the
+/// shorts can't get in to steal.
+#[test]
+fn long_penalty_shrinks_at_high_rho_l() {
+    let longs = Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap();
+    let penalty_at = |rho_l: f64| {
+        let p = SystemParams::from_loads(1.5, 1.0, rho_l, longs).unwrap();
+        let ded = dedicated::long_response(&p).unwrap();
+        cs_cq::long_response_auto(&p).unwrap() / ded - 1.0
+    };
+    let lo = penalty_at(0.3);
+    let hi = penalty_at(0.95);
+    assert!(hi < lo, "penalty should shrink: {lo} -> {hi}");
+    assert!(hi < 0.05, "penalty at rho_l = 0.95 is {hi}");
+}
+
+/// The renaming insight (Section 5): CS-CQ penalizes longs *less* than
+/// CS-ID even though it steals more, because a long arriving to two busy
+/// shorts waits only Exp(2 mu_s) for the first to finish.
+#[test]
+fn renaming_explains_lower_cs_cq_penalty() {
+    for rho_s in [0.5, 0.9, 1.2] {
+        let p = exp_params(rho_s, 0.5);
+        let cq = cs_cq::long_response_auto(&p).unwrap();
+        let id = cs_id::long_response(&p).unwrap();
+        assert!(cq < id, "rho_s = {rho_s}: cq {cq} vs id {id}");
+    }
+}

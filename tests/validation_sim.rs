@@ -1,0 +1,252 @@
+//! Section 4 of the paper, "Validation against simulation": the approximate
+//! analysis is compared with the discrete-event simulator over a grid of
+//! loads and both job-size regimes (exponential and Coxian `C² = 8`).
+//!
+//! The paper reports differences "under 2% in almost all cases, and never
+//! over 5%", with the caveat that simulation accuracy itself degrades near
+//! saturation. These tests use 1M-job runs and allow the analysis a 5%
+//! band at moderate loads and a wider one where the simulator's own CI is
+//! large.
+
+use cyclesteal::core::{cs_cq, cs_id, SystemParams};
+use cyclesteal::dist::{Distribution, Exp, HyperExp2, Moments3};
+use cyclesteal::sim::{simulate, PolicyKind, SimConfig, SimParams};
+
+struct Case {
+    rho_s: f64,
+    rho_l: f64,
+    scv_l: f64,
+    tol: f64,
+}
+
+fn run_grid(kind: PolicyKind, cases: &[Case]) {
+    let shorts = Exp::with_mean(1.0).unwrap();
+    for case in cases {
+        let long_moments = if case.scv_l == 1.0 {
+            Moments3::exponential(1.0).unwrap()
+        } else {
+            Moments3::from_mean_scv_balanced(1.0, case.scv_l).unwrap()
+        };
+        let longs_exp;
+        let longs_h2;
+        let long_dist: &dyn Distribution = if case.scv_l == 1.0 {
+            longs_exp = Exp::with_mean(1.0).unwrap();
+            &longs_exp
+        } else {
+            longs_h2 = HyperExp2::balanced_means(1.0, case.scv_l).unwrap();
+            &longs_h2
+        };
+
+        let params = SystemParams::from_loads(case.rho_s, 1.0, case.rho_l, long_moments).unwrap();
+        let (ana_s, ana_l) = match kind {
+            PolicyKind::CsId => {
+                let r = cs_id::analyze(&params).unwrap();
+                (r.short_response, r.long_response)
+            }
+            PolicyKind::CsCq => {
+                let r = cs_cq::analyze(&params).unwrap();
+                (r.short_response, r.long_response)
+            }
+            _ => unreachable!("only the cycle-stealing policies are validated here"),
+        };
+
+        let sim_params =
+            SimParams::new(params.lambda_s(), params.lambda_l(), &shorts, long_dist).unwrap();
+        let config = SimConfig {
+            seed: 0xC5C5 ^ (case.rho_s * 100.0) as u64 ^ ((case.rho_l * 1000.0) as u64) << 8,
+            total_jobs: 1_000_000,
+            ..SimConfig::default()
+        };
+        let sim = simulate(kind, &sim_params, &config);
+
+        let err_s = (ana_s - sim.short.mean).abs() / sim.short.mean;
+        let err_l = (ana_l - sim.long.mean).abs() / sim.long.mean;
+        assert!(
+            err_s < case.tol,
+            "{kind:?} shorts at ({}, {}, C2={}): analysis {ana_s:.4} vs sim {:.4} ±{:.4} ({:.1}%)",
+            case.rho_s,
+            case.rho_l,
+            case.scv_l,
+            sim.short.mean,
+            sim.short.ci_half,
+            100.0 * err_s
+        );
+        assert!(
+            err_l < case.tol,
+            "{kind:?} longs at ({}, {}, C2={}): analysis {ana_l:.4} vs sim {:.4} ±{:.4} ({:.1}%)",
+            case.rho_s,
+            case.rho_l,
+            case.scv_l,
+            sim.long.mean,
+            sim.long.ci_half,
+            100.0 * err_l
+        );
+    }
+}
+
+#[test]
+fn cs_cq_matches_simulation_exponential() {
+    run_grid(
+        PolicyKind::CsCq,
+        &[
+            Case {
+                rho_s: 0.3,
+                rho_l: 0.3,
+                scv_l: 1.0,
+                tol: 0.02,
+            },
+            Case {
+                rho_s: 0.5,
+                rho_l: 0.5,
+                scv_l: 1.0,
+                tol: 0.02,
+            },
+            Case {
+                rho_s: 0.9,
+                rho_l: 0.5,
+                scv_l: 1.0,
+                tol: 0.03,
+            },
+            Case {
+                rho_s: 1.0,
+                rho_l: 0.5,
+                scv_l: 1.0,
+                tol: 0.03,
+            },
+            Case {
+                rho_s: 0.9,
+                rho_l: 0.8,
+                scv_l: 1.0,
+                tol: 0.05,
+            },
+            // Deep into the stolen-capacity regime; simulation noise grows.
+            Case {
+                rho_s: 1.2,
+                rho_l: 0.5,
+                scv_l: 1.0,
+                tol: 0.06,
+            },
+        ],
+    );
+}
+
+#[test]
+fn cs_cq_matches_simulation_coxian() {
+    run_grid(
+        PolicyKind::CsCq,
+        &[
+            Case {
+                rho_s: 0.5,
+                rho_l: 0.5,
+                scv_l: 8.0,
+                tol: 0.04,
+            },
+            Case {
+                rho_s: 0.9,
+                rho_l: 0.5,
+                scv_l: 8.0,
+                tol: 0.06,
+            },
+            Case {
+                rho_s: 1.2,
+                rho_l: 0.3,
+                scv_l: 8.0,
+                tol: 0.06,
+            },
+        ],
+    );
+}
+
+#[test]
+fn cs_id_matches_simulation_exponential() {
+    run_grid(
+        PolicyKind::CsId,
+        &[
+            Case {
+                rho_s: 0.3,
+                rho_l: 0.3,
+                scv_l: 1.0,
+                tol: 0.02,
+            },
+            Case {
+                rho_s: 0.5,
+                rho_l: 0.5,
+                scv_l: 1.0,
+                tol: 0.02,
+            },
+            Case {
+                rho_s: 0.9,
+                rho_l: 0.5,
+                scv_l: 1.0,
+                tol: 0.03,
+            },
+            Case {
+                rho_s: 1.0,
+                rho_l: 0.5,
+                scv_l: 1.0,
+                tol: 0.03,
+            },
+        ],
+    );
+}
+
+#[test]
+fn cs_id_matches_simulation_coxian() {
+    run_grid(
+        PolicyKind::CsId,
+        &[
+            Case {
+                rho_s: 0.5,
+                rho_l: 0.5,
+                scv_l: 8.0,
+                tol: 0.04,
+            },
+            Case {
+                rho_s: 0.9,
+                rho_l: 0.5,
+                scv_l: 8.0,
+                tol: 0.06,
+            },
+            Case {
+                rho_s: 1.2,
+                rho_l: 0.3,
+                scv_l: 8.0,
+                tol: 0.06,
+            },
+        ],
+    );
+}
+
+/// The pathological geometry: "shorts" with mean 10 stealing from "longs"
+/// with mean 1 (column (c) of the paper's figures).
+#[test]
+fn cs_cq_matches_simulation_long_shorts() {
+    let shorts = Exp::with_mean(10.0).unwrap();
+    let longs = Exp::with_mean(1.0).unwrap();
+    let params = SystemParams::exponential(0.9, 10.0, 0.5, 1.0).unwrap();
+    let sim_params = SimParams::new(params.lambda_s(), params.lambda_l(), &shorts, &longs).unwrap();
+    let r = cs_cq::analyze(&params).unwrap();
+    let sim = simulate(
+        PolicyKind::CsCq,
+        &sim_params,
+        &SimConfig {
+            seed: 99,
+            total_jobs: 1_000_000,
+            ..SimConfig::default()
+        },
+    );
+    let err_s = (r.short_response - sim.short.mean).abs() / sim.short.mean;
+    let err_l = (r.long_response - sim.long.mean).abs() / sim.long.mean;
+    assert!(
+        err_s < 0.04,
+        "shorts: {} vs {} ({err_s:.3})",
+        r.short_response,
+        sim.short.mean
+    );
+    assert!(
+        err_l < 0.04,
+        "longs: {} vs {} ({err_l:.3})",
+        r.long_response,
+        sim.long.mean
+    );
+}
