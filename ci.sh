@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# The full CI gate, runnable locally: build, offline tests, bench smoke.
+#
+# The workspace has no external dependencies, so everything here runs with
+# CARGO_NET_OFFLINE=true — any accidental registry dependency fails fast
+# instead of hanging on an unreachable network.
+set -eu
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release (workspace)"
+cargo build --workspace --release --offline
+
+echo "==> cargo test (workspace, offline)"
+cargo test -q --workspace --offline
+
+echo "==> bench smoke (--quick)"
+cargo bench -p cyclesteal-bench --offline --bench solver -- --quick
+cargo bench -p cyclesteal-bench --offline --bench analysis_vs_simulation -- --quick
+
+# Bench binaries run with the package directory as CWD, so the JSON
+# lands next to the bench crate.
+for f in crates/bench/BENCH_solver.json crates/bench/BENCH_analysis_vs_simulation.json; do
+    [ -s "$f" ] || { echo "missing bench output $f" >&2; exit 1; }
+done
+
+echo "==> OK"

@@ -5,50 +5,45 @@
 //! This bench pits a *whole analytic curve* (the 29-point Figure 4(a)
 //! shorts sweep) against a *single* simulation point, so the reported
 //! ratio understates the true analysis advantage by a factor of ~29.
+//!
+//! Runs on the in-tree `cyclesteal_xtest::Bench` harness; results land in
+//! `BENCH_analysis_vs_simulation.json`. `--quick` for smoke runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cyclesteal_core::{cs_cq, SystemParams};
 use cyclesteal_dist::Exp;
 use cyclesteal_sim::{simulate, PolicyKind, SimConfig, SimParams};
+use cyclesteal_xtest::Bench;
 
-fn bench_full_curve_analysis(c: &mut Criterion) {
-    c.bench_function("figure4a_shorts_curve/analysis_29_points", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for i in 0..29 {
-                let rho_s = 0.05 + 1.4 * i as f64 / 28.0;
-                let p = SystemParams::exponential(rho_s, 1.0, 0.5, 1.0).unwrap();
-                acc += cs_cq::analyze(black_box(&p)).unwrap().short_response;
-            }
-            acc
-        })
+fn main() {
+    let mut h = Bench::new("analysis_vs_simulation");
+
+    h.bench("figure4a_shorts_curve/analysis_29_points", || {
+        let mut acc = 0.0;
+        for i in 0..29 {
+            let rho_s = 0.05 + 1.4 * i as f64 / 28.0;
+            let p = SystemParams::exponential(rho_s, 1.0, 0.5, 1.0).unwrap();
+            acc += cs_cq::analyze(black_box(&p)).unwrap().short_response;
+        }
+        acc
     });
-}
 
-fn bench_single_simulation_point(c: &mut Criterion) {
     let shorts = Exp::with_mean(1.0).unwrap();
     let longs = Exp::with_mean(1.0).unwrap();
-    let mut group = c.benchmark_group("figure4a_shorts_curve");
-    group.sample_size(10);
-    group.bench_function("simulation_1_point_200k_jobs", |b| {
-        b.iter(|| {
-            let p = SimParams::new(0.9, 0.5, &shorts, &longs).unwrap();
-            let cfg = SimConfig {
-                seed: 1,
-                total_jobs: 200_000,
-                ..SimConfig::default()
-            };
-            simulate(PolicyKind::CsCq, black_box(&p), &cfg).short.mean
-        })
+    // A simulation point takes ~10^5 x longer than one analysis point;
+    // keep the sample small the way the criterion version did
+    // (sample_size(10)) by pinning the iteration count.
+    let sim_jobs = if h.is_quick() { 20_000 } else { 200_000 };
+    h.bench("figure4a_shorts_curve/simulation_1_point_200k_jobs", || {
+        let p = SimParams::new(0.9, 0.5, &shorts, &longs).unwrap();
+        let cfg = SimConfig {
+            seed: 1,
+            total_jobs: sim_jobs,
+            ..SimConfig::default()
+        };
+        simulate(PolicyKind::CsCq, black_box(&p), &cfg).short.mean
     });
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_full_curve_analysis,
-    bench_single_simulation_point
-);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,14 +1,17 @@
-//! Criterion micro-benchmarks of the analysis pipeline: busy-period moment
+//! Micro-benchmarks of the analysis pipeline: busy-period moment
 //! calculus, three-moment matching, the `R`-matrix algorithms (logarithmic
 //! reduction vs functional iteration), and the end-to-end policy analyses.
+//!
+//! Runs on the in-tree `cyclesteal_xtest::Bench` harness; results land in
+//! `BENCH_solver.json` (mean/p50/p99 per entry). `--quick` for smoke runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cyclesteal_core::{cs_cq, cs_id, dedicated, SystemParams};
 use cyclesteal_dist::{busy, match3, Moments3};
 use cyclesteal_linalg::Matrix;
 use cyclesteal_markov::qbd::{Qbd, RAlgorithm};
+use cyclesteal_xtest::Bench;
 
 fn params() -> SystemParams {
     let longs = Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap();
@@ -40,57 +43,42 @@ fn mph1_qbd(rho: f64) -> Qbd {
     Qbd::new(b00, b01, b10, a0, a1, a2).unwrap()
 }
 
-fn bench_busy_calculus(c: &mut Criterion) {
+fn main() {
+    let mut h = Bench::new("solver");
+
     let job = Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap();
-    c.bench_function("busy/mg1_busy_moments", |b| {
-        b.iter(|| busy::mg1_busy(black_box(0.5), black_box(job)).unwrap())
+    h.bench("busy/mg1_busy_moments", || {
+        busy::mg1_busy(black_box(0.5), black_box(job)).unwrap()
     });
-    c.bench_function("busy/bn1_moments", |b| {
-        b.iter(|| busy::bn1(black_box(0.5), black_box(job), black_box(2.0)).unwrap())
+    h.bench("busy/bn1_moments", || {
+        busy::bn1(black_box(0.5), black_box(job), black_box(2.0)).unwrap()
     });
-}
 
-fn bench_moment_matching(c: &mut Criterion) {
-    let b_l = busy::mg1_busy(0.5, Moments3::from_mean_scv_balanced(1.0, 8.0).unwrap()).unwrap();
-    c.bench_function("match3/fit_ph_busy_period", |b| {
-        b.iter(|| match3::fit_ph(black_box(b_l)).unwrap())
+    let b_l = busy::mg1_busy(0.5, job).unwrap();
+    h.bench("match3/fit_ph_busy_period", || {
+        match3::fit_ph(black_box(b_l)).unwrap()
     });
-}
 
-fn bench_r_algorithms(c: &mut Criterion) {
     for rho in [0.5, 0.9, 0.99] {
         let qbd = mph1_qbd(rho);
-        c.bench_function(&format!("qbd/logarithmic_reduction/rho_{rho}"), |b| {
-            b.iter(|| qbd.r_logarithmic_reduction().unwrap())
+        h.bench(&format!("qbd/logarithmic_reduction/rho_{rho}"), || {
+            qbd.r_logarithmic_reduction().unwrap()
         });
-        c.bench_function(&format!("qbd/functional_iteration/rho_{rho}"), |b| {
-            b.iter(|| qbd.r_functional_iteration().unwrap())
+        h.bench(&format!("qbd/functional_iteration/rho_{rho}"), || {
+            qbd.r_functional_iteration().unwrap()
         });
-        c.bench_function(&format!("qbd/full_solve/rho_{rho}"), |b| {
-            b.iter(|| qbd.solve_with(RAlgorithm::LogarithmicReduction).unwrap())
+        h.bench(&format!("qbd/full_solve/rho_{rho}"), || {
+            qbd.solve_with(RAlgorithm::LogarithmicReduction).unwrap()
         });
     }
-}
 
-fn bench_policy_analyses(c: &mut Criterion) {
     let p = params();
-    c.bench_function("analysis/dedicated", |b| {
-        let p_stable = SystemParams::exponential(0.9, 1.0, 0.5, 1.0).unwrap();
-        b.iter(|| dedicated::analyze(black_box(&p_stable)).unwrap())
+    let p_stable = SystemParams::exponential(0.9, 1.0, 0.5, 1.0).unwrap();
+    h.bench("analysis/dedicated", || {
+        dedicated::analyze(black_box(&p_stable)).unwrap()
     });
-    c.bench_function("analysis/cs_id", |b| {
-        b.iter(|| cs_id::analyze(black_box(&p)).unwrap())
-    });
-    c.bench_function("analysis/cs_cq", |b| {
-        b.iter(|| cs_cq::analyze(black_box(&p)).unwrap())
-    });
-}
+    h.bench("analysis/cs_id", || cs_id::analyze(black_box(&p)).unwrap());
+    h.bench("analysis/cs_cq", || cs_cq::analyze(black_box(&p)).unwrap());
 
-criterion_group!(
-    benches,
-    bench_busy_calculus,
-    bench_moment_matching,
-    bench_r_algorithms,
-    bench_policy_analyses
-);
-criterion_main!(benches);
+    h.finish();
+}

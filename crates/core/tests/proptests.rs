@@ -1,0 +1,109 @@
+//! Property tests of the policy-analysis layer itself (the root-level
+//! suite covers cross-policy orderings): determinism, monotonicity,
+//! exact special cases, and Theorem-1 frontier geometry.
+
+use cyclesteal_core::stability::{is_stable, max_rho_l_for_shorts, max_rho_s, Policy};
+use cyclesteal_core::{cs_cq, cs_id, dedicated, SystemParams};
+use cyclesteal_dist::Moments3;
+use cyclesteal_xtest::{props, xassume};
+
+fn short_response_at(policy: Policy, rho_s: f64, rho_l: f64) -> f64 {
+    let p = SystemParams::exponential(rho_s, 1.0, rho_l, 1.0).unwrap();
+    match policy {
+        Policy::CsCq => cs_cq::analyze(&p).unwrap().short_response,
+        Policy::CsId => cs_id::analyze(&p).unwrap().short_response,
+        Policy::Dedicated => dedicated::analyze(&p).unwrap().short_response,
+    }
+}
+
+props! {
+    cases = 48;
+
+    /// The analysis is a pure function: identical inputs give
+    /// bit-identical outputs (no hidden global state, no randomness).
+    fn analysis_is_pure(rho_s in 0.1f64..1.4, rho_l in 0.05f64..0.9, scv in 1.0f64..16.0) {
+        xassume!(rho_s < 2.0 - rho_l - 0.05);
+        let long = Moments3::from_mean_scv_balanced(1.0, scv).unwrap();
+        let p = SystemParams::from_loads(rho_s, 1.0, rho_l, long).unwrap();
+        let a = cs_cq::analyze(&p).unwrap();
+        let b = cs_cq::analyze(&p).unwrap();
+        assert_eq!(a.short_response.to_bits(), b.short_response.to_bits());
+        assert_eq!(a.long_response.to_bits(), b.long_response.to_bits());
+        assert_eq!(a.total_mass.to_bits(), b.total_mass.to_bits());
+    }
+
+    /// Short response is monotone increasing in the short load, for
+    /// every policy, over its stable region.
+    fn short_response_monotone_in_rho_s(rho_s in 0.1f64..1.2, rho_l in 0.05f64..0.9) {
+        let step = 0.05;
+        for policy in [Policy::CsCq, Policy::CsId, Policy::Dedicated] {
+            if rho_s + step < max_rho_s(policy, rho_l) - 0.02 {
+                let lo = short_response_at(policy, rho_s, rho_l);
+                let hi = short_response_at(policy, rho_s + step, rho_l);
+                assert!(hi > lo, "{policy:?}: {hi} !> {lo} at rho_s {rho_s}");
+            }
+        }
+    }
+
+    /// Dedicated servers are two independent M/M/1 queues when both
+    /// classes are exponential — the closed form is exact.
+    fn dedicated_is_two_mm1_queues(
+        rho_s in 0.05f64..0.95,
+        rho_l in 0.05f64..0.95,
+        mean_s in 0.2f64..5.0,
+        mean_l in 0.2f64..5.0,
+    ) {
+        let p = SystemParams::exponential(rho_s, mean_s, rho_l, mean_l).unwrap();
+        let r = dedicated::analyze(&p).unwrap();
+        let want_s = mean_s / (1.0 - rho_s);
+        let want_l = mean_l / (1.0 - rho_l);
+        assert!((r.short_response - want_s).abs() < 1e-9 * want_s);
+        assert!((r.long_response - want_l).abs() < 1e-9 * want_l);
+    }
+
+    /// Theorem 1 geometry: the frontiers are ordered
+    /// `Dedicated ≤ CS-ID ≤ CS-CQ`, the CS-CQ frontier is exactly
+    /// `2 − ρ_L`, and all frontiers shrink as the long load grows.
+    fn stability_frontiers_are_ordered_and_monotone(rho_l in 0.05f64..0.9) {
+        let ded = max_rho_s(Policy::Dedicated, rho_l);
+        let id = max_rho_s(Policy::CsId, rho_l);
+        let cq = max_rho_s(Policy::CsCq, rho_l);
+        assert_eq!(ded, 1.0);
+        assert!(id >= ded - 1e-12 && cq >= id - 1e-12, "ded {ded} id {id} cq {cq}");
+        assert!((cq - (2.0 - rho_l)).abs() < 1e-12);
+        let id2 = max_rho_s(Policy::CsId, rho_l + 0.05);
+        let cq2 = max_rho_s(Policy::CsCq, rho_l + 0.05);
+        assert!(id2 <= id + 1e-12 && cq2 < cq);
+    }
+
+    /// `is_stable` and `max_rho_s` / `max_rho_l_for_shorts` agree:
+    /// strictly inside every frontier is stable, strictly outside is not.
+    fn stability_predicates_agree(rho_s in 0.1f64..1.9, rho_l in 0.05f64..0.95) {
+        for policy in [Policy::Dedicated, Policy::CsId, Policy::CsCq] {
+            let frontier = max_rho_s(policy, rho_l);
+            assert_eq!(is_stable(policy, rho_s, rho_l), rho_s < frontier);
+            let dual = max_rho_l_for_shorts(policy, rho_s);
+            if rho_l < dual - 1e-9 && dual > 0.0 {
+                assert!(is_stable(policy, rho_s, rho_l) || rho_l >= 1.0);
+            }
+        }
+    }
+
+    /// The CS-ID long-side penalty comes only from the switching setup:
+    /// as the switching overhead of donation vanishes with rarer steals
+    /// (ρ_s → 0 keeps the donor almost always on its own work), the
+    /// gain for shorts persists while the long penalty stays bounded by
+    /// the CS-CQ ordering proved in the paper.
+    fn cs_id_never_beats_cs_cq_for_either_class(
+        rho_s in 0.1f64..0.95,
+        rho_l in 0.1f64..0.9,
+        scv in 1.0f64..16.0,
+    ) {
+        let long = Moments3::from_mean_scv_balanced(1.0, scv).unwrap();
+        let p = SystemParams::from_loads(rho_s, 1.0, rho_l, long).unwrap();
+        let id = cs_id::analyze(&p).unwrap();
+        let cq = cs_cq::analyze(&p).unwrap();
+        assert!(cq.short_response <= id.short_response * (1.0 + 1e-9));
+        assert!(cq.long_response <= id.long_response * (1.0 + 1e-9));
+    }
+}

@@ -1,4 +1,4 @@
-use rand::{Rng, RngExt};
+use cyclesteal_xtest::rng::{Rng, RngExt};
 
 use crate::dist::sample_exp;
 use crate::error::check_positive;
@@ -163,8 +163,7 @@ impl Distribution for Uniform {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cyclesteal_xtest::rng::{SeedableRng, SmallRng};
 
     #[test]
     fn exp_constructors() {

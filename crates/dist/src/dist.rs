@@ -1,4 +1,4 @@
-use rand::{Rng, RngExt};
+use cyclesteal_xtest::rng::{Rng, RngExt};
 
 use crate::Moments3;
 
@@ -17,7 +17,7 @@ use crate::Moments3;
 ///
 /// ```
 /// use cyclesteal_dist::{Distribution, Exp};
-/// use rand::{rngs::SmallRng, SeedableRng};
+/// use cyclesteal_xtest::rng::{SeedableRng, SmallRng};
 ///
 /// # fn main() -> Result<(), cyclesteal_dist::DistError> {
 /// let d = Exp::with_mean(2.0)?;
@@ -89,8 +89,7 @@ pub(crate) fn sample_std_normal(rng: &mut dyn Rng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cyclesteal_xtest::rng::{SeedableRng, SmallRng};
 
     #[test]
     fn sample_exp_mean_close() {

@@ -2,7 +2,7 @@
 //! samples (e.g. a supercomputing accounting log, the paper's motivating
 //! data source).
 
-use rand::{Rng, RngExt};
+use cyclesteal_xtest::rng::{Rng, RngExt};
 
 use crate::{DistError, Distribution};
 
@@ -100,8 +100,7 @@ impl Distribution for Empirical {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cyclesteal_xtest::rng::{SeedableRng, SmallRng};
 
     #[test]
     fn moments_are_sample_moments() {

@@ -1,4 +1,4 @@
-use rand::{Rng, RngExt};
+use cyclesteal_xtest::rng::{Rng, RngExt};
 
 use crate::dist::sample_std_normal;
 use crate::error::check_positive;
@@ -178,8 +178,7 @@ impl Distribution for Weibull {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cyclesteal_xtest::rng::{SeedableRng, SmallRng};
 
     fn empirical_moments(d: &dyn Distribution, n: usize, seed: u64) -> (f64, f64) {
         let mut rng = SmallRng::seed_from_u64(seed);

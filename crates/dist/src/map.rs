@@ -22,7 +22,7 @@
 //! # }
 //! ```
 
-use rand::{Rng, RngExt};
+use cyclesteal_xtest::rng::{Rng, RngExt};
 
 use cyclesteal_linalg::Matrix;
 
@@ -345,8 +345,7 @@ impl Map {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cyclesteal_xtest::rng::{SeedableRng, SmallRng};
 
     #[test]
     fn poisson_special_case() {

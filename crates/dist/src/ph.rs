@@ -9,7 +9,7 @@
 //! exactly the paper's "more moments could be modeled using a higher-degree
 //! Coxian" remark.
 
-use rand::{Rng, RngExt};
+use cyclesteal_xtest::rng::{Rng, RngExt};
 
 use cyclesteal_linalg::Matrix;
 
@@ -604,8 +604,7 @@ impl Distribution for Coxian2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cyclesteal_xtest::rng::{SeedableRng, SmallRng};
 
     fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
         assert!((a - b).abs() <= tol * (1.0 + b.abs()), "{what}: {a} vs {b}");

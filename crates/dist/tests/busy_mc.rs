@@ -6,8 +6,7 @@
 //! against the closed forms in `cyclesteal_dist::busy`.
 
 use cyclesteal_dist::{busy, Distribution, Exp, HyperExp2, Moments3};
-use rand::rngs::SmallRng;
-use rand::{Rng, RngExt, SeedableRng};
+use cyclesteal_xtest::rng::{Rng, RngExt, SeedableRng, SmallRng};
 
 /// Samples a Poisson(`mean`) count by Knuth's product-of-uniforms method.
 fn sample_poisson(mean: f64, rng: &mut dyn Rng) -> u64 {

@@ -1,113 +1,130 @@
 //! Property-based tests for moment feasibility, matching, and the
-//! busy-period calculus.
+//! busy-period calculus, on the in-tree `cyclesteal_xtest` property layer.
 
 use cyclesteal_dist::{busy, match3, Coxian2, Distribution, Erlang, HyperExp2, Moments3};
-use proptest::prelude::*;
+use cyclesteal_xtest::{props, xassume};
 
-proptest! {
+props! {
     /// Every moment triple built from a real distribution is feasible.
-    #[test]
     fn hyperexp_moments_always_feasible(
         p1 in 0.01f64..0.99,
         mu1 in 0.1f64..10.0,
         mu2 in 0.1f64..10.0,
     ) {
         let h = HyperExp2::new(p1, mu1, mu2).unwrap();
-        prop_assert!(Moments3::new(h.mean(), h.moment2(), h.moment3()).is_ok());
+        assert!(Moments3::new(h.mean(), h.moment2(), h.moment3()).is_ok());
     }
 
     /// fit_ph matches the mean always and all three moments whenever it
     /// claims to.
-    #[test]
     fn fit_ph_honours_its_quality_claim(mean in 0.1f64..10.0, scv in 0.05f64..32.0) {
         let m = Moments3::from_mean_scv_balanced(mean, scv).unwrap();
         let fit = match3::fit_ph(m).unwrap();
-        prop_assert!((fit.ph.mean() - m.mean()).abs() / m.mean() < 1e-6);
+        assert!((fit.ph.mean() - m.mean()).abs() / m.mean() < 1e-6);
         match fit.quality {
             match3::MatchQuality::ExactThree => {
-                prop_assert!((fit.ph.moment2() - m.m2()).abs() / m.m2() < 1e-6);
-                prop_assert!((fit.ph.moment3() - m.m3()).abs() / m.m3() < 1e-5);
+                assert!((fit.ph.moment2() - m.m2()).abs() / m.m2() < 1e-6);
+                assert!((fit.ph.moment3() - m.m3()).abs() / m.m3() < 1e-5);
             }
             match3::MatchQuality::ExactTwo => {
-                prop_assert!((fit.ph.moment2() - m.m2()).abs() / m.m2() < 1e-6);
+                assert!((fit.ph.moment2() - m.m2()).abs() / m.m2() < 1e-6);
             }
             match3::MatchQuality::MeanOnly => {}
         }
     }
 
     /// Any Coxian-2's own moment triple round-trips through the closed-form
-    /// matcher exactly.
-    #[test]
+    /// matcher within 1e-8 relative error on all three moments.
     fn coxian_roundtrip(mu1 in 0.1f64..10.0, p in 0.0f64..1.0, mu2 in 0.1f64..10.0) {
         let c = Coxian2::new(mu1, p, mu2).unwrap();
         let m = c.moments();
         let fitted = match3::fit_coxian2(m).unwrap();
-        prop_assume!(fitted.is_some());
+        xassume!(fitted.is_some());
         let f = fitted.unwrap();
-        prop_assert!((f.mean() - c.mean()).abs() / c.mean() < 1e-7);
-        prop_assert!((f.moment2() - c.moment2()).abs() / c.moment2() < 1e-7);
-        prop_assert!((f.moment3() - c.moment3()).abs() / c.moment3() < 1e-6);
+        assert!((f.mean() - c.mean()).abs() / c.mean() < 1e-8);
+        assert!((f.moment2() - c.moment2()).abs() / c.moment2() < 1e-8);
+        assert!((f.moment3() - c.moment3()).abs() / c.moment3() < 1e-8);
+    }
+
+    /// Infeasible moment triples must be *rejected with an error* — never a
+    /// panic and never a silent bogus fit. The triples below violate the
+    /// m3-feasibility frontier by scaling a valid third moment down.
+    fn infeasible_regions_error_not_panic(
+        mean in 0.1f64..10.0,
+        scv in 0.05f64..32.0,
+        squeeze in 0.01f64..0.9,
+    ) {
+        let m = Moments3::from_mean_scv_balanced(mean, scv).unwrap();
+        // A third moment below the Cauchy-Schwarz-type lower bound
+        // m2^2/m1 is infeasible for any nonnegative random variable.
+        let bad_m3 = m.m2() * m.m2() / m.mean() * squeeze;
+        let triple = Moments3::new(m.mean(), m.m2(), bad_m3);
+        match triple {
+            // Construction may already reject the triple...
+            Err(_) => {}
+            // ...and if it is representable, the matcher must return Err
+            // or a clean None, not panic.
+            Ok(t) => {
+                let _ = match3::fit_coxian2(t);
+                let _ = match3::fit_ph(t);
+            }
+        }
     }
 
     /// Busy-period moments are monotone in the arrival rate.
-    #[test]
     fn busy_monotone_in_lambda(mean in 0.2f64..2.0, scv in 0.5f64..8.0) {
         let job = Moments3::from_mean_scv_balanced(mean, scv).unwrap();
         let lam_hi = 0.9 / mean;
         let lam_lo = 0.4 / mean;
         let lo = busy::mg1_busy(lam_lo, job).unwrap();
         let hi = busy::mg1_busy(lam_hi, job).unwrap();
-        prop_assert!(hi.mean() > lo.mean());
-        prop_assert!(hi.m2() > lo.m2());
-        prop_assert!(hi.m3() > lo.m3());
+        assert!(hi.mean() > lo.mean());
+        assert!(hi.m2() > lo.m2());
+        assert!(hi.m3() > lo.m3());
     }
 
     /// The delay busy period started by the work of exactly one job equals
     /// the ordinary busy period — for any feasible job law.
-    #[test]
     fn delay_busy_consistency(mean in 0.2f64..2.0, scv in 0.5f64..8.0, util in 0.1f64..0.9) {
         let job = Moments3::from_mean_scv_balanced(mean, scv).unwrap();
         let lambda = util / mean;
         let b = busy::mg1_busy(lambda, job).unwrap();
         let d = busy::delay_busy(lambda, job, job).unwrap();
-        prop_assert!((b.mean() - d.mean()).abs() / b.mean() < 1e-10);
-        prop_assert!((b.m2() - d.m2()).abs() / b.m2() < 1e-10);
-        prop_assert!((b.m3() - d.m3()).abs() / b.m3() < 1e-10);
+        assert!((b.mean() - d.mean()).abs() / b.mean() < 1e-10);
+        assert!((b.m2() - d.m2()).abs() / b.m2() < 1e-10);
+        assert!((b.m3() - d.m3()).abs() / b.m3() < 1e-10);
     }
 
     /// B_{N+1} dominates B_L: starting with extra work can only lengthen the
     /// busy period (in mean).
-    #[test]
     fn bn1_dominates_ordinary(mean in 0.2f64..2.0, util in 0.1f64..0.9, theta in 0.1f64..10.0) {
         let job = Moments3::exponential(mean).unwrap();
         let lambda = util / mean;
         let b = busy::mg1_busy(lambda, job).unwrap();
         let bn = busy::bn1(lambda, job, theta).unwrap();
-        prop_assert!(bn.mean() >= b.mean() - 1e-12);
-        prop_assert!(bn.m2() >= b.m2() - 1e-12);
+        assert!(bn.mean() >= b.mean() - 1e-12);
+        assert!(bn.m2() >= b.m2() - 1e-12);
     }
 
     /// Erlang moments are feasible and their PH representation agrees.
-    #[test]
     fn erlang_ph_agrees(k in 1u32..20, rate in 0.1f64..10.0) {
         let e = Erlang::new(k, rate).unwrap();
         let ph = e.to_ph();
-        prop_assert!((ph.mean() - e.mean()).abs() / e.mean() < 1e-9);
-        prop_assert!((ph.moment2() - e.moment2()).abs() / e.moment2() < 1e-9);
-        prop_assert!((ph.moment3() - e.moment3()).abs() / e.moment3() < 1e-8);
+        assert!((ph.mean() - e.mean()).abs() / e.mean() < 1e-9);
+        assert!((ph.moment2() - e.moment2()).abs() / e.moment2() < 1e-9);
+        assert!((ph.moment3() - e.moment3()).abs() / e.moment3() < 1e-8);
     }
 
     /// Scaling property: moments of kX scale like k, k², k³ through the
     /// busy-period mapping when rates are rescaled accordingly.
-    #[test]
     fn busy_scaling_invariance(mean in 0.2f64..2.0, util in 0.1f64..0.9, k in 0.5f64..4.0) {
         let job = Moments3::exponential(mean).unwrap();
         let lambda = util / mean;
         let b = busy::mg1_busy(lambda, job).unwrap();
         let scaled_job = job.scaled(k).unwrap();
         let b_scaled = busy::mg1_busy(lambda / k, scaled_job).unwrap();
-        prop_assert!((b_scaled.mean() - k * b.mean()).abs() / (k * b.mean()) < 1e-10);
-        prop_assert!((b_scaled.m2() - k * k * b.m2()).abs() / (k * k * b.m2()) < 1e-10);
-        prop_assert!((b_scaled.m3() - k.powi(3) * b.m3()).abs() / (k.powi(3) * b.m3()) < 1e-10);
+        assert!((b_scaled.mean() - k * b.mean()).abs() / (k * b.mean()) < 1e-10);
+        assert!((b_scaled.m2() - k * k * b.m2()).abs() / (k * k * b.m2()) < 1e-10);
+        assert!((b_scaled.m3() - k.powi(3) * b.m3()).abs() / (k.powi(3) * b.m3()) < 1e-10);
     }
 }

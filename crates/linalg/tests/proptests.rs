@@ -1,12 +1,14 @@
-//! Property-based tests for the dense linear algebra kernel.
+//! Property-based tests for the dense linear algebra kernel, on the
+//! in-tree `cyclesteal_xtest` property layer.
 
 use cyclesteal_linalg::{dot, max_abs_diff, Matrix};
-use proptest::prelude::*;
+use cyclesteal_xtest::prop::{vec, Gen};
+use cyclesteal_xtest::props;
 
-/// A strategy producing well-conditioned square matrices: random entries in
-/// [-1, 1] plus a dominant diagonal, which guarantees invertibility.
-fn diag_dominant(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |mut data| {
+/// A generator producing well-conditioned square matrices: random entries
+/// in [-1, 1] plus a dominant diagonal, which guarantees invertibility.
+fn diag_dominant(n: usize) -> impl Gen<Value = Matrix> {
+    vec(-1.0f64..1.0, n * n).prop_map(move |mut data: Vec<f64>| {
         for i in 0..n {
             data[i * n + i] += n as f64 + 1.0;
         }
@@ -14,69 +16,61 @@ fn diag_dominant(n: usize) -> impl Strategy<Value = Matrix> {
     })
 }
 
-fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-10.0f64..10.0, n)
+fn vector(n: usize) -> impl Gen<Value = Vec<f64>> {
+    vec(-10.0f64..10.0, n)
 }
 
-proptest! {
-    #[test]
+props! {
     fn solve_then_multiply_recovers_rhs(a in diag_dominant(5), b in vector(5)) {
         let x = a.solve(&b).unwrap();
         let back = a.mul_vec(&x);
-        prop_assert!(max_abs_diff(&back, &b) < 1e-8);
+        assert!(max_abs_diff(&back, &b) < 1e-8);
     }
 
-    #[test]
     fn inverse_is_two_sided(a in diag_dominant(4)) {
         let inv = a.inverse().unwrap();
         let id = Matrix::identity(4);
-        prop_assert!((&(&a * &inv) - &id).max_abs() < 1e-8);
-        prop_assert!((&(&inv * &a) - &id).max_abs() < 1e-8);
+        assert!((&(&a * &inv) - &id).max_abs() < 1e-8);
+        assert!((&(&inv * &a) - &id).max_abs() < 1e-8);
     }
 
-    #[test]
     fn lu_det_matches_2x2_formula(a in -5.0f64..5.0, b in -5.0f64..5.0,
                                   c in -5.0f64..5.0, d in -5.0f64..5.0) {
         let m = Matrix::from_rows(&[&[a, b], &[c, d]]).unwrap();
         let expect = a * d - b * c;
         match m.lu() {
-            Ok(lu) => prop_assert!((lu.det() - expect).abs() < 1e-9 * (1.0 + expect.abs())),
-            Err(_) => prop_assert!(expect.abs() < 1e-6),
+            Ok(lu) => assert!((lu.det() - expect).abs() < 1e-9 * (1.0 + expect.abs())),
+            Err(_) => assert!(expect.abs() < 1e-6),
         }
     }
 
-    #[test]
     fn transpose_preserves_mul(a in diag_dominant(3), b in diag_dominant(3)) {
         // (AB)^T = B^T A^T
         let lhs = (&a * &b).transpose();
         let rhs = &b.transpose() * &a.transpose();
-        prop_assert!((&lhs - &rhs).max_abs() < 1e-9);
+        assert!((&lhs - &rhs).max_abs() < 1e-9);
     }
 
-    #[test]
     fn vec_mul_matches_transpose_mul_vec(a in diag_dominant(4), v in vector(4)) {
         let left = a.vec_mul(&v);
         let right = a.transpose().mul_vec(&v);
-        prop_assert!(max_abs_diff(&left, &right) < 1e-9);
+        assert!(max_abs_diff(&left, &right) < 1e-9);
     }
 
-    #[test]
     fn dot_commutes(v in vector(6), w in vector(6)) {
-        prop_assert_eq!(dot(&v, &w), dot(&w, &v));
+        assert_eq!(dot(&v, &w), dot(&w, &v));
     }
 
-    #[test]
     fn solve_left_consistent(a in diag_dominant(4), b in vector(4)) {
         let x = a.solve_left(&b).unwrap();
         let back = a.vec_mul(&x);
-        prop_assert!(max_abs_diff(&back, &b) < 1e-8);
+        assert!(max_abs_diff(&back, &b) < 1e-8);
     }
 
-    #[test]
     fn norm_inf_bounds_mul_vec(a in diag_dominant(4), v in vector(4)) {
         let vmax = v.iter().map(|x| x.abs()).fold(0.0, f64::max);
         let out = a.mul_vec(&v);
         let omax = out.iter().map(|x| x.abs()).fold(0.0, f64::max);
-        prop_assert!(omax <= a.norm_inf() * vmax + 1e-9);
+        assert!(omax <= a.norm_inf() * vmax + 1e-9);
     }
 }

@@ -1,0 +1,83 @@
+//! Property tests for the M/M/1, M/G/1 and M/M/c formula layer, on the
+//! in-tree `cyclesteal_xtest` layer. These pin the algebraic identities
+//! the analysis crates lean on (Pollaczek–Khinchine, Little's law,
+//! special-case reductions) over randomized stable workloads.
+
+use cyclesteal_dist::Moments3;
+use cyclesteal_mg1::{mg1, mm1, mmc};
+use cyclesteal_xtest::props;
+
+props! {
+    /// With exponential job sizes, Pollaczek–Khinchine collapses to the
+    /// M/M/1 waiting time exactly.
+    fn mg1_reduces_to_mm1(rho in 0.05f64..0.95, mean in 0.2f64..5.0) {
+        let lambda = rho / mean;
+        let job = Moments3::exponential(mean).unwrap();
+        let general = mg1::mean_wait(lambda, job).unwrap();
+        let markov = mm1::mean_wait(lambda, 1.0 / mean).unwrap();
+        assert!((general - markov).abs() < 1e-9 * markov.max(1.0));
+    }
+
+    /// Scale invariance of P-K: sizes ×c with rate ÷c keeps the load and
+    /// multiplies the waiting time by c.
+    fn pk_scale_invariance(rho in 0.05f64..0.95, scv in 1.0f64..16.0, c in 0.25f64..4.0) {
+        let job1 = Moments3::from_mean_scv_balanced(1.0, scv).unwrap();
+        let jobc = Moments3::from_mean_scv_balanced(c, scv).unwrap();
+        let w1 = mg1::mean_wait(rho, job1).unwrap();
+        let wc = mg1::mean_wait(rho / c, jobc).unwrap();
+        assert!((wc - c * w1).abs() < 1e-9 * c * w1);
+    }
+
+    /// Waiting time is strictly increasing in the arrival rate.
+    fn mg1_wait_monotone_in_lambda(rho in 0.05f64..0.9, scv in 1.0f64..16.0) {
+        let job = Moments3::from_mean_scv_balanced(1.0, scv).unwrap();
+        let lo = mg1::mean_wait(rho, job).unwrap();
+        let hi = mg1::mean_wait(rho + 0.05, job).unwrap();
+        assert!(hi > lo, "wait must increase with load: {lo} !< {hi}");
+    }
+
+    /// Little's law holds exactly in the closed forms.
+    fn little_law(rho in 0.05f64..0.95, scv in 1.0f64..16.0) {
+        let job = Moments3::from_mean_scv_balanced(2.0, scv).unwrap();
+        let lambda = rho / 2.0;
+        let n = mg1::mean_number(lambda, job).unwrap();
+        let t = mg1::mean_response(lambda, job).unwrap();
+        assert!((n - lambda * t).abs() < 1e-9 * n.max(1.0));
+    }
+
+    /// Second moments are consistent: `E[W²] ≥ E[W]²` (nonnegative
+    /// variance of waiting), and response variance is nonnegative.
+    fn second_moments_are_consistent(rho in 0.05f64..0.95, scv in 1.0f64..16.0) {
+        let job = Moments3::from_mean_scv_balanced(1.0, scv).unwrap();
+        let w1 = mg1::mean_wait(rho, job).unwrap();
+        let w2 = mg1::wait_second_moment(rho, job).unwrap();
+        assert!(w2 >= w1 * w1 * (1.0 - 1e-9), "E[W^2] {w2} < E[W]^2 {}", w1 * w1);
+        assert!(mg1::response_variance(rho, job).unwrap() >= 0.0);
+    }
+
+    /// A zero-cost setup changes nothing; a real setup only hurts.
+    fn setup_reduces_to_plain_and_hurts(
+        rho in 0.05f64..0.95,
+        scv in 1.0f64..16.0,
+        setup in 0.1f64..3.0,
+    ) {
+        let job = Moments3::from_mean_scv_balanced(1.0, scv).unwrap();
+        let plain = mg1::mean_wait(rho, job).unwrap();
+        let zero = mg1::mean_wait_with_setup(rho, job, 0.0, 0.0).unwrap();
+        assert!((zero - plain).abs() < 1e-12 * plain.max(1.0));
+        let with = mg1::mean_wait_with_setup(rho, job, setup, setup * setup).unwrap();
+        assert!(with > plain);
+    }
+
+    /// Erlang-C is a probability, and the single-server case is M/M/1.
+    fn erlang_c_sane_and_mmc1_is_mm1(rho in 0.05f64..0.95, c in 1u32..5) {
+        let lambda = rho * c as f64;
+        let p_wait = mmc::erlang_c(c, lambda, 1.0).unwrap();
+        assert!((0.0..=1.0).contains(&p_wait), "Erlang-C {p_wait} not a probability");
+        if c == 1 {
+            let a = mmc::mean_response(1, lambda, 1.0).unwrap();
+            let b = mm1::mean_response(lambda, 1.0).unwrap();
+            assert!((a - b).abs() < 1e-9 * b);
+        }
+    }
+}

@@ -4,8 +4,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use cyclesteal_dist::{sample_exp, DistError, Distribution, Map};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use cyclesteal_xtest::rng::{SeedableRng, SmallRng};
 
 use crate::policy::{self, Job, JobClass, PolicyKind, ServerView, ServiceEnd};
 use crate::stats::ClassStats;

@@ -1,0 +1,32 @@
+//! Hermetic verification stack for the cyclesteal workspace.
+//!
+//! Three independent layers, all dependency-free so the whole workspace
+//! builds and tests offline from a cold cache:
+//!
+//! * [`rng`] — a deterministic PRNG (splitmix64-seeded xoshiro256++) with
+//!   the object-safe [`rng::Rng`] trait the simulator and the distribution
+//!   samplers are written against, plus exponential / uniform / Coxian
+//!   samplers.
+//! * [`prop`] — a minimal property-testing layer: composable generators,
+//!   macro-driven case generation ([`props!`]), greedy shrinking on
+//!   failure, and fixed-seed reproducibility (override with `XTEST_SEED`).
+//! * [`bench`] — a criterion-free micro-benchmark harness: warmup,
+//!   per-iteration timing, mean/p50/p99 summaries, and JSON emission to
+//!   `BENCH_<name>.json` for perf-trajectory regression across PRs.
+//!
+//! # Seeding convention
+//!
+//! Everything is deterministic by default. Property tests derive their
+//! seed from the test name and a fixed base so a failure reproduces by
+//! rerunning the test; set `XTEST_SEED=<u64>` to explore other streams.
+//! Simulation code takes explicit `u64` seeds and expands them through
+//! [`rng::SplitMix64`], so any two distinct seeds give independent-looking
+//! streams.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use bench::Bench;
+pub use prop::{forall, CaseResult, Gen};
+pub use rng::{Rng, RngExt, SeedableRng, SmallRng};

@@ -9,8 +9,7 @@
 use cyclesteal::core::{cs_cq, dedicated, SystemParams};
 use cyclesteal::dist::{Distribution, Empirical, Exp, LogNormal};
 use cyclesteal::sim::{simulate, PolicyKind, SimConfig, SimParams};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use cyclesteal_xtest::rng::{SeedableRng, SmallRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Synthesize a plausible "accounting log" of long-job runtimes: a

@@ -1,13 +1,19 @@
 //! Cross-crate property tests: invariants of the full analysis pipeline
-//! over randomized workloads.
+//! over randomized workloads, on the in-tree `cyclesteal_xtest` layer.
 
 use cyclesteal::core::stability::{max_rho_s, Policy};
 use cyclesteal::core::{cs_cq, cs_id, dedicated, SystemParams};
 use cyclesteal::dist::Moments3;
-use proptest::prelude::*;
+use cyclesteal_xtest::{props, xassume};
 
-/// Random stable-for-everyone workloads (Dedicated-stable implies all).
-fn stable_workload() -> impl Strategy<Value = (f64, f64, f64, f64)> {
+/// Random stable-for-everyone workloads (Dedicated-stable implies all):
+/// (rho_s, rho_l, mean_s, scv_l). A tuple of ranges is itself a generator.
+fn stable_workload() -> (
+    std::ops::Range<f64>,
+    std::ops::Range<f64>,
+    std::ops::Range<f64>,
+    std::ops::Range<f64>,
+) {
     (
         0.05f64..0.95, // rho_s
         0.05f64..0.95, // rho_l
@@ -16,70 +22,65 @@ fn stable_workload() -> impl Strategy<Value = (f64, f64, f64, f64)> {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    cases = 64;
 
     /// CS-CQ <= CS-ID <= Dedicated for shorts, everywhere both are defined.
-    #[test]
     fn short_response_ordering((rho_s, rho_l, mean_s, scv_l) in stable_workload()) {
         let long = Moments3::from_mean_scv_balanced(1.0, scv_l).unwrap();
         let p = SystemParams::from_loads(rho_s, mean_s, rho_l, long).unwrap();
         let ded = dedicated::analyze(&p).unwrap().short_response;
         let id = cs_id::analyze(&p).unwrap().short_response;
         let cq = cs_cq::analyze(&p).unwrap().short_response;
-        prop_assert!(cq <= id + 1e-9 * id, "cq {cq} id {id}");
-        prop_assert!(id <= ded + 1e-9 * ded, "id {id} ded {ded}");
+        assert!(cq <= id + 1e-9 * id, "cq {cq} id {id}");
+        assert!(id <= ded + 1e-9 * ded, "id {id} ded {ded}");
     }
 
     /// Long-job penalty ordering: Dedicated <= CS-CQ <= CS-ID.
-    #[test]
     fn long_response_ordering((rho_s, rho_l, mean_s, scv_l) in stable_workload()) {
         let long = Moments3::from_mean_scv_balanced(1.0, scv_l).unwrap();
         let p = SystemParams::from_loads(rho_s, mean_s, rho_l, long).unwrap();
         let ded = dedicated::analyze(&p).unwrap().long_response;
         let id = cs_id::analyze(&p).unwrap().long_response;
         let cq = cs_cq::analyze(&p).unwrap().long_response;
-        prop_assert!(ded <= cq + 1e-9 * cq, "ded {ded} cq {cq}");
-        prop_assert!(cq <= id + 1e-9 * id, "cq {cq} id {id}");
+        assert!(ded <= cq + 1e-9 * cq, "ded {ded} cq {cq}");
+        assert!(cq <= id + 1e-9 * id, "cq {cq} id {id}");
     }
 
     /// Response times dominate the no-waiting lower bound E[X].
-    #[test]
     fn responses_dominate_service((rho_s, rho_l, mean_s, scv_l) in stable_workload()) {
         let long = Moments3::from_mean_scv_balanced(2.0, scv_l).unwrap();
         let p = SystemParams::from_loads(rho_s, mean_s, rho_l, long).unwrap();
         let cq = cs_cq::analyze(&p).unwrap();
-        prop_assert!(cq.short_response >= mean_s - 1e-9);
-        prop_assert!(cq.long_response >= 2.0 - 1e-9);
+        assert!(cq.short_response >= mean_s - 1e-9);
+        assert!(cq.long_response >= 2.0 - 1e-9);
         let id = cs_id::analyze(&p).unwrap();
-        prop_assert!(id.short_response >= mean_s - 1e-9);
-        prop_assert!(id.long_response >= 2.0 - 1e-9);
+        assert!(id.short_response >= mean_s - 1e-9);
+        assert!(id.long_response >= 2.0 - 1e-9);
     }
 
     /// The chain's probability mass always sums to one and the region
     /// probabilities are a genuine sub-distribution.
-    #[test]
     fn cs_cq_mass_and_regions((rho_s, rho_l, mean_s, scv_l) in stable_workload()) {
         let long = Moments3::from_mean_scv_balanced(1.0, scv_l).unwrap();
         let p = SystemParams::from_loads(rho_s, mean_s, rho_l, long).unwrap();
         let r = cs_cq::analyze(&p).unwrap();
-        prop_assert!((r.total_mass - 1.0).abs() < 1e-7, "mass {}", r.total_mass);
-        prop_assert!(r.p_region1 > 0.0 && r.p_region2 >= 0.0);
-        prop_assert!(r.p_region1 + r.p_region2 <= 1.0 + 1e-9);
-        prop_assert!((0.0..=1.0).contains(&r.setup_probability));
+        assert!((r.total_mass - 1.0).abs() < 1e-7, "mass {}", r.total_mass);
+        assert!(r.p_region1 > 0.0 && r.p_region2 >= 0.0);
+        assert!(r.p_region1 + r.p_region2 <= 1.0 + 1e-9);
+        assert!((0.0..=1.0).contains(&r.setup_probability));
     }
 
     /// Work conservation seen through the QBD: a long is *in service*
     /// exactly in regions 3 and 4, so the remaining mass — regions 1, 2
     /// (no longs) plus region 5 (longs present but blocked behind two
     /// shorts) — must equal `1 − ρ_L` exactly, for any long-job law.
-    #[test]
     fn cs_cq_long_utilization_is_exact((rho_s, rho_l, mean_s, scv_l) in stable_workload()) {
         let long = Moments3::from_mean_scv_balanced(1.0, scv_l).unwrap();
         let p = SystemParams::from_loads(rho_s, mean_s, rho_l, long).unwrap();
         let r = cs_cq::analyze(&p).unwrap();
         let not_serving_long = r.p_region1 + r.p_region2 + r.p_region5;
-        prop_assert!(
+        assert!(
             (not_serving_long - (1.0 - rho_l)).abs() < 1e-7,
             "P(no long in service) {} vs 1 - rho_l {}",
             not_serving_long,
@@ -89,44 +90,41 @@ proptest! {
 
     /// Theorem-1 frontiers bound the solvable region: just inside is
     /// solvable, just outside errors out.
-    #[test]
     fn stability_frontier_is_sharp(rho_l in 0.05f64..0.9) {
         let frontier = max_rho_s(Policy::CsCq, rho_l);
         let inside = SystemParams::exponential(frontier - 0.02, 1.0, rho_l, 1.0).unwrap();
-        prop_assert!(cs_cq::analyze(&inside).is_ok());
+        assert!(cs_cq::analyze(&inside).is_ok());
         let outside = SystemParams::exponential(frontier + 0.02, 1.0, rho_l, 1.0).unwrap();
-        prop_assert!(cs_cq::analyze(&outside).is_err());
+        assert!(cs_cq::analyze(&outside).is_err());
 
         let frontier_id = max_rho_s(Policy::CsId, rho_l);
         let inside = SystemParams::exponential(frontier_id - 0.02, 1.0, rho_l, 1.0).unwrap();
-        prop_assert!(cs_id::analyze(&inside).is_ok());
+        assert!(cs_id::analyze(&inside).is_ok());
         let outside = SystemParams::exponential(frontier_id + 0.02, 1.0, rho_l, 1.0).unwrap();
-        prop_assert!(cs_id::analyze(&outside).is_err());
+        assert!(cs_id::analyze(&outside).is_err());
     }
 
     /// Scale invariance: multiplying all sizes by c and dividing all rates
     /// by c multiplies response times by c.
-    #[test]
     fn scale_invariance(rho_s in 0.1f64..1.3, rho_l in 0.1f64..0.9, c in 0.25f64..4.0) {
-        prop_assume!(rho_s < 2.0 - rho_l - 0.05);
+        xassume!(rho_s < 2.0 - rho_l - 0.05);
         let p1 = SystemParams::exponential(rho_s, 1.0, rho_l, 1.0).unwrap();
         let pc = SystemParams::exponential(rho_s, c, rho_l, c).unwrap();
         let r1 = cs_cq::analyze(&p1).unwrap();
         let rc = cs_cq::analyze(&pc).unwrap();
-        prop_assert!((rc.short_response - c * r1.short_response).abs()
+        assert!((rc.short_response - c * r1.short_response).abs()
             < 1e-7 * c * r1.short_response);
-        prop_assert!((rc.long_response - c * r1.long_response).abs()
+        assert!((rc.long_response - c * r1.long_response).abs()
             < 1e-7 * c * r1.long_response);
     }
 
     /// The steal probability under CS-ID is exactly (1-rho_l)/(1+rho_s)
     /// for any long-job law.
-    #[test]
     fn cs_id_steal_probability_identity((rho_s, rho_l, mean_s, scv_l) in stable_workload()) {
         let long = Moments3::from_mean_scv_balanced(3.0, scv_l).unwrap();
         let p = SystemParams::from_loads(rho_s, mean_s, rho_l, long).unwrap();
         let r = cs_id::analyze(&p).unwrap();
         let want = (1.0 - rho_l) / (1.0 + rho_s);
-        prop_assert!((r.steal_probability - want).abs() < 1e-8);
+        assert!((r.steal_probability - want).abs() < 1e-8);
     }
 }
