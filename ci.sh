@@ -14,13 +14,20 @@ cargo build --workspace --release --offline
 echo "==> cargo test (workspace, offline)"
 cargo test -q --workspace --offline
 
+echo "==> sweep determinism (1/2/8 worker threads, shuffled input, warm cache)"
+cargo test -q -p cyclesteal-sweep --offline --test determinism
+
 echo "==> bench smoke (--quick)"
 cargo bench -p cyclesteal-bench --offline --bench solver -- --quick
 cargo bench -p cyclesteal-bench --offline --bench analysis_vs_simulation -- --quick
 
+echo "==> sweep bench smoke (--quick)"
+cargo run --release --offline --example sweep -- --quick --threads 1,8 --out crates/bench
+
 # Bench binaries run with the package directory as CWD, so the JSON
-# lands next to the bench crate.
-for f in crates/bench/BENCH_solver.json crates/bench/BENCH_analysis_vs_simulation.json; do
+# lands next to the bench crate; the sweep example writes there via --out.
+for f in crates/bench/BENCH_solver.json crates/bench/BENCH_analysis_vs_simulation.json \
+         crates/bench/BENCH_sweep.json; do
     [ -s "$f" ] || { echo "missing bench output $f" >&2; exit 1; }
 done
 

@@ -1,9 +1,29 @@
-//! Shared sweep logic for the response-time figures (Figures 4–6).
+//! Shared sweep logic for the response-time figures (Figures 4–6), wired
+//! through the parallel `cyclesteal-sweep` engine: each figure column is
+//! one grid sweep sharded across the worker pool, with busy-period fits
+//! and QBD solutions memoized for the whole column.
 
-use cyclesteal_core::{cs_cq, cs_id, dedicated, SystemParams};
+use cyclesteal_core::stability::Policy;
 use cyclesteal_dist::Moments3;
+use cyclesteal_sweep::{run_points, Evaluator, LongLaw, Point, SweepOptions};
 
 use crate::{Cell, Table};
+
+/// Engine options for figure harnesses: all available cores, fresh cache.
+fn engine_opts() -> SweepOptions {
+    SweepOptions::threads(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
+}
+
+fn cell(v: Option<f64>) -> Cell {
+    match v {
+        Some(x) => Cell::Value(x),
+        None => Cell::Unstable,
+    }
+}
 
 /// One column of Figures 4–5: short and long mean response times versus
 /// `ρ_S` at fixed `ρ_L`, for all three policies. Returns the
@@ -19,30 +39,45 @@ pub fn response_vs_rho_s(
     rho_l: f64,
     sweep: &[f64],
 ) -> (Table, Table) {
+    const POLICIES: [Policy; 3] = [Policy::Dedicated, Policy::CsId, Policy::CsCq];
+    let law = LongLaw::from_moments(long);
+    let point = |rho_s: f64, policy: Policy| Point {
+        rho_s,
+        rho_l,
+        mean_s,
+        long: law,
+        policy,
+        evaluator: Evaluator::Analysis,
+        extend_longs: false,
+    };
+    let points: Vec<Point> = sweep
+        .iter()
+        .flat_map(|&rho_s| POLICIES.iter().map(move |&p| point(rho_s, p)))
+        .collect();
+    let (report, _) = run_points(name, &points, &engine_opts());
+
     let headers = ["rho_s", "Dedicated", "CS-Immed-Disp", "CS-Central-Q"];
     let mut shorts = Table::new(format!("{name}_shorts"), &headers);
     let mut longs = Table::new(format!("{name}_longs"), &headers);
     for &rho_s in sweep {
-        let params = SystemParams::from_loads(rho_s, mean_s, rho_l, long)
-            .expect("harness parameters are valid");
-        let ded = dedicated::analyze(&params);
-        let id = cs_id::analyze(&params);
-        let cq = cs_cq::analyze(&params);
+        let row = |policy| {
+            report
+                .get_point(&point(rho_s, policy))
+                .expect("every grid point is evaluated")
+        };
         shorts.push(
             rho_s,
-            vec![
-                Cell::from_result(ded.as_ref().map(|r| r.short_response).map_err(|_| ())),
-                Cell::from_result(id.as_ref().map(|r| r.short_response).map_err(|_| ())),
-                Cell::from_result(cq.as_ref().map(|r| r.short_response).map_err(|_| ())),
-            ],
+            POLICIES
+                .iter()
+                .map(|&p| cell(row(p).short_response))
+                .collect(),
         );
         longs.push(
             rho_s,
-            vec![
-                Cell::from_result(ded.as_ref().map(|r| r.long_response).map_err(|_| ())),
-                Cell::from_result(id.as_ref().map(|r| r.long_response).map_err(|_| ())),
-                Cell::from_result(cq.as_ref().map(|r| r.long_response).map_err(|_| ())),
-            ],
+            POLICIES
+                .iter()
+                .map(|&p| cell(row(p).long_response))
+                .collect(),
         );
     }
     (shorts, longs)
@@ -61,18 +96,50 @@ pub fn response_vs_rho_l(
     sweep_shorts: &[f64],
     sweep_longs: &[f64],
 ) -> (Table, Table) {
+    const LONG_POLICIES: [Policy; 3] = [Policy::Dedicated, Policy::CsId, Policy::CsCq];
+    let law = LongLaw::from_moments(long);
+    let point = |rho_l: f64, policy: Policy, extend_longs: bool| Point {
+        rho_s,
+        rho_l,
+        mean_s,
+        long: law,
+        policy,
+        evaluator: Evaluator::Analysis,
+        extend_longs,
+    };
+    // One engine run covers both tables: the joint-analysis points for the
+    // short panel and the extended long-only points for the long panel.
+    let mut points: Vec<Point> = sweep_shorts
+        .iter()
+        .flat_map(|&rho_l| {
+            [Policy::CsId, Policy::CsCq]
+                .iter()
+                .map(move |&p| point(rho_l, p, false))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    points.extend(
+        sweep_longs
+            .iter()
+            .flat_map(|&rho_l| LONG_POLICIES.iter().map(move |&p| point(rho_l, p, true))),
+    );
+    let (report, _) = run_points(name, &points, &engine_opts());
+
     let mut shorts = Table::new(
         format!("{name}_shorts"),
         &["rho_l", "CS-Immed-Disp", "CS-Central-Q"],
     );
     for &rho_l in sweep_shorts {
-        let params = SystemParams::from_loads(rho_s, mean_s, rho_l, long)
-            .expect("harness parameters are valid");
+        let row = |policy| {
+            report
+                .get_point(&point(rho_l, policy, false))
+                .expect("every grid point is evaluated")
+        };
         shorts.push(
             rho_l,
             vec![
-                Cell::from_result(cs_id::analyze(&params).map(|r| r.short_response)),
-                Cell::from_result(cs_cq::analyze(&params).map(|r| r.short_response)),
+                cell(row(Policy::CsId).short_response),
+                cell(row(Policy::CsCq).short_response),
             ],
         );
     }
@@ -82,15 +149,17 @@ pub fn response_vs_rho_l(
         &["rho_l", "Dedicated", "CS-Immed-Disp", "CS-Central-Q"],
     );
     for &rho_l in sweep_longs {
-        let params = SystemParams::from_loads(rho_s, mean_s, rho_l, long)
-            .expect("harness parameters are valid");
+        let row = |policy| {
+            report
+                .get_point(&point(rho_l, policy, true))
+                .expect("every grid point is evaluated")
+        };
         longs.push(
             rho_l,
-            vec![
-                Cell::from_result(dedicated::long_response(&params)),
-                Cell::from_result(cs_id::long_response(&params)),
-                Cell::from_result(cs_cq::long_response_auto(&params)),
-            ],
+            LONG_POLICIES
+                .iter()
+                .map(|&p| cell(row(p).long_response))
+                .collect(),
         );
     }
     (shorts, longs)
@@ -125,6 +194,25 @@ mod tests {
         // Long curves are defined everywhere below rho_l = 1.
         for (_, cells) in &longs.rows {
             assert!(cells.iter().all(|c| matches!(c, Cell::Value(_))));
+        }
+    }
+
+    #[test]
+    fn engine_rewire_matches_direct_analysis() {
+        // The sweep-engine path must reproduce the direct per-point calls
+        // it replaced, up to the cache's quantization grid (~2e-40
+        // relative snap on the inputs).
+        use cyclesteal_core::{cs_cq, SystemParams};
+        let long = Moments3::exponential(1.0).unwrap();
+        let (shorts, _) = response_vs_rho_s("test_rewire", 1.0, long, 0.5, &[0.9]);
+        let p = SystemParams::from_loads(0.9, 1.0, 0.5, long).unwrap();
+        let direct = cs_cq::analyze(&p).unwrap().short_response;
+        match shorts.rows[0].1[2] {
+            Cell::Value(v) => assert!(
+                (v - direct).abs() <= 1e-9 * direct,
+                "{v} vs direct {direct}"
+            ),
+            Cell::Unstable => panic!("CS-CQ is stable at (0.9, 0.5)"),
         }
     }
 }

@@ -1,0 +1,251 @@
+//! A moment-keyed memo cache for the expensive sub-solves of the CS-CQ
+//! analysis, shared safely across threads.
+//!
+//! Scenario sweeps (the `cyclesteal-sweep` engine, the figure harnesses)
+//! evaluate thousands of nearby parameter points, and large parts of the
+//! work repeat verbatim: the `B_L` and `B_{N+1}` busy-period fits depend
+//! only on `(λ_L, long moments, μ_S)` — constant along a whole `ρ_S`
+//! sweep — and identical grid points (re-runs, overlapping grids) repeat
+//! the entire QBD `R`-matrix iteration. [`SolveCache`] memoizes three
+//! layers:
+//!
+//! 1. **Coxian moment fits** (`dist::match3`), keyed by the bit pattern of
+//!    the target moment triple and the fit order;
+//! 2. **QBD solutions** (the `R`-matrix iteration plus boundary solve),
+//!    keyed by [`cyclesteal_markov::Qbd::signature`];
+//! 3. **whole CS-CQ reports**, keyed by the quantized workload parameters.
+//!
+//! # Why determinism survives parallelism
+//!
+//! Every cached value is a **pure function of its key**: inputs are
+//! *snapped* to the quantization grid ([`quantize`]) before any
+//! computation, so whichever thread populates an entry first computes
+//! exactly the value every other thread would have computed. Sweep results
+//! are therefore bit-identical regardless of thread count, scheduling, or
+//! input order — the property `crates/sweep/tests/determinism.rs` locks
+//! in.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use cyclesteal_dist::match3::MatchQuality;
+use cyclesteal_dist::{Moments3, Ph};
+use cyclesteal_markov::{Qbd, QbdSolution};
+
+use crate::cs_cq::CsCqReport;
+use crate::AnalysisError;
+
+/// Snaps `x` onto the cache's quantization grid by zeroing the low 12
+/// mantissa bits — a relative perturbation below `2⁻⁴⁰ ≈ 10⁻¹²`, far
+/// inside every tolerance the analysis is validated to. Two inputs closer
+/// than the grid spacing share cache entries *and produce bit-identical
+/// results*, because the solver runs on the snapped value, not the
+/// original.
+pub fn quantize(x: f64) -> f64 {
+    if x.is_finite() {
+        f64::from_bits(x.to_bits() & !0xFFFu64)
+    } else {
+        x
+    }
+}
+
+/// Running hit/miss counters of a [`SolveCache`], for observability
+/// (sweep engines surface these per run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (all three layers combined).
+    pub hits: u64,
+    /// Lookups that had to compute and insert.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when the cache was never consulted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type FitKey = (u64, u64, u64, u8);
+type ReportKey = ([u64; 6], u8);
+
+/// The thread-safe memo store. Create one per sweep (or keep one alive
+/// across sweeps to reuse solutions); share it by reference or `Arc`.
+#[derive(Debug, Default)]
+pub struct SolveCache {
+    fits: Mutex<HashMap<FitKey, (Ph, MatchQuality)>>,
+    solutions: Mutex<HashMap<u128, QbdSolution>>,
+    reports: Mutex<HashMap<ReportKey, CsCqReport>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolveCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SolveCache::default()
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of memoized entries across all layers.
+    pub fn len(&self) -> usize {
+        self.fits.lock().unwrap().len()
+            + self.solutions.lock().unwrap().len()
+            + self.reports.lock().unwrap().len()
+    }
+
+    /// `true` when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Memoized moment fit. `tag` discriminates the fit order.
+    pub(crate) fn fit(
+        &self,
+        m: Moments3,
+        tag: u8,
+        compute: impl FnOnce() -> Result<(Ph, MatchQuality), AnalysisError>,
+    ) -> Result<(Ph, MatchQuality), AnalysisError> {
+        let key = (
+            m.mean().to_bits(),
+            m.m2().to_bits(),
+            m.m3().to_bits(),
+            tag,
+        );
+        if let Some(v) = self.fits.lock().unwrap().get(&key) {
+            self.hit();
+            return Ok(v.clone());
+        }
+        self.miss();
+        let v = compute()?;
+        self.fits.lock().unwrap().insert(key, v.clone());
+        Ok(v)
+    }
+
+    /// Memoized QBD solution, keyed by the chain's content signature so
+    /// the `R`-matrix iteration runs once per distinct chain.
+    pub(crate) fn qbd_solution(&self, qbd: &Qbd) -> Result<QbdSolution, AnalysisError> {
+        let key = qbd.signature();
+        if let Some(sol) = self.solutions.lock().unwrap().get(&key) {
+            self.hit();
+            return Ok(sol.clone());
+        }
+        self.miss();
+        let sol = qbd.solve()?;
+        self.solutions.lock().unwrap().insert(key, sol.clone());
+        Ok(sol)
+    }
+
+    pub(crate) fn report_get(&self, key: &ReportKey) -> Option<CsCqReport> {
+        let found = self.reports.lock().unwrap().get(key).cloned();
+        if found.is_some() {
+            self.hit();
+        } else {
+            self.miss();
+        }
+        found
+    }
+
+    pub(crate) fn report_put(&self, key: ReportKey, report: CsCqReport) {
+        self.reports.lock().unwrap().insert(key, report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cs_cq::{self, BusyPeriodFit};
+    use crate::SystemParams;
+
+    #[test]
+    fn quantize_is_idempotent_and_close() {
+        for x in [1.0, 0.3333333333333, 123456.789, 1e-9, 2.0 / 3.0] {
+            let q = quantize(x);
+            assert_eq!(quantize(q), q);
+            assert!((q - x).abs() <= 1e-11 * x.abs(), "{x} -> {q}");
+        }
+        assert!(quantize(f64::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn cached_analysis_matches_direct_on_snapped_params() {
+        let cache = SolveCache::new();
+        // Dyadic loads: every derived rate lies exactly on the grid.
+        let p = SystemParams::exponential(0.875, 1.0, 0.5, 1.0).unwrap();
+        let direct = cs_cq::analyze(&p).unwrap();
+        let cached = cs_cq::analyze_cached(&p, BusyPeriodFit::ThreeMoment, &cache).unwrap();
+        // These params are exactly representable on the quantization grid,
+        // so the cached path must agree to the bit.
+        assert_eq!(
+            direct.short_response.to_bits(),
+            cached.short_response.to_bits()
+        );
+        assert_eq!(
+            direct.long_response.to_bits(),
+            cached.long_response.to_bits()
+        );
+    }
+
+    #[test]
+    fn second_lookup_hits_every_layer() {
+        let cache = SolveCache::new();
+        let p = SystemParams::exponential(1.1, 1.0, 0.5, 1.0).unwrap();
+        let a = cs_cq::analyze_cached(&p, BusyPeriodFit::ThreeMoment, &cache).unwrap();
+        let before = cache.stats();
+        assert_eq!(before.hits, 0);
+        assert!(before.misses >= 3, "{before:?}"); // report + 2 fits (+ qbd)
+        let b = cs_cq::analyze_cached(&p, BusyPeriodFit::ThreeMoment, &cache).unwrap();
+        let after = cache.stats();
+        assert!(after.hits >= 1, "{after:?}");
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(a.short_response.to_bits(), b.short_response.to_bits());
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn busy_fits_shared_across_a_rho_s_sweep() {
+        // B_L and B_{N+1} depend only on (lambda_l, long moments, mu_s):
+        // sweeping rho_s must hit the fit layer after the first point.
+        let cache = SolveCache::new();
+        for rho_s in [0.3, 0.6, 0.9, 1.2] {
+            let p = SystemParams::exponential(rho_s, 1.0, 0.5, 1.0).unwrap();
+            cs_cq::analyze_cached(&p, BusyPeriodFit::ThreeMoment, &cache).unwrap();
+        }
+        let stats = cache.stats();
+        // 4 points: first misses everything; the other three hit both fits.
+        assert!(stats.hits >= 6, "{stats:?}");
+    }
+
+    #[test]
+    fn nearby_inputs_share_entries_and_results() {
+        let cache = SolveCache::new();
+        let p1 = SystemParams::exponential(0.9, 1.0, 0.5, 1.0).unwrap();
+        // Perturb far below the quantization grid.
+        let p2 = SystemParams::exponential(0.9 * (1.0 + 1e-14), 1.0, 0.5, 1.0).unwrap();
+        let a = cs_cq::analyze_cached(&p1, BusyPeriodFit::ThreeMoment, &cache).unwrap();
+        let b = cs_cq::analyze_cached(&p2, BusyPeriodFit::ThreeMoment, &cache).unwrap();
+        assert_eq!(a.short_response.to_bits(), b.short_response.to_bits());
+        assert!(cache.stats().hits >= 1);
+    }
+}

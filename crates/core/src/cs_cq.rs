@@ -44,6 +44,7 @@ use cyclesteal_linalg::Matrix;
 use cyclesteal_markov::Qbd;
 use cyclesteal_mg1::mg1;
 
+use crate::cache::{quantize, SolveCache};
 use crate::stability::{self, Policy};
 use crate::{AnalysisError, PolicyMeans, SystemParams};
 
@@ -59,6 +60,17 @@ pub enum BusyPeriodFit {
     /// First three moments matched (the paper's method).
     #[default]
     ThreeMoment,
+}
+
+impl BusyPeriodFit {
+    /// Stable discriminant for cache keys.
+    fn tag(self) -> u8 {
+        match self {
+            BusyPeriodFit::MeanOnly => 1,
+            BusyPeriodFit::TwoMoment => 2,
+            BusyPeriodFit::ThreeMoment => 3,
+        }
+    }
 }
 
 /// Full CS-CQ analysis output.
@@ -134,7 +146,79 @@ pub fn analyze_with(
     fit: BusyPeriodFit,
 ) -> Result<CsCqReport, AnalysisError> {
     let poisson = Map::poisson(params.lambda_s())?;
-    analyze_inner(params, fit, &poisson)
+    analyze_inner(params, fit, &poisson, None)
+}
+
+/// Analyzes CS-CQ through a [`SolveCache`]: the workload is snapped onto
+/// the cache's quantization grid and every expensive sub-solve (busy-period
+/// Coxian fits, the QBD `R`-matrix iteration, the whole report) is
+/// memoized. Because all cached values are pure functions of their
+/// quantized keys, results are bit-identical regardless of which thread or
+/// sweep order populated the cache — see the `crate::cache` module docs.
+///
+/// # Errors
+///
+/// As for [`analyze`]. Errors are never cached (they are cheap to
+/// rediscover and equally deterministic).
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_core::cache::SolveCache;
+/// use cyclesteal_core::{cs_cq, SystemParams};
+///
+/// # fn main() -> Result<(), cyclesteal_core::AnalysisError> {
+/// let cache = SolveCache::new();
+/// let p = SystemParams::exponential(1.1, 1.0, 0.5, 1.0)?;
+/// let first = cs_cq::analyze_cached(&p, Default::default(), &cache)?;
+/// let again = cs_cq::analyze_cached(&p, Default::default(), &cache)?;
+/// assert_eq!(first.short_response.to_bits(), again.short_response.to_bits());
+/// assert!(cache.stats().hits >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_cached(
+    params: &SystemParams,
+    fit: BusyPeriodFit,
+    cache: &SolveCache,
+) -> Result<CsCqReport, AnalysisError> {
+    let snapped = snap_params(params);
+    let key = (
+        [
+            snapped.lambda_s().to_bits(),
+            snapped.mu_s().to_bits(),
+            snapped.lambda_l().to_bits(),
+            snapped.long_moments().mean().to_bits(),
+            snapped.long_moments().m2().to_bits(),
+            snapped.long_moments().m3().to_bits(),
+        ],
+        fit.tag(),
+    );
+    if let Some(report) = cache.report_get(&key) {
+        return Ok(report);
+    }
+    let poisson = Map::poisson(snapped.lambda_s())?;
+    let report = analyze_inner(&snapped, fit, &poisson, Some(cache))?;
+    cache.report_put(key, report.clone());
+    Ok(report)
+}
+
+/// Snaps every workload parameter onto the cache quantization grid; keeps
+/// the original parameters if the snapped triple happens to fall outside
+/// the feasible set (only possible exactly on a feasibility boundary).
+fn snap_params(params: &SystemParams) -> SystemParams {
+    let long = params.long_moments();
+    Moments3::new(quantize(long.mean()), quantize(long.m2()), quantize(long.m3()))
+        .map_err(AnalysisError::from)
+        .and_then(|m| {
+            SystemParams::new(
+                quantize(params.lambda_s()),
+                quantize(params.mu_s()),
+                quantize(params.lambda_l()),
+                m,
+            )
+        })
+        .unwrap_or(*params)
 }
 
 /// Analyzes CS-CQ with **MAP short arrivals** — the generalization the
@@ -172,13 +256,14 @@ pub fn analyze_map(params: &SystemParams, arrivals: &Map) -> Result<CsCqReport, 
             reason: "MAP arrival rate must equal params.lambda_s()",
         }));
     }
-    analyze_inner(params, BusyPeriodFit::ThreeMoment, arrivals)
+    analyze_inner(params, BusyPeriodFit::ThreeMoment, arrivals, None)
 }
 
 fn analyze_inner(
     params: &SystemParams,
     fit: BusyPeriodFit,
     arrivals: &Map,
+    cache: Option<&SolveCache>,
 ) -> Result<CsCqReport, AnalysisError> {
     let (rho_s, rho_l) = (params.rho_s(), params.rho_l());
     if !stability::is_stable(Policy::CsCq, rho_s, rho_l) {
@@ -190,11 +275,14 @@ fn analyze_inner(
         });
     }
 
-    let (bl_ph, bl_match) = fit_busy_period(bl_moments(params)?, fit)?;
-    let (bn_ph, bn_match) = fit_busy_period(bn_moments(params)?, fit)?;
+    let (bl_ph, bl_match) = fit_busy_period_cached(bl_moments(params)?, fit, cache)?;
+    let (bn_ph, bn_match) = fit_busy_period_cached(bn_moments(params)?, fit, cache)?;
     let chain = ChainLayout::new(&bl_ph, &bn_ph);
     let qbd = build_qbd(params, &chain, &bl_ph, &bn_ph, arrivals)?;
-    let sol = qbd.solve()?;
+    let sol = match cache {
+        Some(c) => c.qbd_solution(&qbd)?,
+        None => qbd.solve()?,
+    };
 
     // E[N_S]: boundary level 1 contributes one short per unit mass;
     // repeating level k corresponds to k + 2 shorts.
@@ -275,11 +363,15 @@ pub fn long_response_auto(params: &SystemParams) -> Result<f64, AnalysisError> {
 ///
 /// Useful for tail SLOs the mean can't answer ("how often are more than
 /// ten short jobs pending?"); the returned vector undershoots 1 by exactly
-/// the truncated tail `P(N_S > n_max)`.
+/// the truncated tail `P(N_S > n_max)`, which is guaranteed below `1e-6`.
 ///
 /// # Errors
 ///
-/// As for [`analyze`].
+/// As for [`analyze`]; additionally [`AnalysisError::Truncated`] when the
+/// tail mass beyond `n_max` exceeds `1e-6` — near the stability frontier
+/// (`ρ_S → 2 − ρ_L`) the level decay rate approaches one and a small
+/// `n_max` would otherwise *silently* drop non-negligible probability,
+/// corrupting any SLO computed from the result.
 ///
 /// # Examples
 ///
@@ -319,6 +411,19 @@ pub fn shorts_distribution(params: &SystemParams, n_max: usize) -> Result<Vec<f6
     }
     if n_max >= 2 {
         dist.extend(sol.level_masses(n_max - 1));
+    }
+    // Refuse to return a silently truncated distribution: the emitted mass
+    // must account for everything but a negligible tail (relative to the
+    // chain's own total mass, which is 1 up to solver roundoff).
+    let emitted: f64 = dist.iter().sum();
+    let tail = (sol.total_mass() - emitted).max(0.0);
+    const TAIL_TOL: f64 = 1e-6;
+    if tail > TAIL_TOL {
+        return Err(AnalysisError::Truncated {
+            n_max,
+            tail_mass: tail,
+            tolerance: TAIL_TOL,
+        });
     }
     Ok(dist)
 }
@@ -360,6 +465,17 @@ fn long_response_with_setup_prob(
         k1,
         k2,
     )?)
+}
+
+fn fit_busy_period_cached(
+    m: Moments3,
+    fit: BusyPeriodFit,
+    cache: Option<&SolveCache>,
+) -> Result<(Ph, MatchQuality), AnalysisError> {
+    match cache {
+        Some(c) => c.fit(m, fit.tag(), || fit_busy_period(m, fit)),
+        None => fit_busy_period(m, fit),
+    }
 }
 
 fn fit_busy_period(m: Moments3, fit: BusyPeriodFit) -> Result<(Ph, MatchQuality), AnalysisError> {
@@ -851,6 +967,29 @@ mod tests {
         assert!((dist[0] - p0).abs() < 1e-6, "{}", dist[0]);
         assert!((dist[1] - 2.0 * 0.5 * p0).abs() < 1e-6);
         assert!((dist[5] - dist[1] * 0.5f64.powi(4)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn shorts_distribution_errors_instead_of_truncating_near_frontier() {
+        // Near the stability frontier (rho_s -> 2 - rho_l) the level decay
+        // rate approaches 1 and a small n_max drops real mass; the query
+        // must refuse rather than silently undershoot.
+        let p = exp_params(1.45, 0.5);
+        match shorts_distribution(&p, 30) {
+            Err(AnalysisError::Truncated {
+                n_max: 30,
+                tail_mass,
+                tolerance,
+            }) => {
+                assert!(tail_mass > tolerance, "{tail_mass} vs {tolerance}");
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // A generous truncation point at the same workload succeeds and
+        // accounts for (almost) all the mass.
+        let dist = shorts_distribution(&p, 2000).unwrap();
+        let total: f64 = dist.iter().sum();
+        assert!(total > 1.0 - 1e-6, "total {total}");
     }
 
     #[test]

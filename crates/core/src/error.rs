@@ -12,6 +12,19 @@ pub enum AnalysisError {
     /// The Markov-chain machinery failed (singular systems, divergent
     /// fixed points).
     Chain(MarkovError),
+    /// A distribution query was asked for a truncation point that would
+    /// silently drop more probability mass than the stated tolerance —
+    /// e.g. `cs_cq::shorts_distribution` with a small `n_max` near the
+    /// stability frontier, where the level decay rate approaches one.
+    /// Retry with a larger truncation point.
+    Truncated {
+        /// The truncation point that was requested.
+        n_max: usize,
+        /// The probability mass beyond `n_max` that would have been lost.
+        tail_mass: f64,
+        /// The maximum tail mass the query is allowed to drop.
+        tolerance: f64,
+    },
     /// The requested configuration violates the policy's stability
     /// condition (Theorem 1), so no stationary analysis exists.
     Unstable {
@@ -31,6 +44,15 @@ impl fmt::Display for AnalysisError {
         match self {
             AnalysisError::Param(e) => write!(f, "invalid parameters: {e}"),
             AnalysisError::Chain(e) => write!(f, "chain solver failure: {e}"),
+            AnalysisError::Truncated {
+                n_max,
+                tail_mass,
+                tolerance,
+            } => write!(
+                f,
+                "distribution truncated at n_max = {n_max}: tail mass {tail_mass:.3e} \
+                 exceeds tolerance {tolerance:.0e}; retry with a larger n_max"
+            ),
             AnalysisError::Unstable {
                 policy,
                 rho_s,
@@ -50,7 +72,7 @@ impl Error for AnalysisError {
         match self {
             AnalysisError::Param(e) => Some(e),
             AnalysisError::Chain(e) => Some(e),
-            AnalysisError::Unstable { .. } => None,
+            AnalysisError::Truncated { .. } | AnalysisError::Unstable { .. } => None,
         }
     }
 }
@@ -94,6 +116,15 @@ mod tests {
             rho_s_max: 1.5,
         };
         assert!(e.to_string().contains("CS-CQ"));
+        assert!(Error::source(&e).is_none());
+
+        let e = AnalysisError::Truncated {
+            n_max: 50,
+            tail_mass: 3.2e-4,
+            tolerance: 1e-6,
+        };
+        assert!(e.to_string().contains("n_max = 50"));
+        assert!(e.to_string().contains("larger n_max"));
         assert!(Error::source(&e).is_none());
     }
 }

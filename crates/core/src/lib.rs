@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cs_cq;
 pub mod cs_id;
 pub mod dedicated;

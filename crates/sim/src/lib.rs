@@ -38,8 +38,10 @@
 
 mod engine;
 mod policy;
+mod pool;
 mod stats;
 
 pub use engine::{simulate, Arrivals, SimConfig, SimParams, SimResult};
 pub use policy::{JobClass, PolicyKind};
-pub use stats::{replicate, ClassStats, Replicated};
+pub use pool::parallel_map;
+pub use stats::{replicate, replicate_parallel, ClassStats, Replicated};

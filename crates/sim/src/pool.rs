@@ -1,0 +1,126 @@
+//! A minimal chunked work-stealing worker pool on `std::thread` — the
+//! shared parallel substrate for simulator replications (this crate) and
+//! scenario sweeps (`cyclesteal-sweep`), with no external dependencies.
+//!
+//! Work is claimed in chunks off a shared atomic cursor (cheap dynamic load
+//! balancing: a worker stuck on an expensive item doesn't strand the rest
+//! of its static share), results flow back over a channel tagged with their
+//! input index, and the output is reassembled **in input order** — so the
+//! result of [`parallel_map`] is a pure function of `(items, f)`,
+//! independent of thread count and scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// Maps `f` over `items` on `threads` worker threads, returning results in
+/// input order. `chunk` is the number of items a worker claims at a time
+/// (clamped to at least 1). With `threads <= 1` (or a single item) this
+/// degrades to a plain serial map on the calling thread — no pool, no
+/// channel.
+///
+/// Determinism: the output vector depends only on `items` and `f`; thread
+/// count, chunk size, and OS scheduling affect wall-clock time only.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` once all workers are joined.
+///
+/// # Examples
+///
+/// ```
+/// let squares = cyclesteal_sim::parallel_map(&[1u64, 2, 3, 4], 8, 2, |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let chunk = chunk.max(1);
+    let workers = threads.min(n).max(1);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for (offset, item) in items[start..end].iter().enumerate() {
+                    if tx.send((start + offset, f(item))).is_err() {
+                        return; // receiver gone: another worker panicked
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every index produced exactly once"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_in_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 8] {
+            for chunk in [1, 7, 64, 1000] {
+                let got = parallel_map(&items, threads, chunk, |x| x * 3 + 1);
+                assert_eq!(got, serial, "threads={threads}, chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 8, 4, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[42u32], 8, 4, |x| *x + 1), vec![43]);
+    }
+
+    #[test]
+    fn chunk_zero_is_clamped() {
+        let items: Vec<usize> = (0..10).collect();
+        let got = parallel_map(&items, 4, 0, |x| *x);
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn uneven_item_costs_still_complete() {
+        // Items with wildly different costs exercise the stealing cursor.
+        let items: Vec<u64> = (0..40).collect();
+        let got = parallel_map(&items, 4, 1, |x| {
+            let spins = if x % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = *x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (*x, acc)
+        });
+        for (i, (x, _)) in got.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+}

@@ -111,6 +111,30 @@ pub struct Replicated {
     pub runs: Vec<SimResult>,
 }
 
+impl Replicated {
+    /// Aggregates already-run replications: across-replication CIs over the
+    /// per-run means. Aggregation order is the order of `runs`, so callers
+    /// that produce runs in seed order get identical aggregates no matter
+    /// how (or on how many threads) the runs were executed.
+    pub fn from_runs(runs: Vec<SimResult>) -> Replicated {
+        let short_means: Vec<f64> = runs
+            .iter()
+            .filter(|r| r.short.count > 0)
+            .map(|r| r.short.mean)
+            .collect();
+        let long_means: Vec<f64> = runs
+            .iter()
+            .filter(|r| r.long.count > 0)
+            .map(|r| r.long.mean)
+            .collect();
+        Replicated {
+            short: ClassStats::from_samples(&short_means, short_means.len()),
+            long: ClassStats::from_samples(&long_means, long_means.len()),
+            runs,
+        }
+    }
+}
+
 /// Runs `reps` independent replications (seeds `base_seed..base_seed+reps`)
 /// and summarizes across them.
 ///
@@ -123,31 +147,38 @@ pub fn replicate(
     config: &SimConfig,
     reps: usize,
 ) -> Replicated {
+    replicate_parallel(kind, params, config, reps, 1)
+}
+
+/// Runs `reps` independent replications sharded across `threads` worker
+/// threads (the crate's [`parallel_map`](crate::parallel_map) pool).
+///
+/// Each replication is a pure function of its seed
+/// (`config.seed + rep_index`), and results are reassembled in seed order
+/// before aggregation — so the returned [`Replicated`] is **bit-identical
+/// for every thread count**, including `threads = 1` (which is exactly
+/// [`replicate`]).
+///
+/// # Panics
+///
+/// Panics if `reps == 0` or `config.total_jobs == 0`.
+pub fn replicate_parallel(
+    kind: PolicyKind,
+    params: &SimParams<'_>,
+    config: &SimConfig,
+    reps: usize,
+    threads: usize,
+) -> Replicated {
     assert!(reps > 0, "need at least one replication");
-    let runs: Vec<SimResult> = (0..reps)
-        .map(|i| {
-            let cfg = SimConfig {
-                seed: config.seed.wrapping_add(i as u64),
-                ..*config
-            };
-            simulate(kind, params, &cfg)
-        })
-        .collect();
-    let short_means: Vec<f64> = runs
-        .iter()
-        .filter(|r| r.short.count > 0)
-        .map(|r| r.short.mean)
-        .collect();
-    let long_means: Vec<f64> = runs
-        .iter()
-        .filter(|r| r.long.count > 0)
-        .map(|r| r.long.mean)
-        .collect();
-    Replicated {
-        short: ClassStats::from_samples(&short_means, short_means.len()),
-        long: ClassStats::from_samples(&long_means, long_means.len()),
-        runs,
-    }
+    let indices: Vec<u64> = (0..reps as u64).collect();
+    let runs = crate::pool::parallel_map(&indices, threads, 1, |i| {
+        let cfg = SimConfig {
+            seed: config.seed.wrapping_add(*i),
+            ..*config
+        };
+        simulate(kind, params, &cfg)
+    });
+    Replicated::from_runs(runs)
 }
 
 #[cfg(test)]
@@ -197,6 +228,34 @@ mod tests {
         shuffled.reverse();
         let s2 = ClassStats::from_samples(&shuffled, 10);
         assert_eq!(s.percentiles, s2.percentiles);
+    }
+
+    #[test]
+    fn parallel_replications_bit_identical_across_thread_counts() {
+        use cyclesteal_dist::Exp;
+
+        let shorts = Exp::with_mean(1.0).unwrap();
+        let longs = Exp::with_mean(1.0).unwrap();
+        let params = SimParams::new(0.8, 0.4, &shorts, &longs).unwrap();
+        let config = SimConfig {
+            seed: 7,
+            total_jobs: 5_000,
+            ..SimConfig::default()
+        };
+        let serial = replicate(PolicyKind::CsCq, &params, &config, 6);
+        for threads in [2, 8] {
+            let par = replicate_parallel(PolicyKind::CsCq, &params, &config, 6, threads);
+            assert_eq!(
+                serial.short.mean.to_bits(),
+                par.short.mean.to_bits(),
+                "threads = {threads}"
+            );
+            assert_eq!(serial.long.mean.to_bits(), par.long.mean.to_bits());
+            assert_eq!(serial.short.ci_half.to_bits(), par.short.ci_half.to_bits());
+            for (a, b) in serial.runs.iter().zip(par.runs.iter()) {
+                assert_eq!(a.short.mean.to_bits(), b.short.mean.to_bits());
+            }
+        }
     }
 
     #[test]

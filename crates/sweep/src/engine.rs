@@ -1,0 +1,324 @@
+//! The sweep engine: shards grid points across the shared worker pool
+//! (`cyclesteal_sim::parallel_map`) and collects a canonical, input-order-
+//! independent report plus timing/cache metrics.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cyclesteal_core::cache::SolveCache;
+use cyclesteal_core::stability::{self, Policy};
+use cyclesteal_core::{cs_cq, cs_id, dedicated, SystemParams};
+use cyclesteal_dist::{Exp, HyperExp2};
+use cyclesteal_sim::{parallel_map, replicate, PolicyKind, SimConfig, SimParams};
+
+use crate::grid::{Evaluator, GridSpec, Point};
+use crate::report::{SweepMetrics, SweepReport, SweepRow};
+
+/// Execution knobs of a sweep run. Only wall-clock time depends on them —
+/// never the report.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads (`0` or `1` = serial on the calling thread).
+    pub threads: usize,
+    /// Points claimed per work-stealing step (`0` is clamped to 1).
+    pub chunk: usize,
+    /// A cache to reuse across runs; a fresh one is created when `None`.
+    pub cache: Option<Arc<SolveCache>>,
+}
+
+impl SweepOptions {
+    /// Options with `threads` workers and default chunking.
+    pub fn threads(threads: usize) -> Self {
+        SweepOptions {
+            threads,
+            chunk: 4,
+            ..SweepOptions::default()
+        }
+    }
+
+    /// Attaches a shared cache (e.g. to carry solutions across sweeps or
+    /// to observe hit counters from outside).
+    pub fn with_cache(mut self, cache: Arc<SolveCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+}
+
+/// Runs a declarative grid sweep. Equivalent to
+/// `run_points(&spec.name, &spec.points(), opts)`.
+pub fn run(spec: &GridSpec, opts: &SweepOptions) -> (SweepReport, SweepMetrics) {
+    run_points(&spec.name, &spec.points(), opts)
+}
+
+/// Evaluates an explicit point list on the worker pool.
+///
+/// The report's rows are sorted by canonical id and every row is a pure
+/// function of its point (analysis rows via the quantized-key
+/// [`SolveCache`], simulation rows via parameter-derived seeds), so the
+/// report — and its JSON — is bit-identical for any thread count, chunk
+/// size, and input permutation of the same multiset of points. Timings and
+/// cache counters land in the separate [`SweepMetrics`].
+pub fn run_points(name: &str, points: &[Point], opts: &SweepOptions) -> (SweepReport, SweepMetrics) {
+    let cache = opts
+        .cache
+        .clone()
+        .unwrap_or_else(|| Arc::new(SolveCache::new()));
+    let start = Instant::now();
+    let evaluated = parallel_map(points, opts.threads, opts.chunk, |point| {
+        let t = Instant::now();
+        let row = evaluate(point, &cache);
+        (row, t.elapsed().as_nanos() as u64)
+    });
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+
+    let point_ns = evaluated
+        .iter()
+        .map(|(row, ns)| (row.id.clone(), *ns))
+        .collect();
+    let mut rows: Vec<SweepRow> = evaluated.into_iter().map(|(row, _)| row).collect();
+    rows.sort_by(|a, b| a.id.cmp(&b.id));
+
+    (
+        SweepReport {
+            name: name.to_string(),
+            rows,
+        },
+        SweepMetrics {
+            threads: opts.threads,
+            elapsed_ns,
+            point_ns,
+            cache: cache.stats(),
+        },
+    )
+}
+
+/// Evaluates one point into its row. Infeasible parameters and unstable
+/// policies yield `None` values, mirroring the figure harness's
+/// off-the-curve cells.
+fn evaluate(point: &Point, cache: &SolveCache) -> SweepRow {
+    let id = SweepRow::id_of(point);
+    let mut row = SweepRow {
+        id,
+        policy: crate::grid::policy_name(point.policy),
+        rho_s: point.rho_s,
+        rho_l: point.rho_l,
+        mean_s: point.mean_s,
+        long_mean: point.long.mean(),
+        long_scv: point.long.scv(),
+        short_response: None,
+        long_response: None,
+        short_ci: None,
+        long_ci: None,
+    };
+    match point.evaluator {
+        Evaluator::Analysis => evaluate_analysis(point, cache, &mut row),
+        Evaluator::Simulation {
+            total_jobs,
+            reps,
+            base_seed,
+        } => evaluate_simulation(point, total_jobs, reps, base_seed, &mut row),
+    }
+    row
+}
+
+fn evaluate_analysis(point: &Point, cache: &SolveCache, row: &mut SweepRow) {
+    let Ok(params) = SystemParams::from_loads(
+        point.rho_s,
+        point.mean_s,
+        point.rho_l,
+        point.long.moments(),
+    ) else {
+        return;
+    };
+    let means = match point.policy {
+        Policy::Dedicated => dedicated::analyze(&params).ok(),
+        Policy::CsId => cs_id::analyze(&params)
+            .map(|r| cyclesteal_core::PolicyMeans {
+                short_response: r.short_response,
+                long_response: r.long_response,
+            })
+            .ok(),
+        Policy::CsCq => cs_cq::analyze_cached(&params, Default::default(), cache)
+            .map(|r| cyclesteal_core::PolicyMeans {
+                short_response: r.short_response,
+                long_response: r.long_response,
+            })
+            .ok(),
+    };
+    if let Some(m) = &means {
+        row.short_response = Some(m.short_response);
+    }
+    if point.extend_longs {
+        // Figure-6 semantics: the long-class curve continues past the
+        // short-class asymptote via each policy's long-only formula.
+        row.long_response = match point.policy {
+            Policy::Dedicated => dedicated::long_response(&params).ok(),
+            Policy::CsId => cs_id::long_response(&params).ok(),
+            Policy::CsCq => cs_cq::long_response_auto(&params).ok(),
+        };
+    } else if let Some(m) = &means {
+        row.long_response = Some(m.long_response);
+    }
+}
+
+fn evaluate_simulation(
+    point: &Point,
+    total_jobs: u64,
+    reps: usize,
+    base_seed: u64,
+    row: &mut SweepRow,
+) {
+    if !stability::is_stable(point.policy, point.rho_s, point.rho_l) {
+        return;
+    }
+    let Ok(shorts) = Exp::with_mean(point.mean_s) else {
+        return;
+    };
+    let scv = point.long.scv();
+    // Two-moment representative of the long law: exponential at C² = 1,
+    // balanced-means H₂ above (the paper's simulated workloads).
+    let longs_exp;
+    let longs_h2;
+    let longs: &dyn cyclesteal_dist::Distribution = if (scv - 1.0).abs() <= 1e-9 {
+        match Exp::with_mean(point.long.mean()) {
+            Ok(d) => {
+                longs_exp = d;
+                &longs_exp
+            }
+            Err(_) => return,
+        }
+    } else {
+        match HyperExp2::balanced_means(point.long.mean(), scv) {
+            Ok(d) => {
+                longs_h2 = d;
+                &longs_h2
+            }
+            Err(_) => return, // scv < 1 has no H₂ representative
+        }
+    };
+    let lambda_s = point.rho_s / point.mean_s;
+    let lambda_l = point.rho_l / point.long.mean();
+    let Ok(params) = SimParams::new(lambda_s, lambda_l, &shorts, longs) else {
+        return;
+    };
+    let kind = match point.policy {
+        Policy::Dedicated => PolicyKind::Dedicated,
+        Policy::CsId => PolicyKind::CsId,
+        Policy::CsCq => PolicyKind::CsCq,
+    };
+    // The seed derives from the row id (a pure function of the point's
+    // parameters), never from the point's position in the input — shuffled
+    // grids reproduce identical rows. Replications stay serial here; the
+    // pool already parallelizes across points.
+    let config = SimConfig {
+        seed: fnv1a64(row.id.as_bytes()).wrapping_add(base_seed),
+        total_jobs,
+        ..SimConfig::default()
+    };
+    let rep = replicate(kind, &params, &config, reps.max(1));
+    if rep.short.count > 0 {
+        row.short_response = Some(rep.short.mean);
+        row.short_ci = Some(rep.short.ci_half);
+    }
+    if rep.long.count > 0 {
+        row.long_response = Some(rep.long.mean);
+        row.long_ci = Some(rep.long.ci_half);
+    }
+}
+
+/// FNV-1a over bytes — the id-to-seed mix for simulation points.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::LongLaw;
+
+    fn small_spec() -> GridSpec {
+        GridSpec::analysis("engine_test", vec![0.5, 0.9, 1.2], vec![0.3, 0.5])
+    }
+
+    #[test]
+    fn serial_and_parallel_reports_agree_bitwise() {
+        let (serial, _) = run(&small_spec(), &SweepOptions::threads(1));
+        let (par, metrics) = run(&small_spec(), &SweepOptions::threads(8));
+        assert_eq!(serial.to_json(), par.to_json());
+        assert_eq!(metrics.threads, 8);
+        assert_eq!(metrics.point_ns.len(), small_spec().len());
+        assert!(metrics.elapsed_ns > 0);
+    }
+
+    #[test]
+    fn unstable_points_are_null_not_errors() {
+        let (rep, _) = run(&small_spec(), &SweepOptions::default());
+        // rho_s = 1.2 > 1: Dedicated undefined, CS-CQ defined.
+        let ded = rep
+            .rows
+            .iter()
+            .find(|r| r.policy == "dedicated" && r.rho_s == 1.2 && r.rho_l == 0.3)
+            .unwrap();
+        assert_eq!(ded.short_response, None);
+        let cq = rep
+            .rows
+            .iter()
+            .find(|r| r.policy == "cs_cq" && r.rho_s == 1.2 && r.rho_l == 0.3)
+            .unwrap();
+        assert!(cq.short_response.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn extend_longs_reaches_past_the_short_asymptote() {
+        let mut spec = small_spec();
+        spec.rho_s = vec![1.8]; // beyond the CS-CQ frontier at rho_l = 0.5
+        spec.rho_l = vec![0.5];
+        spec.policies = vec![Policy::CsCq];
+        let (plain, _) = run(&spec, &SweepOptions::default());
+        assert_eq!(plain.rows[0].short_response, None);
+        assert_eq!(plain.rows[0].long_response, None);
+        spec.extend_longs = true;
+        let (ext, _) = run(&spec, &SweepOptions::default());
+        assert_eq!(ext.rows[0].short_response, None);
+        assert!(ext.rows[0].long_response.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn shared_cache_hits_on_the_second_identical_sweep() {
+        let cache = Arc::new(SolveCache::new());
+        let opts = SweepOptions::threads(2).with_cache(cache.clone());
+        let (first, m1) = run(&small_spec(), &opts);
+        let (second, m2) = run(&small_spec(), &opts);
+        assert_eq!(first.to_json(), second.to_json());
+        assert!(m2.cache.hits > m1.cache.hits, "{m1:?} vs {m2:?}");
+    }
+
+    #[test]
+    fn simulation_rows_are_input_order_independent() {
+        let spec = GridSpec {
+            evaluator: Evaluator::Simulation {
+                total_jobs: 2_000,
+                reps: 2,
+                base_seed: 11,
+            },
+            ..GridSpec::analysis("sim_order", vec![0.5, 0.8], vec![0.3])
+        };
+        let mut points = spec.points();
+        let (fwd, _) = run_points("sim_order", &points, &SweepOptions::threads(1));
+        points.reverse();
+        let (rev, _) = run_points("sim_order", &points, &SweepOptions::threads(4));
+        assert_eq!(fwd.to_json(), rev.to_json());
+        // Simulation rows carry CIs.
+        let with_ci = fwd
+            .rows
+            .iter()
+            .find(|r| r.policy == "cs_cq" && r.short_response.is_some())
+            .unwrap();
+        assert!(with_ci.short_ci.is_some());
+    }
+}

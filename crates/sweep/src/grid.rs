@@ -1,0 +1,214 @@
+//! Declarative grid specifications: the cartesian product
+//! `ρ_S × ρ_L × long-law × policy`, flattened into evaluation [`Point`]s.
+
+use cyclesteal_core::stability::Policy;
+use cyclesteal_dist::{DistError, Moments3};
+
+/// A long-job size law on the grid's `C²` axis: three moments plus the
+/// `(mean, scv)` summary the figures are labelled with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LongLaw {
+    moments: Moments3,
+}
+
+impl LongLaw {
+    /// Exponential long jobs (`C² = 1`).
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::NonPositive`] for a nonpositive mean.
+    pub fn exponential(mean: f64) -> Result<Self, DistError> {
+        Ok(LongLaw {
+            moments: Moments3::exponential(mean)?,
+        })
+    }
+
+    /// The conventional balanced-means two-parameter law of the paper's
+    /// figures: mean and squared coefficient of variation, third moment
+    /// filled in by `Moments3::from_mean_scv_balanced`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Moments3::from_mean_scv_balanced`].
+    pub fn balanced(mean: f64, scv: f64) -> Result<Self, DistError> {
+        Ok(LongLaw {
+            moments: Moments3::from_mean_scv_balanced(mean, scv)?,
+        })
+    }
+
+    /// Wraps an explicit moment triple (no information is lost on the way
+    /// into the engine — figure harnesses pass their exact `Moments3`).
+    pub fn from_moments(moments: Moments3) -> Self {
+        LongLaw { moments }
+    }
+
+    /// The moment triple.
+    pub fn moments(&self) -> Moments3 {
+        self.moments
+    }
+
+    /// Mean long-job size.
+    pub fn mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// Squared coefficient of variation.
+    pub fn scv(&self) -> f64 {
+        self.moments.scv()
+    }
+}
+
+/// How a grid point is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Evaluator {
+    /// The matrix-analytic / M/G/1 analyzers of `cyclesteal-core`.
+    Analysis,
+    /// Independent simulation replications (`cyclesteal-sim`).
+    Simulation {
+        /// Completions per replication.
+        total_jobs: u64,
+        /// Number of independent replications (seeds derived from the
+        /// point's parameters, so results are input-order-independent).
+        reps: usize,
+        /// Base seed mixed into every point's derived seed.
+        base_seed: u64,
+    },
+}
+
+/// One scenario to evaluate: a workload, a policy, and an evaluator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Short-class load `ρ_S = λ_S / μ_S`.
+    pub rho_s: f64,
+    /// Long-class load `ρ_L = λ_L · E[X_L]`.
+    pub rho_l: f64,
+    /// Mean short-job size `1/μ_S`.
+    pub mean_s: f64,
+    /// Long-job size law.
+    pub long: LongLaw,
+    /// Policy under study.
+    pub policy: Policy,
+    /// Analysis or simulation.
+    pub evaluator: Evaluator,
+    /// When `true`, the long-class response is evaluated by the policy's
+    /// *long-only* formula (`dedicated::long_response`,
+    /// `cs_id::long_response`, `cs_cq::long_response_auto`), which extends
+    /// past the short-class stability asymptote — the paper's Figure 6
+    /// long panels. When `false`, both classes come from the joint
+    /// analysis and an unstable point yields no values at all.
+    pub extend_longs: bool,
+}
+
+/// A declarative sweep: the cartesian product of the four axes, evaluated
+/// one way. Build it, then [`GridSpec::points`] flattens it (row-major:
+/// `rho_s` outermost, then `rho_l`, long law, policy).
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Report name (lands in the JSON header).
+    pub name: String,
+    /// Mean short-job size, shared by the whole grid.
+    pub mean_s: f64,
+    /// Short-load axis.
+    pub rho_s: Vec<f64>,
+    /// Long-load axis.
+    pub rho_l: Vec<f64>,
+    /// Long-law (`C²`) axis.
+    pub long_laws: Vec<LongLaw>,
+    /// Policy axis.
+    pub policies: Vec<Policy>,
+    /// Evaluator for every point.
+    pub evaluator: Evaluator,
+    /// See [`Point::extend_longs`].
+    pub extend_longs: bool,
+}
+
+impl GridSpec {
+    /// An analysis sweep over all three policies with exponential longs —
+    /// the most common starting shape; customize fields from here.
+    pub fn analysis(name: impl Into<String>, rho_s: Vec<f64>, rho_l: Vec<f64>) -> Self {
+        GridSpec {
+            name: name.into(),
+            mean_s: 1.0,
+            rho_s,
+            rho_l,
+            long_laws: vec![LongLaw::from_moments(
+                Moments3::exponential(1.0).expect("unit mean is valid"),
+            )],
+            policies: vec![Policy::Dedicated, Policy::CsId, Policy::CsCq],
+            evaluator: Evaluator::Analysis,
+            extend_longs: false,
+        }
+    }
+
+    /// Number of points in the product.
+    pub fn len(&self) -> usize {
+        self.rho_s.len() * self.rho_l.len() * self.long_laws.len() * self.policies.len()
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flattens the product into evaluation points.
+    pub fn points(&self) -> Vec<Point> {
+        let mut out = Vec::with_capacity(self.len());
+        for &rho_s in &self.rho_s {
+            for &rho_l in &self.rho_l {
+                for &long in &self.long_laws {
+                    for &policy in &self.policies {
+                        out.push(Point {
+                            rho_s,
+                            rho_l,
+                            mean_s: self.mean_s,
+                            long,
+                            policy,
+                            evaluator: self.evaluator,
+                            extend_longs: self.extend_longs,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Stable display name of a policy (used in row ids and JSON).
+pub fn policy_name(policy: Policy) -> &'static str {
+    match policy {
+        Policy::Dedicated => "dedicated",
+        Policy::CsId => "cs_id",
+        Policy::CsCq => "cs_cq",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_has_expected_size_and_order() {
+        let mut spec = GridSpec::analysis("t", vec![0.5, 1.0], vec![0.3]);
+        spec.policies = vec![Policy::CsCq, Policy::Dedicated];
+        assert_eq!(spec.len(), 4);
+        let pts = spec.points();
+        assert_eq!(pts.len(), 4);
+        // Row-major: rho_s outermost, policy innermost.
+        assert_eq!(pts[0].rho_s, 0.5);
+        assert_eq!(pts[0].policy, Policy::CsCq);
+        assert_eq!(pts[1].policy, Policy::Dedicated);
+        assert_eq!(pts[2].rho_s, 1.0);
+    }
+
+    #[test]
+    fn long_law_round_trips_moments() {
+        let m = Moments3::from_mean_scv_balanced(10.0, 8.0).unwrap();
+        let law = LongLaw::from_moments(m);
+        assert_eq!(law.moments(), m);
+        assert_eq!(law.mean(), 10.0);
+        assert!((law.scv() - 8.0).abs() < 1e-9);
+        assert!(LongLaw::balanced(-1.0, 8.0).is_err());
+        assert_eq!(LongLaw::exponential(2.0).unwrap().mean(), 2.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Stable sweep reports: rows keyed by a canonical id, serialized to a
+//! deterministic JSON document in the xtest bench envelope.
+
+use cyclesteal_core::cache::CacheStats;
+
+use crate::grid::{policy_name, Evaluator, Point};
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Canonical id: a pure function of the point's parameters (never of
+    /// its position in the input), so reports sort identically no matter
+    /// how the grid was ordered or sharded.
+    pub id: String,
+    /// Policy display name (`dedicated` / `cs_id` / `cs_cq`).
+    pub policy: &'static str,
+    /// Short-class load.
+    pub rho_s: f64,
+    /// Long-class load.
+    pub rho_l: f64,
+    /// Mean short-job size.
+    pub mean_s: f64,
+    /// Mean long-job size.
+    pub long_mean: f64,
+    /// Long-job squared coefficient of variation.
+    pub long_scv: f64,
+    /// Mean short-class response time (`None` when unstable/undefined).
+    pub short_response: Option<f64>,
+    /// Mean long-class response time (`None` when unstable/undefined).
+    pub long_response: Option<f64>,
+    /// 95% CI half-width of the short mean (simulation rows only).
+    pub short_ci: Option<f64>,
+    /// 95% CI half-width of the long mean (simulation rows only).
+    pub long_ci: Option<f64>,
+}
+
+impl SweepRow {
+    /// The canonical id of `point` — also the simulation seed material.
+    pub fn id_of(point: &Point) -> String {
+        let eval = match point.evaluator {
+            Evaluator::Analysis => "analysis".to_string(),
+            Evaluator::Simulation {
+                total_jobs,
+                reps,
+                base_seed,
+            } => format!("sim:j{total_jobs}:r{reps}:s{base_seed}"),
+        };
+        // Rust's f64 Display is shortest-round-trip and deterministic, so
+        // the id (and everything keyed on it) is reproducible bit-for-bit.
+        format!(
+            "{}|rho_s={}|rho_l={}|mean_s={}|lmean={}|lscv={}|{}{}",
+            policy_name(point.policy),
+            point.rho_s,
+            point.rho_l,
+            point.mean_s,
+            point.long.mean(),
+            point.long.scv(),
+            eval,
+            if point.extend_longs { "|ext" } else { "" },
+        )
+    }
+}
+
+/// A completed sweep: rows sorted by canonical id, independent of input
+/// order, thread count, and scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Sweep name (JSON header).
+    pub name: String,
+    /// Rows in canonical (id-sorted) order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepReport {
+    /// Looks a row up by its canonical id.
+    pub fn get(&self, id: &str) -> Option<&SweepRow> {
+        self.rows.iter().find(|r| r.id == id)
+    }
+
+    /// Looks the row for `point` up.
+    pub fn get_point(&self, point: &Point) -> Option<&SweepRow> {
+        self.get(&SweepRow::id_of(point))
+    }
+
+    /// Serializes to deterministic JSON in the xtest bench envelope
+    /// (`harness`/`version`/`name`/`results`), with sweep rows as the
+    /// results and `null` marking unstable/undefined values. Timings and
+    /// cache counters deliberately live in [`SweepMetrics`], not here —
+    /// this document is the *reproducible* artifact.
+    pub fn to_json(&self) -> String {
+        let num = |v: Option<f64>| match v {
+            Some(x) if x.is_finite() => format!("{x}"),
+            _ => "null".to_string(),
+        };
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"harness\": \"cyclesteal-xtest\",\n  \"version\": 1,\n");
+        json.push_str("  \"kind\": \"sweep\",\n");
+        json.push_str(&format!("  \"name\": {},\n", json_str(&self.name)));
+        json.push_str("  \"results\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"id\": {}, \"policy\": {}, \"rho_s\": {}, \"rho_l\": {}, \
+                 \"mean_s\": {}, \"long_mean\": {}, \"long_scv\": {}, \
+                 \"short\": {}, \"long\": {}, \"short_ci\": {}, \"long_ci\": {}}}{}\n",
+                json_str(&r.id),
+                json_str(r.policy),
+                r.rho_s,
+                r.rho_l,
+                r.mean_s,
+                r.long_mean,
+                r.long_scv,
+                num(r.short_response),
+                num(r.long_response),
+                num(r.short_ci),
+                num(r.long_ci),
+                if i + 1 < self.rows.len() { "," } else { "" },
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+}
+
+/// Observability side-channel of a sweep run: wall-clock, per-point
+/// timings, and cache counters. Kept out of [`SweepReport::to_json`] so
+/// the report stays bit-identical across thread counts.
+#[derive(Debug, Clone)]
+pub struct SweepMetrics {
+    /// Worker threads the run was configured with.
+    pub threads: usize,
+    /// Total wall-clock nanoseconds.
+    pub elapsed_ns: u64,
+    /// Per-point `(canonical id, nanoseconds)` in input order.
+    pub point_ns: Vec<(String, u64)>,
+    /// Cache counters at the end of the run (cumulative when a shared
+    /// cache was passed in).
+    pub cache: CacheStats,
+}
+
+impl SweepMetrics {
+    /// Sum of per-point compute time — across threads this exceeds
+    /// `elapsed_ns`; the ratio is the achieved parallel speedup.
+    pub fn total_point_ns(&self) -> u64 {
+        self.point_ns.iter().map(|(_, ns)| ns).sum()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::LongLaw;
+    use cyclesteal_core::stability::Policy;
+
+    fn row(id: &str, short: Option<f64>) -> SweepRow {
+        SweepRow {
+            id: id.to_string(),
+            policy: "cs_cq",
+            rho_s: 1.0,
+            rho_l: 0.5,
+            mean_s: 1.0,
+            long_mean: 1.0,
+            long_scv: 1.0,
+            short_response: short,
+            long_response: Some(2.0),
+            short_ci: None,
+            long_ci: None,
+        }
+    }
+
+    #[test]
+    fn json_marks_missing_values_null() {
+        let rep = SweepReport {
+            name: "t".into(),
+            rows: vec![row("a", Some(1.5)), row("b", None)],
+        };
+        let json = rep.to_json();
+        assert!(json.contains("\"kind\": \"sweep\""));
+        assert!(json.contains("\"short\": 1.5"));
+        assert!(json.contains("\"short\": null"));
+        assert_eq!(json.matches("\"long\": 2").count(), 2);
+    }
+
+    #[test]
+    fn id_is_a_pure_function_of_the_point() {
+        let p = Point {
+            rho_s: 0.9,
+            rho_l: 0.5,
+            mean_s: 1.0,
+            long: LongLaw::exponential(1.0).unwrap(),
+            policy: Policy::CsCq,
+            evaluator: Evaluator::Analysis,
+            extend_longs: false,
+        };
+        assert_eq!(SweepRow::id_of(&p), SweepRow::id_of(&p.clone()));
+        let q = Point { rho_s: 1.0, ..p };
+        assert_ne!(SweepRow::id_of(&p), SweepRow::id_of(&q));
+        let s = Point {
+            evaluator: Evaluator::Simulation {
+                total_jobs: 100,
+                reps: 2,
+                base_seed: 7,
+            },
+            ..p
+        };
+        assert!(SweepRow::id_of(&s).contains("sim:j100:r2:s7"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Section-4-style cross-validation, run end-to-end through the sweep
+//! engine: a 3×3 `(ρ_S, ρ_L)` grid of CS-CQ points evaluated twice —
+//! once by the matrix-analytic solver, once by the parallel discrete-event
+//! simulator — must agree within 5% on both classes. A second, identical
+//! analysis sweep through the same shared cache must be served from memo
+//! (hits > 0) and produce byte-identical JSON.
+
+use std::sync::Arc;
+
+use cyclesteal::core::cache::SolveCache;
+use cyclesteal::core::stability::Policy;
+use cyclesteal_sweep::{run_points, Evaluator, LongLaw, Point, SweepOptions};
+
+const RHO_S: [f64; 3] = [0.4, 0.7, 1.0];
+const RHO_L: [f64; 3] = [0.3, 0.5, 0.7];
+
+fn grid(evaluator: Evaluator) -> Vec<Point> {
+    let mut points = Vec::new();
+    for rho_s in RHO_S {
+        for rho_l in RHO_L {
+            points.push(Point {
+                rho_s,
+                rho_l,
+                mean_s: 1.0,
+                long: LongLaw::exponential(1.0).unwrap(),
+                policy: Policy::CsCq,
+                evaluator,
+                extend_longs: false,
+            });
+        }
+    }
+    points
+}
+
+#[test]
+fn analysis_tracks_simulation_within_5_percent_on_the_grid() {
+    let analysis = grid(Evaluator::Analysis);
+    let simulation = grid(Evaluator::Simulation {
+        total_jobs: 500_000,
+        reps: 2,
+        base_seed: 0xC1C1E,
+    });
+    let mut points = analysis.clone();
+    points.extend(simulation.iter().copied());
+
+    let (report, _) = run_points("validation_sweep", &points, &SweepOptions::threads(4));
+
+    for (ana_pt, sim_pt) in analysis.iter().zip(simulation.iter()) {
+        let ana = report.get_point(ana_pt).expect("analysis row");
+        let sim = report.get_point(sim_pt).expect("simulation row");
+        for (class, a, s) in [
+            ("short", ana.short_response, sim.short_response),
+            ("long", ana.long_response, sim.long_response),
+        ] {
+            let (a, s) = (a.expect("stable point"), s.expect("stable point"));
+            let rel = (a - s).abs() / s;
+            assert!(
+                rel < 0.05,
+                "CS-CQ {class} at (rho_s={}, rho_l={}): analysis {a:.4} vs sim {s:.4} \
+                 ({:.1}% apart)",
+                ana_pt.rho_s,
+                ana_pt.rho_l,
+                100.0 * rel
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_sweep_is_served_from_the_shared_cache() {
+    let points = grid(Evaluator::Analysis);
+    let cache = Arc::new(SolveCache::new());
+    let opts = SweepOptions::threads(2).with_cache(cache.clone());
+
+    let (first, _) = run_points("validation_sweep", &points, &opts);
+    let cold = cache.stats();
+    assert!(cold.misses > 0, "first sweep must populate the cache");
+
+    let (second, _) = run_points("validation_sweep", &points, &opts);
+    let warm = cache.stats();
+    assert!(
+        warm.hits > cold.hits,
+        "second identical sweep must hit the memo cache ({} vs {})",
+        warm.hits,
+        cold.hits
+    );
+    assert_eq!(first.to_json(), second.to_json());
+}
