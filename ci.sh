@@ -17,6 +17,14 @@ cargo test -q --workspace --offline
 echo "==> sweep determinism (1/2/8 worker threads, shuffled input, warm cache)"
 cargo test -q -p cyclesteal-sweep --offline --test determinism
 
+echo "==> fault injection (3,000-point sweep, 5% injected faults, 1/2/8 threads)"
+cargo test -q -p cyclesteal-sweep --offline --test fault_injection
+
+echo "==> clippy (incl. unwrap-free non-test code in core and sweep)"
+# core and sweep deny clippy::unwrap_used outside tests; warnings anywhere
+# in the workspace are promoted to errors so the gate cannot rot.
+cargo clippy -q --workspace --offline -- -D warnings
+
 echo "==> bench smoke (--quick)"
 cargo bench -p cyclesteal-bench --offline --bench solver -- --quick
 cargo bench -p cyclesteal-bench --offline --bench analysis_vs_simulation -- --quick

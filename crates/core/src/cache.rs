@@ -27,7 +27,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use cyclesteal_dist::match3::MatchQuality;
 use cyclesteal_dist::{Moments3, Ph};
@@ -75,6 +75,16 @@ impl CacheStats {
 type FitKey = (u64, u64, u64, u8);
 type ReportKey = ([u64; 6], u8);
 
+/// Locks a cache map, riding through poisoning. Every cached value is a
+/// pure function of its key and inserts are single statements, so a map
+/// abandoned by a panicking worker (the sweep engine catches per-point
+/// panics) is still consistent — at worst an entry is missing and gets
+/// recomputed. Propagating the poison would instead cascade one caught
+/// panic into every later lookup.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// The thread-safe memo store. Create one per sweep (or keep one alive
 /// across sweeps to reuse solutions); share it by reference or `Arc`.
 #[derive(Debug, Default)]
@@ -102,9 +112,9 @@ impl SolveCache {
 
     /// Number of memoized entries across all layers.
     pub fn len(&self) -> usize {
-        self.fits.lock().unwrap().len()
-            + self.solutions.lock().unwrap().len()
-            + self.reports.lock().unwrap().len()
+        lock(&self.fits).len()
+            + lock(&self.solutions).len()
+            + lock(&self.reports).len()
     }
 
     /// `true` when nothing has been memoized yet.
@@ -133,13 +143,13 @@ impl SolveCache {
             m.m3().to_bits(),
             tag,
         );
-        if let Some(v) = self.fits.lock().unwrap().get(&key) {
+        if let Some(v) = lock(&self.fits).get(&key) {
             self.hit();
             return Ok(v.clone());
         }
         self.miss();
         let v = compute()?;
-        self.fits.lock().unwrap().insert(key, v.clone());
+        lock(&self.fits).insert(key, v.clone());
         Ok(v)
     }
 
@@ -147,18 +157,18 @@ impl SolveCache {
     /// the `R`-matrix iteration runs once per distinct chain.
     pub(crate) fn qbd_solution(&self, qbd: &Qbd) -> Result<QbdSolution, AnalysisError> {
         let key = qbd.signature();
-        if let Some(sol) = self.solutions.lock().unwrap().get(&key) {
+        if let Some(sol) = lock(&self.solutions).get(&key) {
             self.hit();
             return Ok(sol.clone());
         }
         self.miss();
         let sol = qbd.solve()?;
-        self.solutions.lock().unwrap().insert(key, sol.clone());
+        lock(&self.solutions).insert(key, sol.clone());
         Ok(sol)
     }
 
     pub(crate) fn report_get(&self, key: &ReportKey) -> Option<CsCqReport> {
-        let found = self.reports.lock().unwrap().get(key).cloned();
+        let found = lock(&self.reports).get(key).cloned();
         if found.is_some() {
             self.hit();
         } else {
@@ -168,7 +178,7 @@ impl SolveCache {
     }
 
     pub(crate) fn report_put(&self, key: ReportKey, report: CsCqReport) {
-        self.reports.lock().unwrap().insert(key, report);
+        lock(&self.reports).insert(key, report);
     }
 }
 

@@ -44,6 +44,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod cache;
 pub mod cs_cq;
@@ -51,6 +52,7 @@ pub mod cs_id;
 pub mod dedicated;
 mod error;
 mod params;
+pub mod recover;
 pub mod stability;
 
 pub use error::AnalysisError;

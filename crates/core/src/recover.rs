@@ -1,0 +1,287 @@
+//! Deterministic retry/escalation ladders over the CS-CQ analysis.
+//!
+//! The regimes the paper cares about most — just inside the Theorem-1
+//! stability frontier, high-`C²` long jobs — are exactly where the
+//! numerics are most fragile: QBD iterations stall, Coxian three-moment
+//! fits leave the feasible set, and truncated distributions drop real
+//! probability mass. This module turns those failures into *recoveries*
+//! where a cheaper-but-sound method exists, and into attributed failures
+//! where it does not:
+//!
+//! * [`analyze_cs_cq_cached`] — degrades the busy-period fit order
+//!   (three-moment → two-moment → mean-only) when a fit is infeasible or
+//!   the QBD `R`-iteration exhausts both algorithms. Degraded results are
+//!   flagged (`degraded: true`) so reports never pass an approximation off
+//!   as the paper's method.
+//! * [`shorts_distribution`] — geometrically grows the truncation depth
+//!   `n_max` up to a budget when the tail mass is still non-negligible.
+//!
+//! Every ladder is **deterministic**: budgets are iteration/size counts,
+//! never wall-clock, and each rung is itself a pure function of its
+//! inputs. Recovery metadata ([`Recovery`]) travels *next to* the result
+//! rather than inside it, so cached values stay pure functions of their
+//! keys — the sweep engine's bit-identical-reports guarantee survives
+//! every escalation.
+
+use crate::cache::SolveCache;
+use crate::cs_cq::{self, BusyPeriodFit, CsCqReport};
+use crate::{AnalysisError, SystemParams};
+use cyclesteal_dist::DistError;
+use cyclesteal_markov::MarkovError;
+
+/// What a ladder did to produce (or fail to produce) its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovery {
+    /// Rungs tried, including the one that produced the final outcome
+    /// (`1` = the primary method worked first try).
+    pub attempts: u32,
+    /// `true` when the result comes from a documented fallback rather
+    /// than the primary method (e.g. a two-moment busy-period fit).
+    pub degraded: bool,
+    /// The busy-period fit order used on the final attempt.
+    pub fit: BusyPeriodFit,
+}
+
+/// The fit-order escalation ladder, strongest first. Each rung is exact
+/// for strictly fewer moments, so later rungs are *feasible* on strictly
+/// larger parameter sets (a mean-only exponential fit always exists).
+const FIT_LADDER: [BusyPeriodFit; 3] = [
+    BusyPeriodFit::ThreeMoment,
+    BusyPeriodFit::TwoMoment,
+    BusyPeriodFit::MeanOnly,
+];
+
+/// Is this failure worth retrying with a lower fit order? Infeasible
+/// moment regions and exhausted `R`-iterations both depend on the fitted
+/// busy-period Coxians; a lower-order fit changes the chain and can
+/// succeed. Instability, truncation, and non-finite taints cannot be
+/// fixed by refitting.
+fn fit_retryable(e: &AnalysisError) -> bool {
+    matches!(
+        e,
+        AnalysisError::Param(DistError::InfeasibleMoments { .. })
+            | AnalysisError::Param(DistError::Inconsistent { .. })
+            | AnalysisError::Chain(MarkovError::FallbackExhausted { .. })
+            | AnalysisError::Chain(MarkovError::NoConvergence { .. })
+    )
+}
+
+fn run_fit_ladder(
+    mut attempt: impl FnMut(BusyPeriodFit) -> Result<CsCqReport, AnalysisError>,
+) -> (Result<CsCqReport, AnalysisError>, Recovery) {
+    for (rung, &fit) in FIT_LADDER.iter().enumerate() {
+        let recovery = Recovery {
+            attempts: rung as u32 + 1,
+            degraded: rung > 0,
+            fit,
+        };
+        match attempt(fit) {
+            Ok(report) => return (Ok(report), recovery),
+            Err(e) if rung + 1 < FIT_LADDER.len() && fit_retryable(&e) => continue,
+            Err(e) => return (Err(e), recovery),
+        }
+    }
+    unreachable!("the ladder returns from its last rung")
+}
+
+/// CS-CQ analysis through a [`SolveCache`] with automatic fit-order
+/// degradation (see the [module docs](self)).
+///
+/// Returns the outcome *and* the [`Recovery`] describing how it was
+/// reached; a degraded success reports `degraded: true` and the fit order
+/// actually used. The cache is keyed on `(params, fit)` exactly as
+/// [`cs_cq::analyze_cached`] keys it, so a degraded result can never
+/// shadow a full-order one.
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_core::cache::SolveCache;
+/// use cyclesteal_core::{recover, SystemParams};
+///
+/// # fn main() -> Result<(), cyclesteal_core::AnalysisError> {
+/// let cache = SolveCache::new();
+/// let p = SystemParams::exponential(1.1, 1.0, 0.5, 1.0)?;
+/// let (report, recovery) = recover::analyze_cs_cq_cached(&p, &cache);
+/// assert!(report?.short_response.is_finite());
+/// assert_eq!(recovery.attempts, 1); // well-conditioned: no escalation
+/// assert!(!recovery.degraded);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_cs_cq_cached(
+    params: &SystemParams,
+    cache: &SolveCache,
+) -> (Result<CsCqReport, AnalysisError>, Recovery) {
+    run_fit_ladder(|fit| cs_cq::analyze_cached(params, fit, cache))
+}
+
+/// Uncached variant of [`analyze_cs_cq_cached`] (same ladder over
+/// [`cs_cq::analyze_with`]).
+pub fn analyze_cs_cq(params: &SystemParams) -> (Result<CsCqReport, AnalysisError>, Recovery) {
+    run_fit_ladder(|fit| cs_cq::analyze_with(params, fit))
+}
+
+/// Escalation budget for [`shorts_distribution`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncationBudget {
+    /// Multiplicative growth per attempt (clamped to at least 2).
+    pub growth: usize,
+    /// Hard cap on `n_max`; the ladder never exceeds it.
+    pub n_max_cap: usize,
+}
+
+impl Default for TruncationBudget {
+    /// Quadruple per attempt up to 65,536 levels — from the default
+    /// starting depths this is a handful of attempts, and 2¹⁶ levels
+    /// covers tail decay rates within `~10⁻⁴` of the frontier.
+    fn default() -> Self {
+        TruncationBudget {
+            growth: 4,
+            n_max_cap: 1 << 16,
+        }
+    }
+}
+
+/// [`cs_cq::shorts_distribution`] with automatic truncation-depth
+/// escalation: on [`AnalysisError::Truncated`], retry with `n_max`
+/// multiplied by `budget.growth`, up to `budget.n_max_cap`. The returned
+/// [`Recovery`] counts the attempts; `degraded` stays `false` because a
+/// deeper truncation is *more* exact, not less.
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_core::{recover, SystemParams};
+///
+/// # fn main() -> Result<(), cyclesteal_core::AnalysisError> {
+/// let p = SystemParams::exponential(0.9, 1.0, 0.5, 1.0)?;
+/// let (dist, rec) = recover::shorts_distribution(&p, 200, Default::default());
+/// assert!(dist?.iter().sum::<f64>() > 0.999);
+/// assert_eq!(rec.attempts, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn shorts_distribution(
+    params: &SystemParams,
+    n_max: usize,
+    budget: TruncationBudget,
+) -> (Result<Vec<f64>, AnalysisError>, Recovery) {
+    let growth = budget.growth.max(2);
+    let mut n = n_max.max(1).min(budget.n_max_cap);
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let recovery = Recovery {
+            attempts,
+            degraded: false,
+            fit: BusyPeriodFit::ThreeMoment,
+        };
+        match cs_cq::shorts_distribution(params, n) {
+            Ok(dist) => return (Ok(dist), recovery),
+            Err(AnalysisError::Truncated { .. }) if n < budget.n_max_cap => {
+                n = n.saturating_mul(growth).min(budget.n_max_cap);
+            }
+            Err(e) => return (Err(e), recovery),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_point_needs_no_escalation_and_matches_direct() {
+        let cache = SolveCache::new();
+        let p = SystemParams::exponential(1.1, 1.0, 0.5, 1.0).unwrap();
+        let (res, rec) = analyze_cs_cq_cached(&p, &cache);
+        let ladder = res.unwrap();
+        assert_eq!(
+            rec,
+            Recovery {
+                attempts: 1,
+                degraded: false,
+                fit: BusyPeriodFit::ThreeMoment,
+            }
+        );
+        let direct = cs_cq::analyze_cached(&p, BusyPeriodFit::ThreeMoment, &cache).unwrap();
+        assert_eq!(
+            ladder.short_response.to_bits(),
+            direct.short_response.to_bits(),
+            "the ladder's first rung must be exactly the primary method"
+        );
+    }
+
+    #[test]
+    fn unstable_point_fails_fast_without_escalating() {
+        let cache = SolveCache::new();
+        // rho_s = 1.8 > 2 - rho_l = 1.5: genuinely unstable for CS-CQ.
+        let p = SystemParams::exponential(1.8, 1.0, 0.5, 1.0).unwrap();
+        let (res, rec) = analyze_cs_cq_cached(&p, &cache);
+        assert!(matches!(res, Err(AnalysisError::Unstable { .. })));
+        assert_eq!(rec.attempts, 1, "instability is not retryable");
+        assert!(!rec.degraded);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn injected_no_convergence_walks_every_rung() {
+        use cyclesteal_xtest::fault;
+
+        let cache = SolveCache::new();
+        let p = SystemParams::exponential(1.1, 1.0, 0.5, 1.0).unwrap();
+        let armed = fault::arm(fault::FaultPlan::new(21, 1.0, &["qbd.solve"]));
+        let _scope = fault::Scope::enter("recover-unit");
+        let (res, rec) = analyze_cs_cq_cached(&p, &cache);
+        // Every rung's QBD solve is injected to fail, so the ladder must
+        // exhaust all three fit orders and surface the chain error.
+        assert!(matches!(
+            res,
+            Err(AnalysisError::Chain(
+                cyclesteal_markov::MarkovError::FallbackExhausted { .. }
+            ))
+        ));
+        assert_eq!(rec.attempts, 3);
+        assert!(rec.degraded);
+        assert_eq!(rec.fit, BusyPeriodFit::MeanOnly);
+        drop(armed);
+        let (res, rec) = analyze_cs_cq_cached(&p, &cache);
+        assert!(res.is_ok(), "disarmed: clean analysis");
+        assert_eq!(rec.attempts, 1);
+    }
+
+    /// Regression for the frontier behaviour: this point previously
+    /// (PR 2) *errored* with `Truncated` at `n_max = 30` and required the
+    /// caller to guess a larger depth; the ladder now recovers on its own
+    /// with the escalation recorded in `attempts`.
+    #[test]
+    fn frontier_point_recovers_via_depth_escalation() {
+        let p = SystemParams::exponential(1.45, 1.0, 0.5, 1.0).unwrap();
+        assert!(matches!(
+            cs_cq::shorts_distribution(&p, 30),
+            Err(AnalysisError::Truncated { .. })
+        ));
+        let (res, rec) = shorts_distribution(&p, 30, TruncationBudget::default());
+        let dist = res.unwrap();
+        assert!(rec.attempts > 1, "recovery must be recorded: {rec:?}");
+        assert!(!rec.degraded);
+        let mass: f64 = dist.iter().sum();
+        assert!(mass > 1.0 - 2e-6, "escalated depth covers the tail: {mass}");
+    }
+
+    #[test]
+    fn depth_escalation_respects_the_cap() {
+        let p = SystemParams::exponential(1.45, 1.0, 0.5, 1.0).unwrap();
+        let tight = TruncationBudget {
+            growth: 2,
+            n_max_cap: 60,
+        };
+        let (res, rec) = shorts_distribution(&p, 30, tight);
+        assert!(
+            matches!(res, Err(AnalysisError::Truncated { n_max: 60, .. })),
+            "cap reached: the final error reports the deepest attempt"
+        );
+        assert_eq!(rec.attempts, 2);
+    }
+}

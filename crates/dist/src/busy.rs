@@ -28,12 +28,27 @@
 
 use crate::{DistError, Moments3};
 
+/// Checked boundary for every moment formula in this module: the closed
+/// forms divide by `δ^k` with `δ = 1 − ρ`, which overflows to ±∞ near the
+/// stability frontier before `ρ ≥ 1` is ever violated in exact arithmetic.
+/// Catching the taint here names the site instead of letting NaN surface
+/// as a mysterious QBD divergence.
+fn ensure_finite(site: &'static str, values: [f64; 3]) -> Result<(), DistError> {
+    if values.iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(DistError::NonFinite { site })
+    }
+}
+
 /// Moments of the ordinary M/G/1 busy period started by one job.
 ///
 /// # Errors
 ///
 /// [`DistError::NonPositive`] if `lambda <= 0`;
-/// [`DistError::Inconsistent`] if `ρ = λ·E[X] ≥ 1` (no stable busy period).
+/// [`DistError::Inconsistent`] if `ρ = λ·E[X] ≥ 1` (no stable busy period);
+/// [`DistError::NonFinite`] if a moment overflows `f64` (possible just
+/// inside the frontier, where `1/(1−ρ)⁵` exceeds the finite range).
 ///
 /// # Examples
 ///
@@ -61,8 +76,11 @@ pub fn mg1_busy(lambda: f64, job: Moments3) -> Result<Moments3, DistError> {
     }
     let d = 1.0 - rho;
     let b1 = job.mean() / d;
-    let b2 = job.m2() / (d * d * d);
+    #[allow(unused_mut)]
+    let mut b2 = job.m2() / (d * d * d);
     let b3 = job.m3() / d.powi(4) + 3.0 * lambda * job.m2() * job.m2() / d.powi(5);
+    cyclesteal_xtest::fault_point!("dist.busy.mg1" => b2 = f64::NAN);
+    ensure_finite("dist.busy.mg1", [b1, b2, b3])?;
     Moments3::new(b1, b2, b3)
 }
 
@@ -81,6 +99,7 @@ pub fn delay_busy(lambda: f64, job: Moments3, work: Moments3) -> Result<Moments3
     let e3 = work.m3() / (d * d * d)
         + 3.0 * lambda * b.m2() * work.m2() / d
         + lambda * b.m3() * work.mean();
+    ensure_finite("dist.busy.delay", [e1, e2, e3])?;
     Moments3::new(e1, e2, e3)
 }
 
@@ -111,6 +130,7 @@ pub fn random_sum(count_fact: [f64; 3], item: Moments3) -> Result<Moments3, Dist
     let v1 = f1 * m1;
     let v2 = f1 * item.m2() + f2 * m1 * m1;
     let v3 = f3 * m1 * m1 * m1 + 3.0 * f2 * m1 * item.m2() + f1 * item.m3();
+    ensure_finite("dist.busy.random_sum", [v1, v2, v3])?;
     Moments3::new(v1, v2, v3)
 }
 
@@ -322,6 +342,48 @@ mod tests {
         }
         assert!(busy_lst(1.5, &job, 0.1).is_err());
         assert!(busy_lst(0.5, &job, -1.0).is_err());
+    }
+
+    #[test]
+    fn overflowing_moments_are_caught_as_non_finite() {
+        // Just inside the frontier with a huge third moment: the closed
+        // form divides by δ⁴ ≈ 2e-64 and overflows. The boundary must
+        // name the site instead of handing NaN/∞ downstream.
+        let job = Moments3::new(0.5, 1e150, 1e305).unwrap();
+        let err = mg1_busy(1.999_999_999_999_999_6, job).unwrap_err();
+        assert_eq!(
+            err,
+            DistError::NonFinite {
+                site: "dist.busy.mg1"
+            }
+        );
+
+        let item = Moments3::exponential(10.0).unwrap();
+        let err = random_sum([1e100, 1e200, 1e306], item).unwrap_err();
+        assert_eq!(
+            err,
+            DistError::NonFinite {
+                site: "dist.busy.random_sum"
+            }
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn injected_nan_fires_only_at_the_named_site() {
+        use cyclesteal_xtest::fault;
+
+        let job = Moments3::exponential(0.5).unwrap();
+        let armed = fault::arm(fault::FaultPlan::new(11, 1.0, &["dist.busy.mg1"]));
+        let _scope = fault::Scope::enter("busy-unit");
+        assert_eq!(
+            mg1_busy(1.0, job).unwrap_err(),
+            DistError::NonFinite {
+                site: "dist.busy.mg1"
+            }
+        );
+        drop(armed);
+        assert!(mg1_busy(1.0, job).is_ok(), "disarmed: clean result");
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub enum DistError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A computation produced NaN or ±∞ from finite inputs; `site` names
+    /// the boundary that caught it (e.g. `"dist.busy.mg1"`), so the taint
+    /// is attributed at its source instead of three layers up.
+    NonFinite {
+        /// The computation boundary that caught the value.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -46,6 +53,9 @@ impl fmt::Display for DistError {
                 write!(f, "infeasible moment triple: {reason}")
             }
             DistError::Inconsistent { reason } => write!(f, "inconsistent parameters: {reason}"),
+            DistError::NonFinite { site } => {
+                write!(f, "non-finite value caught at {site}")
+            }
         }
     }
 }
@@ -94,6 +104,13 @@ mod tests {
         assert!(DistError::Inconsistent { reason: "k >= p" }
             .to_string()
             .contains("k >= p"));
+        assert_eq!(
+            DistError::NonFinite {
+                site: "dist.busy.mg1"
+            }
+            .to_string(),
+            "non-finite value caught at dist.busy.mg1"
+        );
     }
 
     #[test]

@@ -23,6 +23,14 @@ pub enum LinalgError {
     },
     /// A row specification had inconsistent length.
     RaggedRows,
+    /// A NaN or infinity reached the named API boundary. Catching the
+    /// taint at its source keeps it from surfacing layers later as a
+    /// mysterious divergence or a garbage pivot (NaN comparisons are all
+    /// false, so partial pivoting would silently pick nonsense).
+    NonFinite {
+        /// The boundary that caught the value, e.g. `"linalg.lu"`.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -42,6 +50,9 @@ impl fmt::Display for LinalgError {
                 )
             }
             LinalgError::RaggedRows => write!(f, "rows have inconsistent lengths"),
+            LinalgError::NonFinite { site } => {
+                write!(f, "non-finite value caught at {site}")
+            }
         }
     }
 }
@@ -69,5 +80,9 @@ mod tests {
             "operation requires a square matrix, got 2x3"
         );
         assert!(!LinalgError::RaggedRows.to_string().is_empty());
+        assert_eq!(
+            LinalgError::NonFinite { site: "linalg.lu" }.to_string(),
+            "non-finite value caught at linalg.lu"
+        );
     }
 }

@@ -46,9 +46,12 @@ impl Matrix {
     ///
     /// # Errors
     ///
-    /// [`LinalgError::NotSquare`] for rectangular input; propagates a
-    /// (theoretically impossible for finite input) singular Padé
-    /// denominator.
+    /// [`LinalgError::NotSquare`] for rectangular input;
+    /// [`LinalgError::NonFinite`] if the input carries NaN or ±∞ (the
+    /// scaling heuristic compares norms, and NaN slips through every
+    /// comparison, so a tainted generator must be rejected at the door);
+    /// propagates a (theoretically impossible for finite input) singular
+    /// Padé denominator.
     ///
     /// # Examples
     ///
@@ -68,6 +71,9 @@ impl Matrix {
             return Err(LinalgError::NotSquare {
                 dims: (self.rows(), self.cols()),
             });
+        }
+        if !self.as_slice().iter().all(|v| v.is_finite()) {
+            return Err(LinalgError::NonFinite { site: "linalg.expm" });
         }
         let n = self.rows();
         if n == 0 {
@@ -109,6 +115,10 @@ impl Matrix {
         for _ in 0..s {
             result = result.mul(&result)?;
         }
+        debug_assert!(
+            result.as_slice().iter().all(|v| v.is_finite()),
+            "expm produced a non-finite entry from finite input"
+        );
         Ok(result)
     }
 }
@@ -192,6 +202,15 @@ mod tests {
     #[test]
     fn expm_rejects_rectangular() {
         assert!(Matrix::zeros(2, 3).expm().is_err());
+    }
+
+    #[test]
+    fn expm_rejects_non_finite_input() {
+        let a = Matrix::from_rows(&[&[0.0, f64::NAN], &[0.0, 0.0]]).unwrap();
+        assert_eq!(
+            a.expm().unwrap_err(),
+            LinalgError::NonFinite { site: "linalg.expm" }
+        );
     }
 
     #[test]

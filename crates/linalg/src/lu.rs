@@ -36,12 +36,19 @@ impl Lu {
     /// # Errors
     ///
     /// * [`LinalgError::NotSquare`] if `a` is rectangular.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN or ±∞ — pivot
+    ///   selection compares magnitudes, and every comparison against NaN
+    ///   is false, so factoring a tainted matrix would silently produce
+    ///   garbage instead of failing.
     /// * [`LinalgError::Singular`] if a pivot vanishes.
     pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare {
                 dims: (a.rows(), a.cols()),
             });
+        }
+        if !a.as_slice().iter().all(|v| v.is_finite()) {
+            return Err(LinalgError::NonFinite { site: "linalg.lu" });
         }
         let n = a.rows();
         let mut lu = a.clone();
@@ -194,6 +201,17 @@ mod tests {
         let prod = &a * &inv;
         let id = Matrix::identity(2);
         assert!((&prod - &id).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_input_is_caught_at_the_boundary() {
+        let a = Matrix::from_rows(&[&[1.0, f64::NAN], &[0.0, 1.0]]).unwrap();
+        assert_eq!(
+            a.lu().unwrap_err(),
+            LinalgError::NonFinite { site: "linalg.lu" }
+        );
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[f64::INFINITY, 1.0]]).unwrap();
+        assert!(matches!(b.lu(), Err(LinalgError::NonFinite { .. })));
     }
 
     #[test]

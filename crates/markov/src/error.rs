@@ -30,6 +30,15 @@ pub enum MarkovError {
     },
     /// An underlying linear-algebra failure (singular boundary system, ...).
     Linalg(LinalgError),
+    /// The primary `R` algorithm failed *and* the automatic fallback
+    /// failed too; both attempts are preserved so the display names what
+    /// was tried, in order.
+    FallbackExhausted {
+        /// Error from the primary algorithm (logarithmic reduction).
+        primary: Box<MarkovError>,
+        /// Error from the fallback (functional iteration, raised cap).
+        fallback: Box<MarkovError>,
+    },
 }
 
 impl fmt::Display for MarkovError {
@@ -51,6 +60,10 @@ impl fmt::Display for MarkovError {
                 "{what} did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
             MarkovError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            MarkovError::FallbackExhausted { primary, fallback } => write!(
+                f,
+                "no R algorithm succeeded: primary attempt: {primary}; fallback attempt: {fallback}"
+            ),
         }
     }
 }
@@ -59,6 +72,7 @@ impl Error for MarkovError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             MarkovError::Linalg(e) => Some(e),
+            MarkovError::FallbackExhausted { primary, .. } => Some(primary.as_ref()),
             _ => None,
         }
     }
@@ -93,5 +107,26 @@ mod tests {
             reason: "row 3".into(),
         };
         assert!(e.to_string().contains("row 3"));
+    }
+
+    #[test]
+    fn fallback_exhausted_shows_both_attempts() {
+        let e = MarkovError::FallbackExhausted {
+            primary: Box::new(MarkovError::NoConvergence {
+                what: "logarithmic reduction",
+                iterations: 128,
+                residual: 1e-3,
+            }),
+            fallback: Box::new(MarkovError::NoConvergence {
+                what: "R functional iteration",
+                iterations: 400_000,
+                residual: 1e-6,
+            }),
+        };
+        let s = e.to_string();
+        assert!(s.contains("logarithmic reduction"), "{s}");
+        assert!(s.contains("functional iteration"), "{s}");
+        assert!(s.contains("128") && s.contains("400000"), "{s}");
+        assert!(Error::source(&e).is_some());
     }
 }

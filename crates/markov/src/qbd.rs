@@ -29,6 +29,12 @@ const FP_TOL: f64 = 1e-13;
 /// Iteration caps.
 const LR_MAX_ITER: usize = 128;
 const FI_MAX_ITER: usize = 200_000;
+/// Iteration cap for the automatic functional-iteration fallback inside
+/// [`Qbd::solve`]: raised over the standalone cap because the fallback
+/// only runs where logarithmic reduction already failed — typically very
+/// close to the stability frontier, where the linearly-convergent
+/// iteration needs the extra budget.
+const FI_FALLBACK_MAX_ITER: usize = 2 * FI_MAX_ITER;
 /// Spectral radii above this are reported as unstable.
 const STABILITY_MARGIN: f64 = 1.0 - 1e-9;
 
@@ -198,24 +204,53 @@ impl Qbd {
         self.a1.rows()
     }
 
-    /// Solves the QBD with the default `R` algorithm (logarithmic reduction).
+    /// Solves the QBD: logarithmic reduction first, and on
+    /// [`MarkovError::NoConvergence`] automatically retries with
+    /// functional iteration under a raised cap
+    /// ([`FI_FALLBACK_MAX_ITER`]) before giving up. The retry ladder is
+    /// deterministic — both budgets are fixed iteration counts.
     ///
     /// # Errors
     ///
     /// [`MarkovError::Unstable`] if `sp(R) ≥ 1` (the chain is not positive
-    /// recurrent), [`MarkovError::NoConvergence`] if the `R` fixed point does
-    /// not converge, or [`MarkovError::Linalg`] on a singular boundary
-    /// system.
+    /// recurrent), [`MarkovError::FallbackExhausted`] carrying *both*
+    /// attempts if neither `R` algorithm converges, or
+    /// [`MarkovError::Linalg`] on a singular boundary system.
     pub fn solve(&self) -> Result<QbdSolution, MarkovError> {
-        self.solve_with(RAlgorithm::LogarithmicReduction)
+        match self.attempt(RAlgorithm::LogarithmicReduction, FI_MAX_ITER) {
+            Err(primary @ MarkovError::NoConvergence { .. }) => {
+                match self.attempt(RAlgorithm::FunctionalIteration, FI_FALLBACK_MAX_ITER) {
+                    Ok(sol) => Ok(sol),
+                    Err(fallback) => Err(MarkovError::FallbackExhausted {
+                        primary: Box::new(primary),
+                        fallback: Box::new(fallback),
+                    }),
+                }
+            }
+            other => other,
+        }
     }
 
-    /// Solves the QBD with the requested `R` algorithm.
+    /// Solves the QBD with the requested `R` algorithm, no fallback.
     ///
     /// # Errors
     ///
-    /// As for [`Qbd::solve`].
+    /// As for [`Qbd::solve`], except a non-converging `R` iteration
+    /// surfaces directly as [`MarkovError::NoConvergence`].
     pub fn solve_with(&self, alg: RAlgorithm) -> Result<QbdSolution, MarkovError> {
+        self.attempt(alg, FI_MAX_ITER)
+    }
+
+    /// One solve attempt with an explicit functional-iteration budget.
+    /// Both [`Qbd::solve`] attempts route through here so the `qbd.solve`
+    /// fault site is reached on the primary *and* the fallback path — an
+    /// injected `NoConvergence` cannot be accidentally healed.
+    fn attempt(&self, alg: RAlgorithm, fi_cap: usize) -> Result<QbdSolution, MarkovError> {
+        cyclesteal_xtest::fault_point!("qbd.solve" => return Err(MarkovError::NoConvergence {
+            what: "injected fault (qbd.solve)",
+            iterations: 0,
+            residual: f64::INFINITY,
+        }));
         if let Some(ratio) = self.drift_ratio() {
             if ratio >= STABILITY_MARGIN {
                 return Err(MarkovError::Unstable {
@@ -225,7 +260,7 @@ impl Qbd {
         }
         let r = match alg {
             RAlgorithm::LogarithmicReduction => self.r_logarithmic_reduction()?,
-            RAlgorithm::FunctionalIteration => self.r_functional_iteration()?,
+            RAlgorithm::FunctionalIteration => self.r_functional_iteration_capped(fi_cap)?,
         };
         let sp = r.spectral_radius_estimate(200);
         if sp >= STABILITY_MARGIN {
@@ -343,11 +378,15 @@ impl Qbd {
     /// [`MarkovError::NoConvergence`] near instability (the iteration is only
     /// linearly convergent); [`MarkovError::Linalg`] if `A1` is singular.
     pub fn r_functional_iteration(&self) -> Result<Matrix, MarkovError> {
+        self.r_functional_iteration_capped(FI_MAX_ITER)
+    }
+
+    fn r_functional_iteration_capped(&self, max_iter: usize) -> Result<Matrix, MarkovError> {
         let m = self.phase_dim();
         let neg_a1_inv = self.a1.scale(-1.0).inverse()?;
         let mut r = Matrix::zeros(m, m);
         let mut residual = f64::INFINITY;
-        for _ in 0..FI_MAX_ITER {
+        for _ in 0..max_iter {
             let next = self.a0.add(&r.mul(&r)?.mul(&self.a2)?)?.mul(&neg_a1_inv)?;
             residual = next.sub(&r)?.max_abs();
             r = next;
@@ -360,7 +399,7 @@ impl Qbd {
         }
         Err(MarkovError::NoConvergence {
             what: "R functional iteration",
-            iterations: FI_MAX_ITER,
+            iterations: max_iter,
             residual,
         })
     }
@@ -731,6 +770,34 @@ mod tests {
         assert!((e_n - want).abs() < 1e-8, "E[N] = {e_n} vs P-K {want}");
         assert!((sol.boundary()[0] - (1.0 - rho)).abs() < 1e-9);
         assert!((sol.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn injected_no_convergence_exhausts_the_fallback_ladder() {
+        use cyclesteal_xtest::fault;
+
+        let q = mm1(0.7, 1.0);
+        let armed = fault::arm(fault::FaultPlan::new(5, 1.0, &["qbd.solve"]));
+        let _scope = fault::Scope::enter("qbd-unit");
+        // Both the primary and the fallback attempt hit the fault site, so
+        // the error must carry both injected failures.
+        let err = q.solve().unwrap_err();
+        match &err {
+            MarkovError::FallbackExhausted { primary, fallback } => {
+                assert!(matches!(**primary, MarkovError::NoConvergence { .. }));
+                assert!(matches!(**fallback, MarkovError::NoConvergence { .. }));
+            }
+            other => panic!("expected FallbackExhausted, got {other}"),
+        }
+        assert!(err.to_string().contains("injected fault (qbd.solve)"));
+        // solve_with has no ladder: the injection surfaces directly.
+        assert!(matches!(
+            q.solve_with(RAlgorithm::LogarithmicReduction),
+            Err(MarkovError::NoConvergence { .. })
+        ));
+        drop(armed);
+        assert!(q.solve().is_ok(), "disarmed: clean solve");
     }
 
     #[test]

@@ -43,5 +43,5 @@ mod stats;
 
 pub use engine::{simulate, Arrivals, SimConfig, SimParams, SimResult};
 pub use policy::{JobClass, PolicyKind};
-pub use pool::parallel_map;
+pub use pool::{parallel_map, parallel_map_isolated};
 pub use stats::{replicate, replicate_parallel, ClassStats, Replicated};

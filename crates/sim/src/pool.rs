@@ -8,23 +8,126 @@
 //! input index, and the output is reassembled **in input order** — so the
 //! result of [`parallel_map`] is a pure function of `(items, f)`,
 //! independent of thread count and scheduling.
+//!
+//! [`parallel_map_isolated`] is the panic-isolating primitive underneath:
+//! each item runs under `catch_unwind`, a panicking item yields
+//! `Err(message)` in its slot, and the worker keeps draining the queue —
+//! one poisoned task cannot abort the batch or silently drop other
+//! results. [`parallel_map`] is the strict wrapper that re-raises the
+//! first (input-order) panic after every worker has finished.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 
+/// Extracts a human-readable message from a caught panic payload
+/// (`panic!("...")` carries `&str` or `String`; anything else is opaque).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_isolated<T, R>(item: &T, f: &(impl Fn(&T) -> R + Sync)) -> Result<R, String> {
+    panic::catch_unwind(AssertUnwindSafe(|| f(item))).map_err(panic_message)
+}
+
+/// Maps `f` over `items` on `threads` worker threads with **per-item panic
+/// isolation**, returning `Ok(result)` or `Err(panic message)` per item,
+/// in input order. `chunk` is the number of items a worker claims at a
+/// time (clamped to at least 1). With `threads <= 1` (or a single item)
+/// this degrades to a serial map on the calling thread — still isolated.
+///
+/// A panicking item never takes its worker down: the unwind is caught at
+/// the item boundary, recorded in that item's slot, and the worker moves
+/// on to the next chunk. Determinism: the output depends only on
+/// `(items, f)`; thread count, chunk size, and scheduling affect
+/// wall-clock time only.
+///
+/// `f` is re-entered after a caught panic, so any state it shares across
+/// items must tolerate a torn invocation (the `AssertUnwindSafe` here is
+/// the caller's contract, matching `std::thread`'s own behavior of
+/// continuing after a worker panic).
+///
+/// # Examples
+///
+/// ```
+/// let got = cyclesteal_sim::parallel_map_isolated(&[1u64, 0, 3], 2, 1, |x| {
+///     assert!(*x != 0, "zero is not allowed");
+///     100 / x
+/// });
+/// assert_eq!(got[0], Ok(100));
+/// assert!(got[1].as_ref().unwrap_err().contains("zero is not allowed"));
+/// assert_eq!(got[2], Ok(33));
+/// ```
+pub fn parallel_map_isolated<T, R, F>(
+    items: &[T],
+    threads: usize,
+    chunk: usize,
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let chunk = chunk.max(1);
+    let workers = threads.min(n).max(1);
+    if workers <= 1 {
+        return items.iter().map(|item| run_isolated(item, &f)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, String>)>();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for (offset, item) in items[start..end].iter().enumerate() {
+                    if tx.send((start + offset, run_isolated(item, f))).is_err() {
+                        return; // receiver gone: the scope is tearing down
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut out: Vec<Option<Result<R, String>>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every index produced exactly once"))
+            .collect()
+    })
+}
+
 /// Maps `f` over `items` on `threads` worker threads, returning results in
 /// input order. `chunk` is the number of items a worker claims at a time
 /// (clamped to at least 1). With `threads <= 1` (or a single item) this
-/// degrades to a plain serial map on the calling thread — no pool, no
-/// channel.
+/// degrades to a plain serial map on the calling thread.
 ///
 /// Determinism: the output vector depends only on `items` and `f`; thread
 /// count, chunk size, and OS scheduling affect wall-clock time only.
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` once all workers are joined.
+/// Re-raises the first (in input order) panic from `f` after all items
+/// have run — use [`parallel_map_isolated`] to keep panicking items as
+/// per-slot errors instead.
 ///
 /// # Examples
 ///
@@ -38,43 +141,13 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = items.len();
-    let chunk = chunk.max(1);
-    let workers = threads.min(n).max(1);
-    if workers <= 1 {
-        return items.iter().map(&f).collect();
-    }
-
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let f = &f;
-            scope.spawn(move || loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                for (offset, item) in items[start..end].iter().enumerate() {
-                    if tx.send((start + offset, f(item))).is_err() {
-                        return; // receiver gone: another worker panicked
-                    }
-                }
-            });
-        }
-        drop(tx);
-
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for (i, r) in rx {
-            out[i] = Some(r);
-        }
-        out.into_iter()
-            .map(|slot| slot.expect("every index produced exactly once"))
-            .collect()
-    })
+    parallel_map_isolated(items, threads, chunk, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(message) => panic!("worker task panicked: {message}"),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -122,5 +195,62 @@ mod tests {
         for (i, (x, _)) in got.iter().enumerate() {
             assert_eq!(*x, i as u64);
         }
+    }
+
+    #[test]
+    fn panicking_task_mid_queue_is_isolated() {
+        let _quiet = cyclesteal_xtest::fault::QuietPanics::install();
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let got = parallel_map_isolated(&items, threads, 3, |x| {
+                if *x == 37 {
+                    panic!("boom at item {x}");
+                }
+                x * 2
+            });
+            assert_eq!(got.len(), items.len(), "threads={threads}");
+            for (i, r) in got.iter().enumerate() {
+                if i == 37 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("boom at item 37"), "threads={threads}: {msg}");
+                } else {
+                    assert_eq!(*r, Ok(i as u64 * 2), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn several_panics_do_not_starve_the_pool() {
+        let _quiet = cyclesteal_xtest::fault::QuietPanics::install();
+        // More panicking items than workers: every worker survives at
+        // least one unwind and keeps draining.
+        let items: Vec<u64> = (0..64).collect();
+        let got = parallel_map_isolated(&items, 4, 1, |x| {
+            assert!(x % 5 != 0, "multiple of five");
+            *x
+        });
+        let (errs, oks): (Vec<_>, Vec<_>) = got.iter().partition(|r| r.is_err());
+        assert_eq!(errs.len(), 13); // 0, 5, ..., 60
+        assert_eq!(oks.len(), 51);
+    }
+
+    #[test]
+    fn strict_map_repanics_with_the_message() {
+        let _quiet = cyclesteal_xtest::fault::QuietPanics::install();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&[1u64, 2, 3], 2, 1, |x| {
+                if *x == 2 {
+                    panic!("strict mode must not swallow this");
+                }
+                *x
+            })
+        });
+        let payload = caught.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("strict mode must not swallow this"), "{msg}");
     }
 }

@@ -1,18 +1,33 @@
 //! The sweep engine: shards grid points across the shared worker pool
-//! (`cyclesteal_sim::parallel_map`) and collects a canonical, input-order-
-//! independent report plus timing/cache metrics.
+//! (`cyclesteal_sim::parallel_map_isolated`) and collects a canonical,
+//! input-order-independent report plus timing/cache metrics.
+//!
+//! # Fault tolerance
+//!
+//! Each point is evaluated under per-item panic isolation: a panicking
+//! point becomes a [`FailureKind::Panicked`] record in its own row while
+//! every other point completes normally. Solver errors are classified
+//! into the [`FailureKind`] taxonomy — after the deterministic recovery
+//! ladders in [`cyclesteal_core::recover`] have had their chance — so a
+//! sweep never silently drops a point for any reason other than genuine
+//! (Theorem-1 precheck) instability. Failure records are pure functions
+//! of their points, so the bit-identical-report guarantee holds for
+//! failing sweeps exactly as for clean ones.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use cyclesteal_core::cache::SolveCache;
 use cyclesteal_core::stability::{self, Policy};
-use cyclesteal_core::{cs_cq, cs_id, dedicated, SystemParams};
-use cyclesteal_dist::{Exp, HyperExp2};
-use cyclesteal_sim::{parallel_map, replicate, PolicyKind, SimConfig, SimParams};
+use cyclesteal_core::{cs_cq, cs_id, dedicated, recover, AnalysisError, SystemParams};
+use cyclesteal_dist::{DistError, Exp, HyperExp2};
+use cyclesteal_linalg::LinalgError;
+use cyclesteal_markov::MarkovError;
+use cyclesteal_sim::{parallel_map_isolated, replicate, PolicyKind, SimConfig, SimParams};
+use cyclesteal_xtest::fault;
 
 use crate::grid::{Evaluator, GridSpec, Point};
-use crate::report::{SweepMetrics, SweepReport, SweepRow};
+use crate::report::{FailureCounts, FailureKind, SweepMetrics, SweepReport, SweepRow};
 
 /// Execution knobs of a sweep run. Only wall-clock time depends on them —
 /// never the report.
@@ -58,25 +73,36 @@ pub fn run(spec: &GridSpec, opts: &SweepOptions) -> (SweepReport, SweepMetrics) 
 /// report — and its JSON — is bit-identical for any thread count, chunk
 /// size, and input permutation of the same multiset of points. Timings and
 /// cache counters land in the separate [`SweepMetrics`].
+///
+/// A point whose evaluation panics yields a row with a
+/// [`FailureKind::Panicked`] record (its timing slot reads zero); the
+/// worker that caught the unwind keeps draining the queue, so one
+/// poisoned point can never take down a sweep or drop other points.
 pub fn run_points(name: &str, points: &[Point], opts: &SweepOptions) -> (SweepReport, SweepMetrics) {
     let cache = opts
         .cache
         .clone()
         .unwrap_or_else(|| Arc::new(SolveCache::new()));
     let start = Instant::now();
-    let evaluated = parallel_map(points, opts.threads, opts.chunk, |point| {
+    let evaluated = parallel_map_isolated(points, opts.threads, opts.chunk, |point| {
         let t = Instant::now();
         let row = evaluate(point, &cache);
         (row, t.elapsed().as_nanos() as u64)
     });
     let elapsed_ns = start.elapsed().as_nanos() as u64;
 
-    let point_ns = evaluated
-        .iter()
-        .map(|(row, ns)| (row.id.clone(), *ns))
-        .collect();
-    let mut rows: Vec<SweepRow> = evaluated.into_iter().map(|(row, _)| row).collect();
+    let mut rows = Vec::with_capacity(points.len());
+    let mut point_ns = Vec::with_capacity(points.len());
+    for (point, outcome) in points.iter().zip(evaluated) {
+        let (row, ns) = match outcome {
+            Ok((row, ns)) => (row, ns),
+            Err(message) => (SweepRow::panicked(point, message), 0),
+        };
+        point_ns.push((row.id.clone(), ns));
+        rows.push(row);
+    }
     rows.sort_by(|a, b| a.id.cmp(&b.id));
+    let failures = FailureCounts::tally(&rows);
 
     (
         SweepReport {
@@ -88,27 +114,32 @@ pub fn run_points(name: &str, points: &[Point], opts: &SweepOptions) -> (SweepRe
             elapsed_ns,
             point_ns,
             cache: cache.stats(),
+            failures,
         },
     )
 }
 
-/// Evaluates one point into its row. Infeasible parameters and unstable
-/// policies yield `None` values, mirroring the figure harness's
-/// off-the-curve cells.
-fn evaluate(point: &Point, cache: &SolveCache) -> SweepRow {
-    let id = SweepRow::id_of(point);
-    let mut row = SweepRow {
-        id,
-        policy: crate::grid::policy_name(point.policy),
-        rho_s: point.rho_s,
-        rho_l: point.rho_l,
-        mean_s: point.mean_s,
-        long_mean: point.long.mean(),
-        long_scv: point.long.scv(),
-        short_response: None,
-        long_response: None,
-        short_ci: None,
-        long_ci: None,
+/// Evaluates one point into its row. Points that violate the Theorem-1
+/// stability condition yield silent `None` values (the figure harness's
+/// off-the-curve cells); every other evaluation failure is attributed as
+/// a [`FailureKind`] record.
+fn evaluate(point: &Point, shared: &SolveCache) -> SweepRow {
+    let mut row = SweepRow::blank(point);
+    // The canonical id is the fault-injection scope: an armed FaultPlan
+    // decides per *point*, never per thread or execution slot.
+    let _scope = fault::Scope::enter(&row.id);
+    cyclesteal_xtest::fault_point!("sweep.point" => panic!("injected fault: sweep.point"));
+    // Faulted points must bypass the shared cache: a sub-result memoized
+    // by a clean run of the same key would skip the injection site (or a
+    // faulted run could poison the entry), making which points fault
+    // depend on execution order. A throwaway cache keeps the evaluation
+    // pure in both directions; clean points are unaffected.
+    let local;
+    let cache = if fault::scope_is_faulted() {
+        local = SolveCache::new();
+        &local
+    } else {
+        shared
     };
     match point.evaluator {
         Evaluator::Analysis => evaluate_analysis(point, cache, &mut row),
@@ -121,43 +152,118 @@ fn evaluate(point: &Point, cache: &SolveCache) -> SweepRow {
     row
 }
 
+/// Classifies a solver error into the report taxonomy.
+fn classify(e: &AnalysisError) -> FailureKind {
+    match e {
+        AnalysisError::Unstable { .. } => FailureKind::Unstable,
+        AnalysisError::Truncated {
+            n_max, tail_mass, ..
+        } => FailureKind::Truncated {
+            n_max: *n_max,
+            tail_mass: *tail_mass,
+        },
+        AnalysisError::Param(DistError::NonFinite { site }) => FailureKind::NonFinite {
+            site: (*site).to_string(),
+        },
+        AnalysisError::Param(p) => FailureKind::InfeasibleFit {
+            reason: p.to_string(),
+        },
+        AnalysisError::Chain(c) => classify_chain(c),
+    }
+}
+
+fn classify_chain(c: &MarkovError) -> FailureKind {
+    match c {
+        MarkovError::Unstable { .. } => FailureKind::Unstable,
+        MarkovError::NoConvergence {
+            what, iterations, ..
+        } => FailureKind::NoConvergence {
+            algorithm: (*what).to_string(),
+            iterations: *iterations,
+        },
+        MarkovError::FallbackExhausted { fallback, .. } => {
+            let iterations = match fallback.as_ref() {
+                MarkovError::NoConvergence { iterations, .. } => *iterations,
+                _ => 0,
+            };
+            FailureKind::NoConvergence {
+                algorithm: "logarithmic reduction + functional-iteration fallback".to_string(),
+                iterations,
+            }
+        }
+        MarkovError::Linalg(LinalgError::NonFinite { site }) => FailureKind::NonFinite {
+            site: (*site).to_string(),
+        },
+        other => FailureKind::Other {
+            message: other.to_string(),
+        },
+    }
+}
+
 fn evaluate_analysis(point: &Point, cache: &SolveCache, row: &mut SweepRow) {
-    let Ok(params) = SystemParams::from_loads(
+    let params = match SystemParams::from_loads(
         point.rho_s,
         point.mean_s,
         point.rho_l,
         point.long.moments(),
-    ) else {
-        return;
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            row.record_failure(classify(&e));
+            return;
+        }
     };
-    let means = match point.policy {
-        Policy::Dedicated => dedicated::analyze(&params).ok(),
-        Policy::CsId => cs_id::analyze(&params)
-            .map(|r| cyclesteal_core::PolicyMeans {
+    // Theorem-1 precheck: a genuinely unstable point is data, not a
+    // failure — leave the values as silent `None`s. A point that passes
+    // here but still errors below is a solver problem and gets a record.
+    if stability::is_stable(point.policy, point.rho_s, point.rho_l) {
+        let means = match point.policy {
+            Policy::Dedicated => dedicated::analyze(&params),
+            Policy::CsId => cs_id::analyze(&params).map(|r| cyclesteal_core::PolicyMeans {
                 short_response: r.short_response,
                 long_response: r.long_response,
-            })
-            .ok(),
-        Policy::CsCq => cs_cq::analyze_cached(&params, Default::default(), cache)
-            .map(|r| cyclesteal_core::PolicyMeans {
-                short_response: r.short_response,
-                long_response: r.long_response,
-            })
-            .ok(),
-    };
-    if let Some(m) = &means {
-        row.short_response = Some(m.short_response);
+            }),
+            Policy::CsCq => {
+                // CS-CQ goes through the recovery ladder: infeasible
+                // three-moment fits and exhausted R-iterations degrade the
+                // busy-period fit order before the point is declared failed.
+                let (res, rec) = recover::analyze_cs_cq_cached(&params, cache);
+                row.attempts = rec.attempts;
+                row.degraded = rec.degraded;
+                res.map(|r| cyclesteal_core::PolicyMeans {
+                    short_response: r.short_response,
+                    long_response: r.long_response,
+                })
+            }
+        };
+        match means {
+            Ok(m) => {
+                row.short_response = Some(m.short_response);
+                row.long_response = Some(m.long_response);
+            }
+            // Frontier band: the margin-aware solver disagreed with the
+            // precheck. Attributed, because the workload is nominally stable.
+            Err(e) => row.record_failure(classify(&e)),
+        }
     }
     if point.extend_longs {
         // Figure-6 semantics: the long-class curve continues past the
         // short-class asymptote via each policy's long-only formula.
-        row.long_response = match point.policy {
-            Policy::Dedicated => dedicated::long_response(&params).ok(),
-            Policy::CsId => cs_id::long_response(&params).ok(),
-            Policy::CsCq => cs_cq::long_response_auto(&params).ok(),
+        let long = match point.policy {
+            Policy::Dedicated => dedicated::long_response(&params),
+            Policy::CsId => cs_id::long_response(&params),
+            Policy::CsCq => cs_cq::long_response_auto(&params),
         };
-    } else if let Some(m) = &means {
-        row.long_response = Some(m.long_response);
+        row.long_response = match long {
+            Ok(v) => Some(v),
+            Err(AnalysisError::Unstable { .. }) => None, // long class itself saturated
+            Err(e) => {
+                if row.failure.is_none() {
+                    row.record_failure(classify(&e));
+                }
+                None
+            }
+        };
     }
 }
 
@@ -171,12 +277,20 @@ fn evaluate_simulation(
     if !stability::is_stable(point.policy, point.rho_s, point.rho_l) {
         return;
     }
-    let Ok(shorts) = Exp::with_mean(point.mean_s) else {
-        return;
+    let infeasible = |row: &mut SweepRow, e: &dyn std::fmt::Display| {
+        row.record_failure(FailureKind::InfeasibleFit {
+            reason: e.to_string(),
+        });
+    };
+    let shorts = match Exp::with_mean(point.mean_s) {
+        Ok(d) => d,
+        Err(e) => return infeasible(row, &e),
     };
     let scv = point.long.scv();
     // Two-moment representative of the long law: exponential at C² = 1,
-    // balanced-means H₂ above (the paper's simulated workloads).
+    // balanced-means H₂ above (the paper's simulated workloads). A law
+    // with no representative (e.g. C² < 1) is an attributed infeasible
+    // fit, not a silently dropped point.
     let longs_exp;
     let longs_h2;
     let longs: &dyn cyclesteal_dist::Distribution = if (scv - 1.0).abs() <= 1e-9 {
@@ -185,7 +299,7 @@ fn evaluate_simulation(
                 longs_exp = d;
                 &longs_exp
             }
-            Err(_) => return,
+            Err(e) => return infeasible(row, &e),
         }
     } else {
         match HyperExp2::balanced_means(point.long.mean(), scv) {
@@ -193,13 +307,14 @@ fn evaluate_simulation(
                 longs_h2 = d;
                 &longs_h2
             }
-            Err(_) => return, // scv < 1 has no H₂ representative
+            Err(e) => return infeasible(row, &e),
         }
     };
     let lambda_s = point.rho_s / point.mean_s;
     let lambda_l = point.rho_l / point.long.mean();
-    let Ok(params) = SimParams::new(lambda_s, lambda_l, &shorts, longs) else {
-        return;
+    let params = match SimParams::new(lambda_s, lambda_l, &shorts, longs) {
+        Ok(p) => p,
+        Err(e) => return infeasible(row, &e),
     };
     let kind = match point.policy {
         Policy::Dedicated => PolicyKind::Dedicated,
@@ -257,7 +372,7 @@ mod tests {
 
     #[test]
     fn unstable_points_are_null_not_errors() {
-        let (rep, _) = run(&small_spec(), &SweepOptions::default());
+        let (rep, metrics) = run(&small_spec(), &SweepOptions::default());
         // rho_s = 1.2 > 1: Dedicated undefined, CS-CQ defined.
         let ded = rep
             .rows
@@ -265,12 +380,24 @@ mod tests {
             .find(|r| r.policy == "dedicated" && r.rho_s == 1.2 && r.rho_l == 0.3)
             .unwrap();
         assert_eq!(ded.short_response, None);
+        assert!(ded.failure.is_none(), "instability is data, not a failure");
         let cq = rep
             .rows
             .iter()
             .find(|r| r.policy == "cs_cq" && r.rho_s == 1.2 && r.rho_l == 0.3)
             .unwrap();
         assert!(cq.short_response.unwrap() > 0.0);
+        assert_eq!(metrics.failures.total(), 0, "{:?}", metrics.failures);
+    }
+
+    #[test]
+    fn clean_analysis_rows_report_one_attempt() {
+        let (rep, _) = run(&small_spec(), &SweepOptions::default());
+        for row in &rep.rows {
+            assert_eq!(row.attempts, 1, "{}", row.id);
+            assert!(!row.degraded, "{}", row.id);
+            assert!(row.failure.is_none(), "{}", row.id);
+        }
     }
 
     #[test]
@@ -320,5 +447,34 @@ mod tests {
             .find(|r| r.policy == "cs_cq" && r.short_response.is_some())
             .unwrap();
         assert!(with_ci.short_ci.is_some());
+    }
+
+    /// Regression: `C² < 1` long laws have no balanced-means H₂
+    /// representative; simulation rows used to drop them silently — they
+    /// must carry an attributed `infeasible_fit` record instead.
+    #[test]
+    fn unrepresentable_simulation_laws_are_attributed_not_dropped() {
+        let spec = GridSpec {
+            long_laws: vec![LongLaw::balanced(1.0, 0.5).unwrap()],
+            evaluator: Evaluator::Simulation {
+                total_jobs: 500,
+                reps: 1,
+                base_seed: 3,
+            },
+            ..GridSpec::analysis("low_scv", vec![0.5], vec![0.3])
+        };
+        let (rep, metrics) = run(&spec, &SweepOptions::default());
+        assert_eq!(rep.rows.len(), 3);
+        for row in &rep.rows {
+            assert_eq!(row.short_response, None, "{}", row.id);
+            let f = row.failure.as_ref().expect("must be attributed");
+            assert!(
+                matches!(&f.kind, FailureKind::InfeasibleFit { reason } if !reason.is_empty()),
+                "{}: {f:?}",
+                row.id
+            );
+        }
+        assert_eq!(metrics.failures.infeasible_fit, 3);
+        assert_eq!(metrics.failures.total(), 3);
     }
 }

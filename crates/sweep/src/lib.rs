@@ -16,6 +16,10 @@
 //! * [`SweepReport::to_json`] emits a canonical JSON document in the xtest
 //!   bench envelope; timings and cache-hit counters live in the separate
 //!   [`SweepMetrics`].
+//! * Failures are **isolated and attributed**: a panicking or
+//!   non-converging point becomes a structured [`PointFailure`] record in
+//!   its own row ([`FailureKind`] taxonomy, tallied in
+//!   [`FailureCounts`]) while every other point completes normally.
 //!
 //! # Example
 //!
@@ -30,6 +34,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod engine;
 mod grid;
@@ -37,4 +42,6 @@ mod report;
 
 pub use engine::{run, run_points, SweepOptions};
 pub use grid::{policy_name, Evaluator, GridSpec, LongLaw, Point};
-pub use report::{SweepMetrics, SweepReport, SweepRow};
+pub use report::{
+    FailureCounts, FailureKind, PointFailure, SweepMetrics, SweepReport, SweepRow,
+};

@@ -1,9 +1,91 @@
 //! Stable sweep reports: rows keyed by a canonical id, serialized to a
-//! deterministic JSON document in the xtest bench envelope.
+//! deterministic JSON document in the xtest bench envelope — including
+//! **attributed failure records** for every point that could not be
+//! evaluated for a reason other than genuine instability.
 
 use cyclesteal_core::cache::CacheStats;
 
 use crate::grid::{policy_name, Evaluator, Point};
+
+/// Why a point failed, after every applicable recovery ladder was
+/// exhausted. One variant per *root cause*, so report consumers can
+/// aggregate and alert without parsing prose.
+///
+/// Genuine instability detected by the Theorem-1 precheck is **not** a
+/// failure: those points are the off-the-curve cells of the paper's
+/// figures and stay as silent `null`s. `Unstable` here marks the narrow
+/// frontier band where the precheck passed but the solver still reported
+/// instability (margin disagreement) — attributed, because it is
+/// numerics, not workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureKind {
+    /// The solver reported instability for a point the stability
+    /// precheck accepted (roundoff-width frontier band).
+    Unstable,
+    /// A distribution query dropped more tail mass than tolerated even at
+    /// the deepest truncation the escalation budget allowed.
+    Truncated {
+        /// Deepest truncation point attempted.
+        n_max: usize,
+        /// Tail mass that would have been silently lost there.
+        tail_mass: f64,
+    },
+    /// Fixed-point iteration failed on every rung of the retry ladder.
+    NoConvergence {
+        /// The algorithm (or algorithm chain) that gave up.
+        algorithm: String,
+        /// Iterations performed by the final attempt.
+        iterations: usize,
+    },
+    /// No distribution fit exists for the requested parameters (e.g. an
+    /// infeasible moment triple, or `C² < 1` with no H₂ representative).
+    InfeasibleFit {
+        /// Human-readable reason from the fitting layer.
+        reason: String,
+    },
+    /// A computation produced NaN/±∞ from finite inputs and was caught at
+    /// a named taint boundary instead of contaminating the report.
+    NonFinite {
+        /// The boundary that caught the value (e.g. `"dist.busy.mg1"`).
+        site: String,
+    },
+    /// The point's evaluation panicked; the worker caught the unwind at
+    /// the point boundary and kept draining the queue.
+    Panicked {
+        /// The panic message (or a placeholder for non-string payloads).
+        message: String,
+    },
+    /// Any solver error outside the taxonomy above.
+    Other {
+        /// The error's display text.
+        message: String,
+    },
+}
+
+impl FailureKind {
+    /// Stable snake_case tag of the variant (the JSON `"kind"` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureKind::Unstable => "unstable",
+            FailureKind::Truncated { .. } => "truncated",
+            FailureKind::NoConvergence { .. } => "no_convergence",
+            FailureKind::InfeasibleFit { .. } => "infeasible_fit",
+            FailureKind::NonFinite { .. } => "non_finite",
+            FailureKind::Panicked { .. } => "panicked",
+            FailureKind::Other { .. } => "other",
+        }
+    }
+}
+
+/// The failure record attached to a row that could not be evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointFailure {
+    /// Root cause, post-recovery.
+    pub kind: FailureKind,
+    /// Ladder rungs tried before giving up (`1` = failed first try with
+    /// no applicable recovery).
+    pub attempts: u32,
+}
 
 /// One evaluated grid point.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +114,15 @@ pub struct SweepRow {
     pub short_ci: Option<f64>,
     /// 95% CI half-width of the long mean (simulation rows only).
     pub long_ci: Option<f64>,
+    /// Solver attempts spent on this point (`1` = primary method,
+    /// first try; `> 1` = a recovery ladder escalated).
+    pub attempts: u32,
+    /// `true` when the values come from a documented fallback method
+    /// (e.g. a two-moment busy-period fit) rather than the primary one.
+    pub degraded: bool,
+    /// The attributed failure, when the point could not be evaluated for
+    /// any reason other than genuine (precheck) instability.
+    pub failure: Option<PointFailure>,
 }
 
 impl SweepRow {
@@ -59,6 +150,45 @@ impl SweepRow {
             if point.extend_longs { "|ext" } else { "" },
         )
     }
+
+    /// An unevaluated row for `point`: all values `None`, one attempt, no
+    /// failure. The engine fills it in.
+    pub fn blank(point: &Point) -> SweepRow {
+        SweepRow {
+            id: SweepRow::id_of(point),
+            policy: policy_name(point.policy),
+            rho_s: point.rho_s,
+            rho_l: point.rho_l,
+            mean_s: point.mean_s,
+            long_mean: point.long.mean(),
+            long_scv: point.long.scv(),
+            short_response: None,
+            long_response: None,
+            short_ci: None,
+            long_ci: None,
+            attempts: 1,
+            degraded: false,
+            failure: None,
+        }
+    }
+
+    /// The row for a point whose evaluation panicked: values `None`, the
+    /// caught message attributed as [`FailureKind::Panicked`].
+    pub fn panicked(point: &Point, message: String) -> SweepRow {
+        let mut row = SweepRow::blank(point);
+        row.record_failure(FailureKind::Panicked { message });
+        row
+    }
+
+    /// Attaches a failure record, snapshotting the row's current attempt
+    /// count (so escalation metadata set before the final error survives
+    /// into the record).
+    pub fn record_failure(&mut self, kind: FailureKind) {
+        self.failure = Some(PointFailure {
+            kind,
+            attempts: self.attempts,
+        });
+    }
 }
 
 /// A completed sweep: rows sorted by canonical id, independent of input
@@ -84,9 +214,10 @@ impl SweepReport {
 
     /// Serializes to deterministic JSON in the xtest bench envelope
     /// (`harness`/`version`/`name`/`results`), with sweep rows as the
-    /// results and `null` marking unstable/undefined values. Timings and
-    /// cache counters deliberately live in [`SweepMetrics`], not here —
-    /// this document is the *reproducible* artifact.
+    /// results, `null` marking unstable/undefined values, and failure
+    /// records as per-row `"failure"` objects. Timings and cache counters
+    /// deliberately live in [`SweepMetrics`], not here — this document is
+    /// the *reproducible* artifact.
     pub fn to_json(&self) -> String {
         let num = |v: Option<f64>| match v {
             Some(x) if x.is_finite() => format!("{x}"),
@@ -102,7 +233,8 @@ impl SweepReport {
             json.push_str(&format!(
                 "    {{\"id\": {}, \"policy\": {}, \"rho_s\": {}, \"rho_l\": {}, \
                  \"mean_s\": {}, \"long_mean\": {}, \"long_scv\": {}, \
-                 \"short\": {}, \"long\": {}, \"short_ci\": {}, \"long_ci\": {}}}{}\n",
+                 \"short\": {}, \"long\": {}, \"short_ci\": {}, \"long_ci\": {}, \
+                 \"attempts\": {}, \"degraded\": {}, \"failure\": {}}}{}\n",
                 json_str(&r.id),
                 json_str(r.policy),
                 r.rho_s,
@@ -114,6 +246,9 @@ impl SweepReport {
                 num(r.long_response),
                 num(r.short_ci),
                 num(r.long_ci),
+                r.attempts,
+                r.degraded,
+                failure_json(&r.failure),
                 if i + 1 < self.rows.len() { "," } else { "" },
             ));
         }
@@ -122,9 +257,96 @@ impl SweepReport {
     }
 }
 
+/// Serializes a failure record (`null` for a clean row). Deterministic:
+/// every field is either a tag, an integer, or an f64 printed with Rust's
+/// shortest-round-trip Display.
+fn failure_json(failure: &Option<PointFailure>) -> String {
+    let Some(f) = failure else {
+        return "null".to_string();
+    };
+    let detail = match &f.kind {
+        FailureKind::Unstable => String::new(),
+        FailureKind::Truncated { n_max, tail_mass } => {
+            format!(", \"n_max\": {n_max}, \"tail_mass\": {tail_mass}")
+        }
+        FailureKind::NoConvergence {
+            algorithm,
+            iterations,
+        } => format!(
+            ", \"algorithm\": {}, \"iterations\": {iterations}",
+            json_str(algorithm)
+        ),
+        FailureKind::InfeasibleFit { reason } => {
+            format!(", \"reason\": {}", json_str(reason))
+        }
+        FailureKind::NonFinite { site } => format!(", \"site\": {}", json_str(site)),
+        FailureKind::Panicked { message } | FailureKind::Other { message } => {
+            format!(", \"message\": {}", json_str(message))
+        }
+    };
+    format!(
+        "{{\"kind\": {}{}, \"attempts\": {}}}",
+        json_str(f.kind.name()),
+        detail,
+        f.attempts
+    )
+}
+
+/// Per-kind failure totals of a sweep run — the at-a-glance health
+/// summary surfaced through [`SweepMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FailureCounts {
+    /// Frontier-band solver instability ([`FailureKind::Unstable`]).
+    pub unstable: u64,
+    /// Truncation budgets exhausted ([`FailureKind::Truncated`]).
+    pub truncated: u64,
+    /// Iteration ladders exhausted ([`FailureKind::NoConvergence`]).
+    pub no_convergence: u64,
+    /// Infeasible fits ([`FailureKind::InfeasibleFit`]).
+    pub infeasible_fit: u64,
+    /// Non-finite taints ([`FailureKind::NonFinite`]).
+    pub non_finite: u64,
+    /// Caught panics ([`FailureKind::Panicked`]).
+    pub panicked: u64,
+    /// Everything else ([`FailureKind::Other`]).
+    pub other: u64,
+}
+
+impl FailureCounts {
+    /// Tallies the failure records of `rows`.
+    pub fn tally(rows: &[SweepRow]) -> Self {
+        let mut c = FailureCounts::default();
+        for row in rows {
+            let Some(f) = &row.failure else { continue };
+            match f.kind {
+                FailureKind::Unstable => c.unstable += 1,
+                FailureKind::Truncated { .. } => c.truncated += 1,
+                FailureKind::NoConvergence { .. } => c.no_convergence += 1,
+                FailureKind::InfeasibleFit { .. } => c.infeasible_fit += 1,
+                FailureKind::NonFinite { .. } => c.non_finite += 1,
+                FailureKind::Panicked { .. } => c.panicked += 1,
+                FailureKind::Other { .. } => c.other += 1,
+            }
+        }
+        c
+    }
+
+    /// Total failed points across all kinds.
+    pub fn total(&self) -> u64 {
+        self.unstable
+            + self.truncated
+            + self.no_convergence
+            + self.infeasible_fit
+            + self.non_finite
+            + self.panicked
+            + self.other
+    }
+}
+
 /// Observability side-channel of a sweep run: wall-clock, per-point
-/// timings, and cache counters. Kept out of [`SweepReport::to_json`] so
-/// the report stays bit-identical across thread counts.
+/// timings, cache counters, and failure tallies. Kept out of
+/// [`SweepReport::to_json`] so the report stays bit-identical across
+/// thread counts.
 #[derive(Debug, Clone)]
 pub struct SweepMetrics {
     /// Worker threads the run was configured with.
@@ -136,6 +358,9 @@ pub struct SweepMetrics {
     /// Cache counters at the end of the run (cumulative when a shared
     /// cache was passed in).
     pub cache: CacheStats,
+    /// Failure tallies over the report's rows (a pure function of the
+    /// report; duplicated here so health checks don't re-scan rows).
+    pub failures: FailureCounts,
 }
 
 impl SweepMetrics {
@@ -181,6 +406,9 @@ mod tests {
             long_response: Some(2.0),
             short_ci: None,
             long_ci: None,
+            attempts: 1,
+            degraded: false,
+            failure: None,
         }
     }
 
@@ -194,7 +422,55 @@ mod tests {
         assert!(json.contains("\"kind\": \"sweep\""));
         assert!(json.contains("\"short\": 1.5"));
         assert!(json.contains("\"short\": null"));
+        assert!(json.contains("\"failure\": null"));
         assert_eq!(json.matches("\"long\": 2").count(), 2);
+    }
+
+    #[test]
+    fn failure_records_serialize_with_kind_specific_fields() {
+        let mut nc = row("nc", None);
+        nc.attempts = 3;
+        nc.degraded = true;
+        nc.record_failure(FailureKind::NoConvergence {
+            algorithm: "logarithmic reduction".into(),
+            iterations: 128,
+        });
+        let mut panicked = row("boom", None);
+        panicked.record_failure(FailureKind::Panicked {
+            message: "a \"quoted\" cause".into(),
+        });
+        let rep = SweepReport {
+            name: "f".into(),
+            rows: vec![nc, panicked],
+        };
+        let json = rep.to_json();
+        assert!(json.contains(
+            "\"failure\": {\"kind\": \"no_convergence\", \"algorithm\": \
+             \"logarithmic reduction\", \"iterations\": 128, \"attempts\": 3}"
+        ));
+        assert!(json.contains("\"attempts\": 3, \"degraded\": true"));
+        assert!(json.contains("\"kind\": \"panicked\""));
+        assert!(json.contains("a \\\"quoted\\\" cause"));
+    }
+
+    #[test]
+    fn failure_counts_tally_by_kind() {
+        let mut a = row("a", None);
+        a.record_failure(FailureKind::Unstable);
+        let mut b = row("b", None);
+        b.record_failure(FailureKind::NonFinite {
+            site: "dist.busy.mg1".into(),
+        });
+        let mut c = row("c", None);
+        c.record_failure(FailureKind::NonFinite {
+            site: "linalg.lu".into(),
+        });
+        let clean = row("d", Some(1.0));
+        let counts = FailureCounts::tally(&[a, b, c, clean]);
+        assert_eq!(counts.unstable, 1);
+        assert_eq!(counts.non_finite, 2);
+        assert_eq!(counts.panicked, 0);
+        assert_eq!(counts.total(), 3);
     }
 
     #[test]

@@ -23,7 +23,12 @@
 //! [`rng::SplitMix64`], so any two distinct seeds give independent-looking
 //! streams.
 
+//! A fourth layer, [`fault`], supports robustness testing: seeded,
+//! scope-keyed fault plans that production crates expose via the
+//! [`fault_point!`] macro (compiled out of release builds).
+
 pub mod bench;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 
