@@ -20,6 +20,9 @@ cargo test -q -p cyclesteal-sweep --offline --test determinism
 echo "==> fault injection (3,000-point sweep, 5% injected faults, 1/2/8 threads)"
 cargo test -q -p cyclesteal-sweep --offline --test fault_injection
 
+echo "==> obs determinism (telemetry counts bit-identical across 1/2/8 threads)"
+cargo test -q -p cyclesteal-sweep --offline --features obs --test obs_determinism
+
 echo "==> clippy (incl. unwrap-free non-test code in core and sweep)"
 # core and sweep deny clippy::unwrap_used outside tests; warnings anywhere
 # in the workspace are promoted to errors so the gate cannot rot.
@@ -29,13 +32,46 @@ echo "==> bench smoke (--quick)"
 cargo bench -p cyclesteal-bench --offline --bench solver -- --quick
 cargo bench -p cyclesteal-bench --offline --bench analysis_vs_simulation -- --quick
 
+echo "==> obs zero-overhead gate (<1% compiled-but-disabled; cross-build delta informational)"
+# The same end-to-end sweep workload, benchmarked in both compile states;
+# ids differ only in their /obs_absent vs /obs_compiled_disabled suffix.
+# The hard <1% assertion runs *inside* the obs-compiled bench (per-call
+# disabled cost x exact record count over the workload's own runtime):
+# comparing the two binaries by wall clock would gate on link-time code
+# layout, which alone moves this workload by several percent. The
+# cross-build min_ns delta is still printed below as a trend line.
+rm -rf target/obs-gate
+mkdir -p target/obs-gate/off target/obs-gate/on
+# Bench binaries run with the package directory as CWD; pass absolute --out.
+cargo bench -p cyclesteal-bench --offline --bench obs_overhead -- --out "$PWD/target/obs-gate/off"
+cargo bench -p cyclesteal-bench --offline --features obs --bench obs_overhead -- --out "$PWD/target/obs-gate/on"
+min_off=$(sed -n 's|.*"id": "obs_overhead/sweep_[0-9]*pt/obs_absent".*"min_ns": \([0-9.]*\).*|\1|p' \
+    target/obs-gate/off/BENCH_obs_overhead.json)
+min_on=$(sed -n 's|.*"id": "obs_overhead/sweep_[0-9]*pt/obs_compiled_disabled".*"min_ns": \([0-9.]*\).*|\1|p' \
+    target/obs-gate/on/BENCH_obs_overhead.json)
+awk -v off="$min_off" -v on="$min_on" 'BEGIN {
+    if (off == "" || on == "" || off <= 0) { print "obs gate: missing bench results"; exit 1 }
+    delta = (on - off) / off * 100.0
+    printf "obs cross-build min_ns: absent %.2f ms, compiled-disabled %.2f ms, delta %+.2f%% (informational)\n",
+           off / 1e6, on / 1e6, delta
+}'
+# Merge both runs into one xtest-schema report next to the other benches.
+{
+    printf '{\n  "harness": "cyclesteal-xtest",\n  "version": 1,\n'
+    printf '  "name": "obs_overhead",\n  "quick": false,\n  "results": [\n'
+    cat target/obs-gate/off/BENCH_obs_overhead.json \
+        target/obs-gate/on/BENCH_obs_overhead.json \
+        | grep '"id":' | sed 's/,$//' | sed '$!s/$/,/'
+    printf '  ]\n}\n'
+} > crates/bench/BENCH_obs_overhead.json
+
 echo "==> sweep bench smoke (--quick)"
 cargo run --release --offline --example sweep -- --quick --threads 1,8 --out crates/bench
 
 # Bench binaries run with the package directory as CWD, so the JSON
 # lands next to the bench crate; the sweep example writes there via --out.
 for f in crates/bench/BENCH_solver.json crates/bench/BENCH_analysis_vs_simulation.json \
-         crates/bench/BENCH_sweep.json; do
+         crates/bench/BENCH_sweep.json crates/bench/BENCH_obs_overhead.json; do
     [ -s "$f" ] || { echo "missing bench output $f" >&2; exit 1; }
 done
 

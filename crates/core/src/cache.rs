@@ -24,14 +24,32 @@
 //! are therefore bit-identical regardless of thread count, scheduling, or
 //! input order — the property `crates/sweep/tests/determinism.rs` locks
 //! in.
+//!
+//! # Once-per-key compute, deterministic hit/miss counts
+//!
+//! Each layer is a [`Memo`]: the first thread to ask for a key becomes its
+//! *designated computer* and every concurrent asker blocks on the entry's
+//! condvar until the value is ready. This upgrades the determinism story
+//! from "same *values* at any thread count" to "same *telemetry* at any
+//! thread count": a successful key is computed (and counted as a miss)
+//! exactly once no matter how many threads race for it, so the per-family
+//! hit/miss counters surfaced through `cyclesteal-obs` are bit-identical
+//! across 1/2/8 worker threads. Errors are never cached — each caller
+//! recomputes (and re-counts) the same deterministic error — and a
+//! designated computer that *panics* marks the slot poisoned so waiting
+//! threads recover by recomputing (counted in
+//! [`CacheStats::poison_recoveries`]).
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use cyclesteal_dist::match3::MatchQuality;
 use cyclesteal_dist::{Moments3, Ph};
 use cyclesteal_markov::{Qbd, QbdSolution};
+use cyclesteal_obs as obs;
 
 use crate::cs_cq::CsCqReport;
 use crate::AnalysisError;
@@ -50,14 +68,18 @@ pub fn quantize(x: f64) -> f64 {
     }
 }
 
-/// Running hit/miss counters of a [`SolveCache`], for observability
-/// (sweep engines surface these per run).
+/// Running counters of a [`SolveCache`], for observability (sweep engines
+/// surface these per run). With the once-per-key protocol these are
+/// deterministic: a successful key misses exactly once process-wide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache (all three layers combined).
     pub hits: u64,
     /// Lookups that had to compute and insert.
     pub misses: u64,
+    /// Lookups that found a slot abandoned by a panicking computer and
+    /// recovered by recomputing (zero unless a fault was injected).
+    pub poison_recoveries: u64,
 }
 
 impl CacheStats {
@@ -75,25 +97,237 @@ impl CacheStats {
 type FitKey = (u64, u64, u64, u8);
 type ReportKey = ([u64; 6], u8);
 
-/// Locks a cache map, riding through poisoning. Every cached value is a
-/// pure function of its key and inserts are single statements, so a map
-/// abandoned by a panicking worker (the sweep engine catches per-point
-/// panics) is still consistent — at worst an entry is missing and gets
-/// recomputed. Propagating the poison would instead cascade one caught
-/// panic into every later lookup.
+/// Locks a mutex, riding through poisoning. Memo state transitions are
+/// single statements guarded by their own protocol (see [`Memo`]), so a
+/// map abandoned by a panicking worker (the sweep engine catches
+/// per-point panics) is still consistent; propagating the poison would
+/// cascade one caught panic into every later lookup.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// The thread-safe memo store. Create one per sweep (or keep one alive
-/// across sweeps to reuse solutions); share it by reference or `Arc`.
-#[derive(Debug, Default)]
-pub struct SolveCache {
-    fits: Mutex<HashMap<FitKey, (Ph, MatchQuality)>>,
-    solutions: Mutex<HashMap<u128, QbdSolution>>,
-    reports: Mutex<HashMap<ReportKey, CsCqReport>>,
+/// One memo entry's lifecycle. `Pending` while the designated computer
+/// runs; terminal states notify the condvar.
+enum SlotState<V> {
+    /// The designated computer is running.
+    Pending,
+    /// Value available; waiters clone it and count a hit.
+    Ready(V),
+    /// The computer finished with an error. The entry is already removed
+    /// from the map; waiters retry (recomputing the same deterministic
+    /// error themselves, so errors are never served stale).
+    Failed,
+    /// The computer panicked. The entry is already removed; waiters
+    /// count a poison recovery and retry.
+    Poisoned,
+}
+
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    cv: Condvar,
+}
+
+impl<V> Slot<V> {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn finish(&self, state: SlotState<V>) {
+        *lock(&self.state) = state;
+        self.cv.notify_all();
+    }
+}
+
+/// Removes `key` from `map` only while it still points at `slot`; a
+/// fresh slot inserted by a retrying caller must not be clobbered.
+fn remove_if_current<K: Eq + Hash, V>(
+    map: &Mutex<HashMap<K, Arc<Slot<V>>>>,
+    key: &K,
+    slot: &Arc<Slot<V>>,
+) {
+    let mut m = lock(map);
+    if m.get(key).is_some_and(|s| Arc::ptr_eq(s, slot)) {
+        m.remove(key);
+    }
+}
+
+/// Marks the slot poisoned if `compute` unwinds; disarmed on the normal
+/// path. Runs *during* the unwind, before the per-point `catch_unwind`
+/// in the sweep pool sees the panic, so waiters never deadlock on a
+/// `Pending` slot whose computer died.
+struct PoisonOnUnwind<'a, K: Eq + Hash, V> {
+    map: &'a Mutex<HashMap<K, Arc<Slot<V>>>>,
+    key: &'a K,
+    slot: &'a Arc<Slot<V>>,
+    armed: bool,
+}
+
+impl<K: Eq + Hash, V> Drop for PoisonOnUnwind<'_, K, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            remove_if_current(self.map, self.key, self.slot);
+            self.slot.finish(SlotState::Poisoned);
+        }
+    }
+}
+
+/// One cache family: a keyed map of once-per-key compute slots with its
+/// own hit/miss/poison counters (mirrored into `cyclesteal-obs` under
+/// the family's label, e.g. `core.cache.fit.hit`).
+struct Memo<K, V> {
+    map: Mutex<HashMap<K, Arc<Slot<V>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    poison_recoveries: AtomicU64,
+    hit_label: &'static str,
+    miss_label: &'static str,
+    poison_label: &'static str,
+}
+
+impl<K, V> std::fmt::Debug for Memo<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memo")
+            .field("len", &lock(&self.map).len())
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
+    fn new(hit_label: &'static str, miss_label: &'static str, poison_label: &'static str) -> Self {
+        Memo {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
+            hit_label,
+            miss_label,
+            poison_label,
+        }
+    }
+
+    fn len(&self) -> usize {
+        lock(&self.map).len()
+    }
+
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        obs::counter!(self.hit_label);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::counter!(self.miss_label);
+    }
+
+    fn poison_recovery(&self) {
+        self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+        obs::counter!(self.poison_label);
+    }
+
+    /// The once-per-key protocol: the caller that installs the slot
+    /// computes (counting a miss); everyone else waits on the condvar and
+    /// either clones the ready value (counting a hit) or retries after a
+    /// failure/poisoning.
+    fn get_or_compute<E>(
+        &self,
+        key: K,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        let mut compute = Some(compute);
+        loop {
+            let (slot, designated) = {
+                let mut map = lock(&self.map);
+                match map.entry(key.clone()) {
+                    Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                    Entry::Vacant(e) => (Arc::clone(e.insert(Arc::new(Slot::new()))), true),
+                }
+            };
+            if designated {
+                self.miss();
+                let mut guard = PoisonOnUnwind {
+                    map: &self.map,
+                    key: &key,
+                    slot: &slot,
+                    armed: true,
+                };
+                let result = compute
+                    .take()
+                    .expect("the designated branch runs at most once")();
+                guard.armed = false;
+                return match result {
+                    Ok(v) => {
+                        slot.finish(SlotState::Ready(v.clone()));
+                        Ok(v)
+                    }
+                    Err(e) => {
+                        // Errors are not cached: remove before notifying
+                        // so retries start a fresh slot.
+                        remove_if_current(&self.map, &key, &slot);
+                        slot.finish(SlotState::Failed);
+                        Err(e)
+                    }
+                };
+            }
+            let mut state = lock(&slot.state);
+            while matches!(*state, SlotState::Pending) {
+                state = slot.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+            }
+            match &*state {
+                SlotState::Ready(v) => {
+                    let v = v.clone();
+                    drop(state);
+                    self.hit();
+                    return Ok(v);
+                }
+                SlotState::Failed => {
+                    drop(state);
+                    // The entry is gone; loop to compute the (pure,
+                    // deterministic) error ourselves.
+                }
+                SlotState::Poisoned => {
+                    drop(state);
+                    self.poison_recovery();
+                }
+                SlotState::Pending => unreachable!("the wait loop exits on terminal states"),
+            }
+        }
+    }
+}
+
+/// The thread-safe memo store. Create one per sweep (or keep one alive
+/// across sweeps to reuse solutions); share it by reference or `Arc`.
+#[derive(Debug)]
+pub struct SolveCache {
+    fits: Memo<FitKey, (Ph, MatchQuality)>,
+    solutions: Memo<u128, QbdSolution>,
+    reports: Memo<ReportKey, CsCqReport>,
+}
+
+impl Default for SolveCache {
+    fn default() -> Self {
+        SolveCache {
+            fits: Memo::new(
+                "core.cache.fit.hit",
+                "core.cache.fit.miss",
+                "core.cache.fit.poison_recovered",
+            ),
+            solutions: Memo::new(
+                "core.cache.qbd.hit",
+                "core.cache.qbd.miss",
+                "core.cache.qbd.poison_recovered",
+            ),
+            reports: Memo::new(
+                "core.cache.report.hit",
+                "core.cache.report.miss",
+                "core.cache.report.poison_recovered",
+            ),
+        }
+    }
 }
 
 impl SolveCache {
@@ -102,32 +336,27 @@ impl SolveCache {
         SolveCache::default()
     }
 
-    /// Current hit/miss counters.
+    /// Current hit/miss/poison-recovery counters, all layers combined.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+        let layers = [&self.fits as &dyn MemoStats, &self.solutions, &self.reports];
+        let mut stats = CacheStats::default();
+        for layer in layers {
+            let (h, m, p) = layer.counts();
+            stats.hits += h;
+            stats.misses += m;
+            stats.poison_recoveries += p;
         }
+        stats
     }
 
     /// Number of memoized entries across all layers.
     pub fn len(&self) -> usize {
-        lock(&self.fits).len()
-            + lock(&self.solutions).len()
-            + lock(&self.reports).len()
+        self.fits.len() + self.solutions.len() + self.reports.len()
     }
 
     /// `true` when nothing has been memoized yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
-    }
-
-    fn hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Memoized moment fit. `tag` discriminates the fit order.
@@ -137,48 +366,41 @@ impl SolveCache {
         tag: u8,
         compute: impl FnOnce() -> Result<(Ph, MatchQuality), AnalysisError>,
     ) -> Result<(Ph, MatchQuality), AnalysisError> {
-        let key = (
-            m.mean().to_bits(),
-            m.m2().to_bits(),
-            m.m3().to_bits(),
-            tag,
-        );
-        if let Some(v) = lock(&self.fits).get(&key) {
-            self.hit();
-            return Ok(v.clone());
-        }
-        self.miss();
-        let v = compute()?;
-        lock(&self.fits).insert(key, v.clone());
-        Ok(v)
+        let key = (m.mean().to_bits(), m.m2().to_bits(), m.m3().to_bits(), tag);
+        self.fits.get_or_compute(key, compute)
     }
 
     /// Memoized QBD solution, keyed by the chain's content signature so
     /// the `R`-matrix iteration runs once per distinct chain.
     pub(crate) fn qbd_solution(&self, qbd: &Qbd) -> Result<QbdSolution, AnalysisError> {
-        let key = qbd.signature();
-        if let Some(sol) = lock(&self.solutions).get(&key) {
-            self.hit();
-            return Ok(sol.clone());
-        }
-        self.miss();
-        let sol = qbd.solve()?;
-        lock(&self.solutions).insert(key, sol.clone());
-        Ok(sol)
+        self.solutions
+            .get_or_compute(qbd.signature(), || qbd.solve().map_err(AnalysisError::from))
     }
 
-    pub(crate) fn report_get(&self, key: &ReportKey) -> Option<CsCqReport> {
-        let found = lock(&self.reports).get(key).cloned();
-        if found.is_some() {
-            self.hit();
-        } else {
-            self.miss();
-        }
-        found
+    /// Memoized whole-report analysis: `compute` runs once per key even
+    /// under concurrent lookups.
+    pub(crate) fn report(
+        &self,
+        key: ReportKey,
+        compute: impl FnOnce() -> Result<CsCqReport, AnalysisError>,
+    ) -> Result<CsCqReport, AnalysisError> {
+        self.reports.get_or_compute(key, compute)
     }
+}
 
-    pub(crate) fn report_put(&self, key: ReportKey, report: CsCqReport) {
-        lock(&self.reports).insert(key, report);
+/// Object-safe counter access so [`SolveCache::stats`] can fold
+/// differently-typed memo layers.
+trait MemoStats {
+    fn counts(&self) -> (u64, u64, u64);
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> MemoStats for Memo<K, V> {
+    fn counts(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.poison_recoveries.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -257,5 +479,73 @@ mod tests {
         let b = cs_cq::analyze_cached(&p2, BusyPeriodFit::ThreeMoment, &cache).unwrap();
         assert_eq!(a.short_response.to_bits(), b.short_response.to_bits());
         assert!(cache.stats().hits >= 1);
+    }
+
+    #[test]
+    fn racing_threads_compute_a_key_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let memo: Memo<u32, u64> = Memo::new("t.hit", "t.miss", "t.poison");
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let v = memo
+                        .get_or_compute(7, || {
+                            computed.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window: waiters must block,
+                            // not double-compute.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok::<u64, ()>(42)
+                        })
+                        .unwrap();
+                    assert_eq!(v, 42);
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one computer");
+        let (h, m, _) = memo.counts();
+        assert_eq!((h, m), (7, 1), "7 hits, 1 miss — deterministic");
+    }
+
+    #[test]
+    fn errors_are_not_cached_and_every_caller_sees_one() {
+        let memo: Memo<u32, u64> = Memo::new("t.hit", "t.miss", "t.poison");
+        for _ in 0..3 {
+            let r = memo.get_or_compute(1, || Err::<u64, &str>("boom"));
+            assert_eq!(r, Err("boom"));
+        }
+        assert_eq!(memo.len(), 0, "failed slots are removed");
+        let (h, m, _) = memo.counts();
+        assert_eq!((h, m), (0, 3), "each failing call recounts its miss");
+        // The key still works once a compute succeeds.
+        assert_eq!(memo.get_or_compute(1, || Ok::<u64, &str>(5)), Ok(5));
+    }
+
+    #[test]
+    fn panicking_computer_poisons_the_slot_and_waiters_recover() {
+        use std::sync::Barrier;
+        let memo: Memo<u32, u64> = Memo::new("t.hit", "t.miss", "t.poison");
+        let barrier = Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    memo.get_or_compute(9, || -> Result<u64, ()> {
+                        barrier.wait(); // waiter is queued up behind us
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        panic!("injected");
+                    })
+                }));
+            });
+            s.spawn(|| {
+                barrier.wait();
+                let v = memo.get_or_compute(9, || Ok::<u64, ()>(11)).unwrap();
+                assert_eq!(v, 11, "waiter recovers by recomputing");
+            });
+        });
+        let (_, _, p) = memo.counts();
+        // The waiter either queued behind the doomed slot (recovery
+        // counted) or arrived after removal (clean recompute).
+        assert!(p <= 1);
+        assert_eq!(memo.get_or_compute(9, || Ok::<u64, ()>(99)), Ok(11));
     }
 }

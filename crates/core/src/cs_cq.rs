@@ -194,13 +194,10 @@ pub fn analyze_cached(
         ],
         fit.tag(),
     );
-    if let Some(report) = cache.report_get(&key) {
-        return Ok(report);
-    }
-    let poisson = Map::poisson(snapped.lambda_s())?;
-    let report = analyze_inner(&snapped, fit, &poisson, Some(cache))?;
-    cache.report_put(key, report.clone());
-    Ok(report)
+    cache.report(key, || {
+        let poisson = Map::poisson(snapped.lambda_s())?;
+        analyze_inner(&snapped, fit, &poisson, Some(cache))
+    })
 }
 
 /// Snaps every workload parameter onto the cache quantization grid; keeps
@@ -265,6 +262,8 @@ fn analyze_inner(
     arrivals: &Map,
     cache: Option<&SolveCache>,
 ) -> Result<CsCqReport, AnalysisError> {
+    cyclesteal_obs::span!("core.cs_cq.analyze");
+    cyclesteal_obs::counter!("core.cs_cq.analyze");
     let (rho_s, rho_l) = (params.rho_s(), params.rho_l());
     if !stability::is_stable(Policy::CsCq, rho_s, rho_l) {
         return Err(AnalysisError::Unstable {

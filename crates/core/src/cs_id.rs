@@ -94,6 +94,8 @@ impl From<CsIdReport> for PolicyMeans {
 /// # }
 /// ```
 pub fn analyze(params: &SystemParams) -> Result<CsIdReport, AnalysisError> {
+    cyclesteal_obs::span!("core.cs_id.analyze");
+    cyclesteal_obs::counter!("core.cs_id.analyze");
     let (rho_s, rho_l) = (params.rho_s(), params.rho_l());
     if !stability::is_stable(Policy::CsId, rho_s, rho_l) {
         return Err(AnalysisError::Unstable {

@@ -28,6 +28,8 @@ use crate::{AnalysisError, PolicyMeans};
 /// # }
 /// ```
 pub fn analyze(params: &SystemParams) -> Result<PolicyMeans, AnalysisError> {
+    cyclesteal_obs::span!("core.dedicated.analyze");
+    cyclesteal_obs::counter!("core.dedicated.analyze");
     let (rho_s, rho_l) = (params.rho_s(), params.rho_l());
     if !stability::is_stable(Policy::Dedicated, rho_s, rho_l) {
         return Err(AnalysisError::Unstable {

@@ -75,10 +75,20 @@ fn run_fit_ladder(
             degraded: rung > 0,
             fit,
         };
+        cyclesteal_obs::counter!("core.recover.attempts");
         match attempt(fit) {
-            Ok(report) => return (Ok(report), recovery),
+            Ok(report) => {
+                cyclesteal_obs::histogram!("core.recover.ladder_depth", u64::from(recovery.attempts));
+                if recovery.degraded {
+                    cyclesteal_obs::counter!("core.recover.degraded");
+                }
+                return (Ok(report), recovery);
+            }
             Err(e) if rung + 1 < FIT_LADDER.len() && fit_retryable(&e) => continue,
-            Err(e) => return (Err(e), recovery),
+            Err(e) => {
+                cyclesteal_obs::counter!("core.recover.exhausted");
+                return (Err(e), recovery);
+            }
         }
     }
     unreachable!("the ladder returns from its last rung")

@@ -67,6 +67,7 @@ fn ensure_finite(site: &'static str, values: [f64; 3]) -> Result<(), DistError> 
 /// # }
 /// ```
 pub fn mg1_busy(lambda: f64, job: Moments3) -> Result<Moments3, DistError> {
+    cyclesteal_obs::counter!("dist.busy.mg1");
     crate::error::check_positive("lambda", lambda)?;
     let rho = lambda * job.mean();
     if rho >= 1.0 {
@@ -160,6 +161,7 @@ pub fn random_sum(count_fact: [f64; 3], item: Moments3) -> Result<Moments3, Dist
 /// # }
 /// ```
 pub fn bn1(lambda_l: f64, job_l: Moments3, theta: f64) -> Result<Moments3, DistError> {
+    cyclesteal_obs::counter!("dist.busy.bn1");
     crate::error::check_positive("theta", theta)?;
     crate::error::check_positive("lambda_l", lambda_l)?;
     let p = theta / (theta + lambda_l);
@@ -214,14 +216,17 @@ pub fn busy_lst(lambda: f64, job: &crate::Ph, s: f64) -> Result<f64, DistError> 
     }
     // The map b -> X~(s + lambda(1-b)) is monotone on [0, 1] and its
     // minimal fixed point is the transform; iterate from 0.
+    cyclesteal_obs::counter!("dist.busy.lst");
     let mut b = 0.0f64;
-    for _ in 0..100_000 {
+    for iter in 0..100_000u64 {
         let next = job.lst(s + lambda * (1.0 - b));
         if (next - b).abs() < 1e-15 {
+            cyclesteal_obs::histogram!("dist.busy.lst_iters", iter + 1);
             return Ok(next);
         }
         b = next;
     }
+    cyclesteal_obs::histogram!("dist.busy.lst_iters", 100_000);
     Ok(b)
 }
 

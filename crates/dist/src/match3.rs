@@ -87,6 +87,7 @@ const EDGE_TOL: f64 = 1e-9;
 /// # }
 /// ```
 pub fn fit_coxian2(m: Moments3) -> Result<Option<Coxian2>, DistError> {
+    cyclesteal_obs::counter!("dist.match3.coxian2");
     let (t1, t2, t3) = m.reduced();
     let denom = t2 - t1 * t1;
     if denom.abs() < EDGE_TOL * t1 * t1 {
@@ -135,6 +136,7 @@ pub fn fit_coxian2(m: Moments3) -> Result<Option<Coxian2>, DistError> {
 /// [`DistError`] only for degenerate inputs that slip past [`Moments3`]
 /// validation (e.g. zero variance combined with a huge third moment).
 pub fn fit_ph(m: Moments3) -> Result<FitResult, DistError> {
+    cyclesteal_obs::counter!("dist.match3.fit_ph");
     if let Some(cox) = fit_coxian2(m)? {
         return Ok(FitResult {
             ph: cox.to_ph(),
@@ -142,6 +144,7 @@ pub fn fit_ph(m: Moments3) -> Result<FitResult, DistError> {
             target: m,
         });
     }
+    cyclesteal_obs::counter!("dist.match3.fit_ph.inexact");
     let scv = m.scv();
     if scv >= 0.5 {
         let mu1 = 2.0 / m.mean();

@@ -87,6 +87,8 @@ impl Matrix {
         } else {
             0
         };
+        cyclesteal_obs::counter!("linalg.expm");
+        cyclesteal_obs::histogram!("linalg.expm.squarings", u64::from(s));
         let a = self.scale(0.5f64.powi(s as i32));
 
         // Padé(6,6): N(A) = sum c_k A^k, D(A) = sum c_k (-A)^k.

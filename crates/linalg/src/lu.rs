@@ -50,6 +50,8 @@ impl Lu {
         if !a.as_slice().iter().all(|v| v.is_finite()) {
             return Err(LinalgError::NonFinite { site: "linalg.lu" });
         }
+        cyclesteal_obs::counter!("linalg.lu.factor");
+        cyclesteal_obs::histogram!("linalg.lu.dim", a.rows() as u64);
         let n = a.rows();
         let mut lu = a.clone();
         let mut pivots: Vec<usize> = (0..n).collect();

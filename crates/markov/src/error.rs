@@ -38,7 +38,25 @@ pub enum MarkovError {
         primary: Box<MarkovError>,
         /// Error from the fallback (functional iteration, raised cap).
         fallback: Box<MarkovError>,
+        /// Iterations spent across *both* failed attempts — the budget
+        /// burned before giving up (also recorded in the
+        /// `markov.qbd.iters_at_failure` obs histogram).
+        total_iterations: usize,
     },
+}
+
+impl MarkovError {
+    /// Iterations performed before this error surfaced, where the failing
+    /// algorithm tracks them (`0` for non-iterative failures).
+    pub fn iterations(&self) -> usize {
+        match self {
+            MarkovError::NoConvergence { iterations, .. } => *iterations,
+            MarkovError::FallbackExhausted {
+                total_iterations, ..
+            } => *total_iterations,
+            _ => 0,
+        }
+    }
 }
 
 impl fmt::Display for MarkovError {
@@ -60,9 +78,14 @@ impl fmt::Display for MarkovError {
                 "{what} did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
             MarkovError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
-            MarkovError::FallbackExhausted { primary, fallback } => write!(
+            MarkovError::FallbackExhausted {
+                primary,
+                fallback,
+                total_iterations,
+            } => write!(
                 f,
-                "no R algorithm succeeded: primary attempt: {primary}; fallback attempt: {fallback}"
+                "no R algorithm succeeded after {total_iterations} total iterations: \
+                 primary attempt: {primary}; fallback attempt: {fallback}"
             ),
         }
     }
@@ -122,11 +145,31 @@ mod tests {
                 iterations: 400_000,
                 residual: 1e-6,
             }),
+            total_iterations: 400_128,
         };
         let s = e.to_string();
         assert!(s.contains("logarithmic reduction"), "{s}");
         assert!(s.contains("functional iteration"), "{s}");
         assert!(s.contains("128") && s.contains("400000"), "{s}");
+        assert!(s.contains("400128 total"), "{s}");
+        assert_eq!(e.iterations(), 400_128);
         assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn iterations_helper_covers_the_iterative_variants() {
+        let nc = MarkovError::NoConvergence {
+            what: "x",
+            iterations: 9,
+            residual: 0.1,
+        };
+        assert_eq!(nc.iterations(), 9);
+        assert_eq!(
+            MarkovError::Unstable {
+                spectral_radius: 1.5
+            }
+            .iterations(),
+            0
+        );
     }
 }

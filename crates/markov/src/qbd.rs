@@ -217,14 +217,26 @@ impl Qbd {
     /// attempts if neither `R` algorithm converges, or
     /// [`MarkovError::Linalg`] on a singular boundary system.
     pub fn solve(&self) -> Result<QbdSolution, MarkovError> {
+        cyclesteal_obs::span!("markov.qbd.solve");
+        cyclesteal_obs::counter!("markov.qbd.solve");
         match self.attempt(RAlgorithm::LogarithmicReduction, FI_MAX_ITER) {
             Err(primary @ MarkovError::NoConvergence { .. }) => {
+                cyclesteal_obs::counter!("markov.qbd.fallback");
                 match self.attempt(RAlgorithm::FunctionalIteration, FI_FALLBACK_MAX_ITER) {
                     Ok(sol) => Ok(sol),
-                    Err(fallback) => Err(MarkovError::FallbackExhausted {
-                        primary: Box::new(primary),
-                        fallback: Box::new(fallback),
-                    }),
+                    Err(fallback) => {
+                        let total_iterations = primary.iterations() + fallback.iterations();
+                        cyclesteal_obs::counter!("markov.qbd.fallback_exhausted");
+                        cyclesteal_obs::histogram!(
+                            "markov.qbd.iters_at_failure",
+                            total_iterations as u64
+                        );
+                        Err(MarkovError::FallbackExhausted {
+                            primary: Box::new(primary),
+                            fallback: Box::new(fallback),
+                            total_iterations,
+                        })
+                    }
                 }
             }
             other => other,
@@ -332,7 +344,7 @@ impl Qbd {
 
         let mut converged = false;
         let mut residual = f64::INFINITY;
-        for _ in 0..LR_MAX_ITER {
+        for iter in 0..LR_MAX_ITER {
             let u = h.mul(&l)?.add(&l.mul(&h)?)?;
             let iu_inv = id.sub(&u)?.inverse()?;
             let h2 = h.mul(&h)?;
@@ -357,6 +369,7 @@ impl Qbd {
             }
             if residual < FP_TOL {
                 converged = true;
+                cyclesteal_obs::histogram!("markov.qbd.lr_iters", iter as u64 + 1);
                 break;
             }
         }
@@ -386,7 +399,7 @@ impl Qbd {
         let neg_a1_inv = self.a1.scale(-1.0).inverse()?;
         let mut r = Matrix::zeros(m, m);
         let mut residual = f64::INFINITY;
-        for _ in 0..max_iter {
+        for iter in 0..max_iter {
             let next = self.a0.add(&r.mul(&r)?.mul(&self.a2)?)?.mul(&neg_a1_inv)?;
             residual = next.sub(&r)?.max_abs();
             r = next;
@@ -394,6 +407,7 @@ impl Qbd {
                 break;
             }
             if residual < FP_TOL {
+                cyclesteal_obs::histogram!("markov.qbd.fi_iters", iter as u64 + 1);
                 return Ok(r);
             }
         }
@@ -784,7 +798,9 @@ mod tests {
         // the error must carry both injected failures.
         let err = q.solve().unwrap_err();
         match &err {
-            MarkovError::FallbackExhausted { primary, fallback } => {
+            MarkovError::FallbackExhausted {
+                primary, fallback, ..
+            } => {
                 assert!(matches!(**primary, MarkovError::NoConvergence { .. }));
                 assert!(matches!(**fallback, MarkovError::NoConvergence { .. }));
             }

@@ -34,7 +34,12 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 fn run_isolated<T, R>(item: &T, f: &(impl Fn(&T) -> R + Sync)) -> Result<R, String> {
-    panic::catch_unwind(AssertUnwindSafe(|| f(item))).map_err(panic_message)
+    cyclesteal_obs::counter!("sim.pool.tasks");
+    let out = panic::catch_unwind(AssertUnwindSafe(|| f(item))).map_err(panic_message);
+    if out.is_err() {
+        cyclesteal_obs::counter!("sim.pool.panics_isolated");
+    }
+    out
 }
 
 /// Maps `f` over `items` on `threads` worker threads with **per-item panic
@@ -79,9 +84,16 @@ where
     let n = items.len();
     let chunk = chunk.max(1);
     let workers = threads.min(n).max(1);
+    // Batch size and worker counts are *gauges* (max-merged, timing-class):
+    // they describe the schedule, which varies with thread count, so they
+    // must stay out of the deterministic count-metrics. Per-item counters
+    // live in `run_isolated`, whose totals depend only on `(items, f)`.
+    cyclesteal_obs::gauge_max!("sim.pool.queue_hwm", n as u64);
     if workers <= 1 {
         return items.iter().map(|item| run_isolated(item, &f)).collect();
     }
+    cyclesteal_obs::gauge_max!("sim.pool.workers_hwm", workers as u64);
+    let fair_share = n.div_ceil(workers) as u64;
 
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, Result<R, String>)>();
@@ -90,17 +102,34 @@ where
             let tx = tx.clone();
             let cursor = &cursor;
             let f = &f;
-            scope.spawn(move || loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                for (offset, item) in items[start..end].iter().enumerate() {
-                    if tx.send((start + offset, run_isolated(item, f))).is_err() {
-                        return; // receiver gone: the scope is tearing down
+            scope.spawn(move || {
+                let mut chunks_claimed = 0u64;
+                let mut executed = 0u64;
+                'work: loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    chunks_claimed += 1;
+                    let end = (start + chunk).min(n);
+                    for (offset, item) in items[start..end].iter().enumerate() {
+                        executed += 1;
+                        if tx.send((start + offset, run_isolated(item, f))).is_err() {
+                            break 'work; // receiver gone: the scope is tearing down
+                        }
                     }
                 }
+                cyclesteal_obs::gauge_max!("sim.pool.chunks_claimed_hwm", chunks_claimed);
+                cyclesteal_obs::gauge_max!(
+                    "sim.pool.tasks_stolen_hwm",
+                    executed.saturating_sub(fair_share)
+                );
+                // Scoped threads signal completion when this closure
+                // returns — *before* TLS destructors run — so telemetry
+                // must be pushed to the global table here, not left to
+                // the thread-local Drop, or a snapshot taken right after
+                // the scope could miss this worker's records.
+                cyclesteal_obs::flush_thread();
             });
         }
         drop(tx);

@@ -83,31 +83,64 @@ pub fn run_points(name: &str, points: &[Point], opts: &SweepOptions) -> (SweepRe
         .cache
         .clone()
         .unwrap_or_else(|| Arc::new(SolveCache::new()));
+    // Telemetry delta: snapshot before and after so a shared registry
+    // (e.g. across back-to-back sweeps in one --obs run) attributes to
+    // this run only the work it actually did.
+    let obs_before = cyclesteal_obs::snapshot_if_active();
     let start = Instant::now();
-    let evaluated = parallel_map_isolated(points, opts.threads, opts.chunk, |point| {
-        let t = Instant::now();
-        let row = evaluate(point, &cache);
-        (row, t.elapsed().as_nanos() as u64)
-    });
+    let evaluated = {
+        cyclesteal_obs::span!("sweep.phase.evaluate");
+        cyclesteal_obs::counter!("sweep.points", points.len() as u64);
+        parallel_map_isolated(points, opts.threads, opts.chunk, |point| {
+            let t = Instant::now();
+            let row = evaluate(point, &cache);
+            (row, t.elapsed().as_nanos() as u64)
+        })
+    };
     let elapsed_ns = start.elapsed().as_nanos() as u64;
 
-    let mut rows = Vec::with_capacity(points.len());
     let mut point_ns = Vec::with_capacity(points.len());
-    for (point, outcome) in points.iter().zip(evaluated) {
-        let (row, ns) = match outcome {
-            Ok((row, ns)) => (row, ns),
-            Err(message) => (SweepRow::panicked(point, message), 0),
-        };
-        point_ns.push((row.id.clone(), ns));
-        rows.push(row);
-    }
-    rows.sort_by(|a, b| a.id.cmp(&b.id));
-    let failures = FailureCounts::tally(&rows);
+    // Block-scoped so the collect span closes *before* the end-of-run
+    // snapshot below (a span records at drop; one closing later would
+    // leak into the next run's delta).
+    let (rows, failures) = {
+        cyclesteal_obs::span!("sweep.phase.collect");
+        let mut rows = Vec::with_capacity(points.len());
+        for (point, outcome) in points.iter().zip(evaluated) {
+            let (row, ns) = match outcome {
+                Ok((row, ns)) => (row, ns),
+                Err(message) => (SweepRow::panicked(point, message), 0),
+            };
+            point_ns.push((row.id.clone(), ns));
+            rows.push(row);
+        }
+        rows.sort_by(|a, b| a.id.cmp(&b.id));
+        let failures = FailureCounts::tally(&rows);
+        // Every attributed failure — including panics caught at the pool
+        // boundary — is visible as a per-kind obs counter, cross-checkable
+        // against `FailureCounts`.
+        if cyclesteal_obs::is_active() {
+            for row in &rows {
+                if let Some(f) = &row.failure {
+                    cyclesteal_obs::record_counter_owned(
+                        format!("sweep.failure.{}", f.kind.name()),
+                        1,
+                    );
+                }
+            }
+        }
+        (rows, failures)
+    };
 
+    let obs = cyclesteal_obs::snapshot_if_active().map(|end| match &obs_before {
+        Some(before) => end.delta_since(before),
+        None => end,
+    });
     (
         SweepReport {
             name: name.to_string(),
             rows,
+            obs: obs.as_ref().map(cyclesteal_obs::ObsSnapshot::counts_only),
         },
         SweepMetrics {
             threads: opts.threads,
@@ -115,6 +148,7 @@ pub fn run_points(name: &str, points: &[Point], opts: &SweepOptions) -> (SweepRe
             point_ns,
             cache: cache.stats(),
             failures,
+            obs,
         },
     )
 }
@@ -124,6 +158,9 @@ pub fn run_points(name: &str, points: &[Point], opts: &SweepOptions) -> (SweepRe
 /// off-the-curve cells); every other evaluation failure is attributed as
 /// a [`FailureKind`] record.
 fn evaluate(point: &Point, shared: &SolveCache) -> SweepRow {
+    // Root span: per-point span paths aggregate identically whether the
+    // point ran inline (serial sweep) or on a pool worker thread.
+    cyclesteal_obs::span_root!("sweep.point");
     let mut row = SweepRow::blank(point);
     // The canonical id is the fault-injection scope: an armed FaultPlan
     // decides per *point*, never per thread or execution slot.

@@ -199,6 +199,12 @@ pub struct SweepReport {
     pub name: String,
     /// Rows in canonical (id-sorted) order.
     pub rows: Vec<SweepRow>,
+    /// The run's telemetry delta, **counts only** (counters, histogram
+    /// contents, span close-counts — see [`cyclesteal_obs::ObsSnapshot::counts_only`]).
+    /// `Some` exactly when the obs runtime was recording during the run;
+    /// counts are pure functions of the evaluated points, so the report
+    /// stays bit-identical across thread counts with telemetry embedded.
+    pub obs: Option<cyclesteal_obs::ObsSnapshot>,
 }
 
 impl SweepReport {
@@ -228,6 +234,10 @@ impl SweepReport {
         json.push_str("  \"harness\": \"cyclesteal-xtest\",\n  \"version\": 1,\n");
         json.push_str("  \"kind\": \"sweep\",\n");
         json.push_str(&format!("  \"name\": {},\n", json_str(&self.name)));
+        match &self.obs {
+            Some(snap) => json.push_str(&format!("  \"obs\": {},\n", snap.counts_json())),
+            None => json.push_str("  \"obs\": null,\n"),
+        }
         json.push_str("  \"results\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             json.push_str(&format!(
@@ -361,6 +371,11 @@ pub struct SweepMetrics {
     /// Failure tallies over the report's rows (a pure function of the
     /// report; duplicated here so health checks don't re-scan rows).
     pub failures: FailureCounts,
+    /// The run's **full** telemetry delta — counts *plus* the timing
+    /// class (span `total_ns`, gauges) that the report's embedded
+    /// [`SweepReport::obs`] deliberately strips. `Some` exactly when the
+    /// obs runtime was recording.
+    pub obs: Option<cyclesteal_obs::ObsSnapshot>,
 }
 
 impl SweepMetrics {
@@ -417,6 +432,7 @@ mod tests {
         let rep = SweepReport {
             name: "t".into(),
             rows: vec![row("a", Some(1.5)), row("b", None)],
+            obs: None,
         };
         let json = rep.to_json();
         assert!(json.contains("\"kind\": \"sweep\""));
@@ -442,6 +458,7 @@ mod tests {
         let rep = SweepReport {
             name: "f".into(),
             rows: vec![nc, panicked],
+            obs: None,
         };
         let json = rep.to_json();
         assert!(json.contains(

@@ -184,7 +184,14 @@ pub fn fires(site: &str) -> bool {
     if !ACTIVE.load(Ordering::Relaxed) {
         return false;
     }
-    SCOPE_SITE.with(|s| s.borrow().as_deref() == Some(site))
+    let hit = SCOPE_SITE.with(|s| s.borrow().as_deref() == Some(site));
+    // Every actual injection is visible in telemetry, labeled with its
+    // site; injection counts are pure functions of (plan, work), so they
+    // stay inside the obs determinism contract.
+    if hit && cyclesteal_obs::is_active() {
+        cyclesteal_obs::record_counter_owned(format!("xtest.fault.injected:{site}"), 1);
+    }
+    hit
 }
 
 /// `true` while the current thread's scope has *any* fault planned.
@@ -258,7 +265,7 @@ mod tests {
         assert!((300..=700).contains(&hits), "hit count {hits}");
         for site in ["a", "b", "c"] {
             assert!(
-                first.iter().any(|s| *s == Some(site)),
+                first.contains(&Some(site)),
                 "site {site} never chosen"
             );
         }

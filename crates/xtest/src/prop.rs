@@ -447,7 +447,7 @@ mod tests {
         }
 
         fn tuple_destructuring((a, b) in (1u32..10, 0.0f64..1.0), c in 0u64..5) {
-            assert!(a >= 1 && a < 10);
+            assert!((1..10).contains(&a));
             assert!((0.0..1.0).contains(&b));
             assert!(c < 5);
         }

@@ -3,12 +3,15 @@
 //! bit-identical, and record the wall-clock trajectory in
 //! `BENCH_sweep.json` (xtest bench schema).
 //!
-//! Usage: `cargo run --release --example sweep -- [--quick] [--threads 1,8]
-//! [--out DIR]`
+//! Usage: `cargo run --release --example sweep --features obs --
+//! [--quick] [--threads 1,8] [--out DIR] [--obs]`
 //!
 //! * `--quick`    small grid for CI smoke runs (90 points instead of 3,000)
 //! * `--threads`  comma-separated worker counts to compare (default `1,8`)
 //! * `--out`      directory for `BENCH_sweep.json` (default: cwd)
+//! * `--obs`      record solver telemetry: print the span/counter summary
+//!   and write a flamegraph-ready `obs_profile.collapsed` to the out dir
+//!   (needs the binary built with `--features obs`)
 
 use std::time::Instant;
 
@@ -22,12 +25,14 @@ fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut quick = false;
+    let mut obs = false;
     let mut threads: Vec<usize> = vec![1, 8];
     let mut out_dir = ".".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--obs" => obs = true,
             "--threads" => {
                 if let Some(list) = args.next() {
                     threads = list
@@ -46,6 +51,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if threads.is_empty() {
         threads = vec![1];
+    }
+    if obs && !cyclesteal_obs::compiled() {
+        eprintln!(
+            "--obs requested but the telemetry runtime is compiled out; \
+             rebuild with `cargo run --release --example sweep --features obs -- --obs`"
+        );
+        obs = false;
+    }
+    if obs {
+        cyclesteal_obs::enable();
     }
 
     // rho_s x rho_l x C^2 x 3 policies: 25*20*2*3 = 3,000 points
@@ -104,6 +119,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             *ns0 as f64 / *ns1 as f64,
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         );
+    }
+
+    if obs {
+        // All runs record into one registry; the per-run (delta) counts are
+        // embedded in each report's "obs" field and already checked
+        // bit-identical above. This is the cumulative profile.
+        let snap = cyclesteal_obs::snapshot();
+        println!("\n-- solver telemetry (all runs combined) --");
+        print!("{}", snap.summary_table());
+        let profile = format!("{}/obs_profile.collapsed", out_dir.trim_end_matches('/'));
+        std::fs::write(&profile, snap.collapsed_stacks())?;
+        println!("wrote {profile} (flamegraph collapsed-stack format)");
     }
 
     // BENCH_sweep.json in the xtest bench schema: one result per thread
