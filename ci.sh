@@ -32,6 +32,22 @@ echo "==> bench smoke (--quick)"
 cargo bench -p cyclesteal-bench --offline --bench solver -- --quick
 cargo bench -p cyclesteal-bench --offline --bench analysis_vs_simulation -- --quick
 
+echo "==> kernel bench: allocations per QBD solve (hard >=5x gate; timings informational)"
+# The bench binary itself asserts workspace_allocs * 5 <= reference_allocs
+# (counting-allocator probe, deterministic); the re-check below reads the
+# emitted metrics so a stale or hand-edited JSON also fails the gate.
+# Wall-clock stays report-only: cross-binary timing gates on code layout.
+cargo bench -p cyclesteal-bench --offline --bench kernels -- --quick
+allocs_ref=$(sed -n 's|.*"id": "allocs/qbd_solve/reference", "value": \([0-9.]*\).*|\1|p' \
+    crates/bench/BENCH_kernels.json)
+allocs_ws=$(sed -n 's|.*"id": "allocs/qbd_solve/workspace", "value": \([0-9.]*\).*|\1|p' \
+    crates/bench/BENCH_kernels.json)
+awk -v ref="$allocs_ref" -v ws="$allocs_ws" 'BEGIN {
+    if (ref == "" || ws == "" || ref <= 0) { print "kernel gate: missing alloc metrics"; exit 1 }
+    printf "qbd solve heap allocations: reference %d, workspace %d (%.1fx fewer)\n", ref, ws, ref / (ws > 0 ? ws : 1)
+    if (ws * 5 > ref) { print "kernel gate: workspace path must allocate >= 5x less"; exit 1 }
+}'
+
 echo "==> obs zero-overhead gate (<1% compiled-but-disabled; cross-build delta informational)"
 # The same end-to-end sweep workload, benchmarked in both compile states;
 # ids differ only in their /obs_absent vs /obs_compiled_disabled suffix.
@@ -71,7 +87,8 @@ cargo run --release --offline --example sweep -- --quick --threads 1,8 --out cra
 # Bench binaries run with the package directory as CWD, so the JSON
 # lands next to the bench crate; the sweep example writes there via --out.
 for f in crates/bench/BENCH_solver.json crates/bench/BENCH_analysis_vs_simulation.json \
-         crates/bench/BENCH_sweep.json crates/bench/BENCH_obs_overhead.json; do
+         crates/bench/BENCH_sweep.json crates/bench/BENCH_obs_overhead.json \
+         crates/bench/BENCH_kernels.json; do
     [ -s "$f" ] || { echo "missing bench output $f" >&2; exit 1; }
 done
 

@@ -1,0 +1,105 @@
+//! Allocation and latency micro-benchmarks for the workspace-backed QBD
+//! kernels, on the Figure-4 CS-CQ chain (`λ_S = 1.2`, exponential longs,
+//! `ρ_L = 0.5`).
+//!
+//! Two solver paths are compared on the *same* chain:
+//!
+//! * `reference` — the original allocating pipeline
+//!   ([`Qbd::solve_reference`]): every matrix product, inverse, and
+//!   iteration step builds fresh `Vec`s;
+//! * `workspace` — the in-place kernels ([`Qbd::solve_in`]) drawing all
+//!   scratch from one warm [`Workspace`].
+//!
+//! Heap-allocation counts come from a counting `#[global_allocator]`
+//! probe. Unlike wall-clock they are exactly reproducible, so this bench
+//! **asserts** the workspace path allocates at least 5x less per solve
+//! (the bar CI re-checks on every run); timings are report-only.
+//!
+//! Results land in `BENCH_kernels.json` (`results` for timings,
+//! `metrics` for allocation counts). `--quick` for smoke runs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cyclesteal_core::{cs_cq, SystemParams};
+use cyclesteal_linalg::Workspace;
+use cyclesteal_markov::qbd::Qbd;
+use cyclesteal_xtest::Bench;
+
+/// Counts every `alloc`/`realloc` (i.e. every fresh heap block the solver
+/// requests) and forwards to the system allocator. Frees are not counted:
+/// the interesting number is how much heap traffic a solve *generates*.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn figure4_qbd() -> Qbd {
+    let params = SystemParams::exponential(1.2, 1.0, 0.5, 1.0).unwrap();
+    cs_cq::build_qbd_model(&params, Default::default()).unwrap()
+}
+
+fn main() {
+    let mut h = Bench::new("kernels");
+    let qbd = figure4_qbd();
+
+    // --- Allocation counts: deterministic, averaged, asserted. ---
+    const PROBE_ITERS: u64 = 16;
+    let ref_allocs = allocs_during(|| {
+        for _ in 0..PROBE_ITERS {
+            black_box(qbd.solve_reference().unwrap());
+        }
+    }) / PROBE_ITERS;
+
+    let mut ws = Workspace::new();
+    // One warm-up solve fills the buffer pool; steady-state sweeps run warm.
+    black_box(qbd.solve_in(&mut ws).unwrap());
+    let ws_allocs = allocs_during(|| {
+        for _ in 0..PROBE_ITERS {
+            black_box(qbd.solve_in(&mut ws).unwrap());
+        }
+    }) / PROBE_ITERS;
+
+    h.metric("allocs/qbd_solve/reference", ref_allocs as f64);
+    h.metric("allocs/qbd_solve/workspace", ws_allocs as f64);
+    assert!(
+        ws_allocs * 5 <= ref_allocs,
+        "workspace path must allocate >= 5x less per Figure-4 solve: \
+         workspace = {ws_allocs}, reference = {ref_allocs}"
+    );
+
+    // --- Wall clock: report-only (layout noise makes it unassertable). ---
+    h.bench("qbd_solve/figure4/reference", || {
+        qbd.solve_reference().unwrap()
+    });
+    h.bench("qbd_solve/figure4/workspace", || {
+        qbd.solve_in(&mut ws).unwrap()
+    });
+
+    h.finish();
+}

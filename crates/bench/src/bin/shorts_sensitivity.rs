@@ -49,7 +49,7 @@ fn main() {
             "errTl%",
         ],
     );
-    for (name, scv, dist) in &shorts {
+    for (_name, scv, dist) in &shorts {
         let sp = SimParams::new(rho_s, rho_l, dist.as_ref(), &longs).unwrap();
         let sim = simulate(
             PolicyKind::CsCq,
@@ -60,7 +60,6 @@ fn main() {
                 ..SimConfig::default()
             },
         );
-        let _ = name;
         table.push(
             *scv,
             vec![

@@ -48,6 +48,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use cyclesteal_dist::match3::MatchQuality;
 use cyclesteal_dist::{Moments3, Ph};
+use cyclesteal_linalg::Workspace;
 use cyclesteal_markov::{Qbd, QbdSolution};
 use cyclesteal_obs as obs;
 
@@ -371,10 +372,18 @@ impl SolveCache {
     }
 
     /// Memoized QBD solution, keyed by the chain's content signature so
-    /// the `R`-matrix iteration runs once per distinct chain.
-    pub(crate) fn qbd_solution(&self, qbd: &Qbd) -> Result<QbdSolution, AnalysisError> {
-        self.solutions
-            .get_or_compute(qbd.signature(), || qbd.solve().map_err(AnalysisError::from))
+    /// the `R`-matrix iteration runs once per distinct chain. Cache misses
+    /// solve out of the caller's [`Workspace`], so a worker thread that owns
+    /// one workspace allocates (almost) nothing per distinct chain; the
+    /// workspace never affects the numbers, only where scratch lives.
+    pub(crate) fn qbd_solution(
+        &self,
+        qbd: &Qbd,
+        ws: &mut Workspace,
+    ) -> Result<QbdSolution, AnalysisError> {
+        self.solutions.get_or_compute(qbd.signature(), || {
+            qbd.solve_in(ws).map_err(AnalysisError::from)
+        })
     }
 
     /// Memoized whole-report analysis: `compute` runs once per key even

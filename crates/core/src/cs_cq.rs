@@ -40,7 +40,7 @@
 
 use cyclesteal_dist::match3::{self, MatchQuality};
 use cyclesteal_dist::{busy, DistError, Map, Moments3, Ph};
-use cyclesteal_linalg::Matrix;
+use cyclesteal_linalg::{Matrix, Workspace};
 use cyclesteal_markov::Qbd;
 use cyclesteal_mg1::mg1;
 
@@ -146,7 +146,7 @@ pub fn analyze_with(
     fit: BusyPeriodFit,
 ) -> Result<CsCqReport, AnalysisError> {
     let poisson = Map::poisson(params.lambda_s())?;
-    analyze_inner(params, fit, &poisson, None)
+    analyze_inner(params, fit, &poisson, None, &mut Workspace::new())
 }
 
 /// Analyzes CS-CQ through a [`SolveCache`]: the workload is snapped onto
@@ -182,6 +182,26 @@ pub fn analyze_cached(
     fit: BusyPeriodFit,
     cache: &SolveCache,
 ) -> Result<CsCqReport, AnalysisError> {
+    analyze_cached_in(params, fit, cache, &mut Workspace::new())
+}
+
+/// [`analyze_cached`] solving out of a caller-owned scratch [`Workspace`].
+///
+/// The workspace holds the QBD solver's intermediate buffers; reusing one
+/// per worker thread across a sweep removes nearly all per-point heap
+/// traffic. Buffers are canonically reset on checkout, so the result is
+/// bit-identical to [`analyze_cached`] no matter what the workspace held
+/// before — prior solves, other chain sizes, or nothing at all.
+///
+/// # Errors
+///
+/// As for [`analyze`].
+pub fn analyze_cached_in(
+    params: &SystemParams,
+    fit: BusyPeriodFit,
+    cache: &SolveCache,
+    ws: &mut Workspace,
+) -> Result<CsCqReport, AnalysisError> {
     let snapped = snap_params(params);
     let key = (
         [
@@ -196,7 +216,7 @@ pub fn analyze_cached(
     );
     cache.report(key, || {
         let poisson = Map::poisson(snapped.lambda_s())?;
-        analyze_inner(&snapped, fit, &poisson, Some(cache))
+        analyze_inner(&snapped, fit, &poisson, Some(cache), ws)
     })
 }
 
@@ -253,7 +273,13 @@ pub fn analyze_map(params: &SystemParams, arrivals: &Map) -> Result<CsCqReport, 
             reason: "MAP arrival rate must equal params.lambda_s()",
         }));
     }
-    analyze_inner(params, BusyPeriodFit::ThreeMoment, arrivals, None)
+    analyze_inner(
+        params,
+        BusyPeriodFit::ThreeMoment,
+        arrivals,
+        None,
+        &mut Workspace::new(),
+    )
 }
 
 fn analyze_inner(
@@ -261,6 +287,7 @@ fn analyze_inner(
     fit: BusyPeriodFit,
     arrivals: &Map,
     cache: Option<&SolveCache>,
+    ws: &mut Workspace,
 ) -> Result<CsCqReport, AnalysisError> {
     cyclesteal_obs::span!("core.cs_cq.analyze");
     cyclesteal_obs::counter!("core.cs_cq.analyze");
@@ -279,8 +306,8 @@ fn analyze_inner(
     let chain = ChainLayout::new(&bl_ph, &bn_ph);
     let qbd = build_qbd(params, &chain, &bl_ph, &bn_ph, arrivals)?;
     let sol = match cache {
-        Some(c) => c.qbd_solution(&qbd)?,
-        None => qbd.solve()?,
+        Some(c) => c.qbd_solution(&qbd, ws)?,
+        None => qbd.solve_in(ws)?,
     };
 
     // E[N_S]: boundary level 1 contributes one short per unit mass;
@@ -425,6 +452,39 @@ pub fn shorts_distribution(params: &SystemParams, n_max: usize) -> Result<Vec<f6
         });
     }
     Ok(dist)
+}
+
+/// Builds the CS-CQ quasi-birth-death chain for `params` **without solving
+/// it** — the busy-period fits, chain layout, and generator blocks exactly
+/// as [`analyze_with`] constructs them (Poisson short arrivals).
+///
+/// This exists so benchmarks and diagnostics can isolate the QBD *solve*
+/// from the model *construction*: the kernel micro-benchmark solves the
+/// returned chain repeatedly through both the allocating and the
+/// workspace-backed solver paths.
+///
+/// # Errors
+///
+/// As for [`analyze`], minus the solver errors (nothing is solved).
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_core::{cs_cq, SystemParams};
+///
+/// # fn main() -> Result<(), cyclesteal_core::AnalysisError> {
+/// let p = SystemParams::exponential(1.2, 1.0, 0.5, 1.0)?;
+/// let qbd = cs_cq::build_qbd_model(&p, Default::default())?;
+/// assert!(qbd.solve().is_ok());
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_qbd_model(params: &SystemParams, fit: BusyPeriodFit) -> Result<Qbd, AnalysisError> {
+    let (bl_ph, _) = fit_busy_period(bl_moments(params)?, fit)?;
+    let (bn_ph, _) = fit_busy_period(bn_moments(params)?, fit)?;
+    let chain = ChainLayout::new(&bl_ph, &bn_ph);
+    let arrivals = Map::poisson(params.lambda_s())?;
+    build_qbd(params, &chain, &bl_ph, &bn_ph, &arrivals)
 }
 
 /// Moments of `B_L`: the ordinary M/G/1 busy period of long jobs.

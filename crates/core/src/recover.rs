@@ -27,6 +27,7 @@ use crate::cache::SolveCache;
 use crate::cs_cq::{self, BusyPeriodFit, CsCqReport};
 use crate::{AnalysisError, SystemParams};
 use cyclesteal_dist::DistError;
+use cyclesteal_linalg::Workspace;
 use cyclesteal_markov::MarkovError;
 
 /// What a ladder did to produce (or fail to produce) its result.
@@ -123,7 +124,19 @@ pub fn analyze_cs_cq_cached(
     params: &SystemParams,
     cache: &SolveCache,
 ) -> (Result<CsCqReport, AnalysisError>, Recovery) {
-    run_fit_ladder(|fit| cs_cq::analyze_cached(params, fit, cache))
+    analyze_cs_cq_cached_in(params, cache, &mut Workspace::new())
+}
+
+/// [`analyze_cs_cq_cached`] solving out of a caller-owned scratch
+/// [`Workspace`] (see [`cs_cq::analyze_cached_in`]). Every rung of the fit
+/// ladder reuses the same workspace; results are bit-identical to the
+/// plain variant.
+pub fn analyze_cs_cq_cached_in(
+    params: &SystemParams,
+    cache: &SolveCache,
+    ws: &mut Workspace,
+) -> (Result<CsCqReport, AnalysisError>, Recovery) {
+    run_fit_ladder(|fit| cs_cq::analyze_cached_in(params, fit, cache, ws))
 }
 
 /// Uncached variant of [`analyze_cs_cq_cached`] (same ladder over

@@ -5,7 +5,20 @@
 //! with (phase-type densities, transient CTMC analysis). The Kronecker
 //! product assembles product-space generators (e.g. chain ⊗ MAP phases).
 
-use crate::{LinalgError, Matrix};
+use crate::lu::{lu_factor_into, lu_inverse_into};
+use crate::{LinalgError, Matrix, Workspace};
+
+/// Padé(6,6) numerator coefficients; the denominator uses the same
+/// magnitudes with alternating signs. `c_k = (6! (12-k)!) / (12! k! (6-k)!)`.
+const PADE_C: [f64; 7] = [
+    1.0,
+    0.5,
+    5.0 / 44.0,
+    1.0 / 66.0,
+    1.0 / 792.0,
+    1.0 / 15_840.0,
+    1.0 / 665_280.0,
+];
 
 impl Matrix {
     /// Kronecker product `self ⊗ rhs`.
@@ -67,13 +80,30 @@ impl Matrix {
     /// # }
     /// ```
     pub fn expm(&self) -> Result<Matrix, LinalgError> {
+        let mut ws = Workspace::new();
+        self.expm_in(&mut ws)
+    }
+
+    /// Matrix exponential computed with scratch borrowed from `ws`.
+    ///
+    /// Bit-identical to [`Matrix::expm`] (same Padé evaluation, same
+    /// inverse-then-multiply denominator handling, same squaring order);
+    /// the returned matrix is itself a workspace buffer, so giving it back
+    /// with [`Workspace::give_mat`] keeps repeated calls allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Matrix::expm`].
+    pub fn expm_in(&self, ws: &mut Workspace) -> Result<Matrix, LinalgError> {
         if !self.is_square() {
             return Err(LinalgError::NotSquare {
                 dims: (self.rows(), self.cols()),
             });
         }
         if !self.as_slice().iter().all(|v| v.is_finite()) {
-            return Err(LinalgError::NonFinite { site: "linalg.expm" });
+            return Err(LinalgError::NonFinite {
+                site: "linalg.expm",
+            });
         }
         let n = self.rows();
         if n == 0 {
@@ -89,38 +119,57 @@ impl Matrix {
         };
         cyclesteal_obs::counter!("linalg.expm");
         cyclesteal_obs::histogram!("linalg.expm.squarings", u64::from(s));
-        let a = self.scale(0.5f64.powi(s as i32));
+        let mut a = ws.take_mat(n, n);
+        a.copy_from(self);
+        a.scale_assign(0.5f64.powi(s as i32));
 
         // Padé(6,6): N(A) = sum c_k A^k, D(A) = sum c_k (-A)^k.
-        const C: [f64; 7] = [
-            1.0,
-            0.5,
-            // c_k = (6! (12-k)!) / (12! k! (6-k)!)
-            5.0 / 44.0,
-            1.0 / 66.0,
-            1.0 / 792.0,
-            1.0 / 15_840.0,
-            1.0 / 665_280.0,
-        ];
-        let id = Matrix::identity(n);
-        let mut num = id.scale(C[0]);
-        let mut den = id.scale(C[0]);
-        let mut power = id.clone();
-        for (k, &c) in C.iter().enumerate().skip(1) {
-            power = power.mul(&a)?;
-            num = num.add(&power.scale(c))?;
-            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
-            den = den.add(&power.scale(sign * c))?;
+        // Seeding the diagonals directly is exact (1.0 * c = c), so it
+        // matches the allocating `identity().scale(c)` bit for bit.
+        let mut num = ws.take_mat(n, n);
+        let mut den = ws.take_mat(n, n);
+        let mut power = ws.take_mat(n, n);
+        for i in 0..n {
+            num[(i, i)] = PADE_C[0];
+            den[(i, i)] = PADE_C[0];
+            power[(i, i)] = 1.0;
         }
-        let mut result = den.lu()?.inverse()?.mul(&num)?;
+        let mut tmp = ws.take_mat(n, n);
+        for (k, &c) in PADE_C.iter().enumerate().skip(1) {
+            power.mul_into(&a, &mut tmp)?;
+            std::mem::swap(&mut power, &mut tmp);
+            num.axpy(c, &power)?;
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            den.axpy(sign * c, &power)?;
+        }
+        // Inverse-then-multiply (rather than a multi-RHS solve) is kept
+        // deliberately: it reproduces `expm`'s exact operation sequence.
+        let mut lu = ws.take_mat(n, n);
+        let mut piv = ws.take_idx();
+        let mut x = ws.take_vec(n);
+        lu_factor_into(&den, &mut lu, &mut piv)?;
+        let mut inv = ws.take_mat(n, n);
+        lu_inverse_into(&lu, &piv, &mut inv, &mut x);
+        let mut result = ws.take_mat(n, n);
+        inv.mul_into(&num, &mut result)?;
         // Undo the scaling by repeated squaring.
         for _ in 0..s {
-            result = result.mul(&result)?;
+            result.mul_into(&result, &mut tmp)?;
+            std::mem::swap(&mut result, &mut tmp);
         }
         debug_assert!(
             result.as_slice().iter().all(|v| v.is_finite()),
             "expm produced a non-finite entry from finite input"
         );
+        ws.give_mat(a);
+        ws.give_mat(num);
+        ws.give_mat(den);
+        ws.give_mat(power);
+        ws.give_mat(tmp);
+        ws.give_mat(lu);
+        ws.give_idx(piv);
+        ws.give_vec(x);
+        ws.give_mat(inv);
         Ok(result)
     }
 }
@@ -207,11 +256,40 @@ mod tests {
     }
 
     #[test]
+    fn expm_in_is_bit_identical_across_workspace_reuse() {
+        let q =
+            Matrix::from_rows(&[&[-2.0, 1.5, 0.5], &[0.3, -0.8, 0.5], &[1.0, 2.0, -3.0]]).unwrap();
+        let fresh = q.expm().unwrap();
+        let mut ws = Workspace::new();
+        // Dirty the pool with unrelated shapes and values first.
+        let mut junk = ws.take_mat(5, 2);
+        junk[(4, 1)] = 1234.5;
+        ws.give_mat(junk);
+        let mut junk_v = ws.take_vec(9);
+        junk_v[3] = -7.0;
+        ws.give_vec(junk_v);
+        for _ in 0..3 {
+            let e = q.expm_in(&mut ws).unwrap();
+            assert_eq!(e.as_slice(), fresh.as_slice());
+            ws.give_mat(e);
+        }
+    }
+
+    #[test]
+    fn expm_in_empty_matrix() {
+        let mut ws = Workspace::new();
+        let e = Matrix::zeros(0, 0).expm_in(&mut ws).unwrap();
+        assert_eq!((e.rows(), e.cols()), (0, 0));
+    }
+
+    #[test]
     fn expm_rejects_non_finite_input() {
         let a = Matrix::from_rows(&[&[0.0, f64::NAN], &[0.0, 0.0]]).unwrap();
         assert_eq!(
             a.expm().unwrap_err(),
-            LinalgError::NonFinite { site: "linalg.expm" }
+            LinalgError::NonFinite {
+                site: "linalg.expm"
+            }
         );
     }
 

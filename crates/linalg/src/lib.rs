@@ -27,10 +27,14 @@ mod error;
 mod expm;
 mod lu;
 mod matrix;
+mod workspace;
 
 pub use error::LinalgError;
-pub use lu::Lu;
-pub use matrix::Matrix;
+pub use lu::{
+    lu_factor_into, lu_inverse_into, lu_solve_cols_into, lu_solve_into, lu_solve_rows_into, Lu,
+};
+pub use matrix::{Matrix, SPECTRAL_RADIUS_RTOL};
+pub use workspace::Workspace;
 
 /// Dot product of two equal-length slices.
 ///

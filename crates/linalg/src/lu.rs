@@ -113,19 +113,7 @@ impl Lu {
         }
         // Apply permutation.
         let mut x: Vec<f64> = self.pivots.iter().map(|&p| b[p]).collect();
-        // Forward substitution with unit lower-triangular L.
-        for i in 1..n {
-            for j in 0..i {
-                x[i] -= self.lu[(i, j)] * x[j];
-            }
-        }
-        // Back substitution with U.
-        for i in (0..n).rev() {
-            for j in (i + 1)..n {
-                x[i] -= self.lu[(i, j)] * x[j];
-            }
-            x[i] /= self.lu[(i, i)];
-        }
+        substitute_in_place(&self.lu, &mut x);
         Ok(x)
     }
 
@@ -157,6 +145,205 @@ impl Lu {
             }
         }
         Ok(inv)
+    }
+}
+
+/// Forward substitution with unit lower-triangular `L`, then back
+/// substitution with `U`, on a right-hand side that has already been
+/// permuted. Shared by [`Lu::solve`] and the caller-owned-storage kernels
+/// below, so both perform the identical floating-point operation sequence.
+fn substitute_in_place(lu: &Matrix, x: &mut [f64]) {
+    let n = lu.rows();
+    for i in 1..n {
+        for j in 0..i {
+            x[i] -= lu[(i, j)] * x[j];
+        }
+    }
+    for i in (0..n).rev() {
+        for j in (i + 1)..n {
+            x[i] -= lu[(i, j)] * x[j];
+        }
+        x[i] /= lu[(i, i)];
+    }
+}
+
+/// Factors `a` as `P A = L U` into caller-owned storage (factor once,
+/// solve many with [`lu_solve_into`], [`lu_solve_cols_into`],
+/// [`lu_solve_rows_into`], or [`lu_inverse_into`]).
+///
+/// Runs the identical pivoting and elimination sequence as [`Lu::factor`],
+/// so the packed factors are bit-identical; the only difference is that
+/// `lu` and `pivots` reuse the caller's capacity instead of allocating.
+///
+/// # Errors
+///
+/// Same conditions as [`Lu::factor`]: [`LinalgError::NotSquare`],
+/// [`LinalgError::NonFinite`], or [`LinalgError::Singular`].
+pub fn lu_factor_into(
+    a: &Matrix,
+    lu: &mut Matrix,
+    pivots: &mut Vec<usize>,
+) -> Result<(), LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            dims: (a.rows(), a.cols()),
+        });
+    }
+    if !a.as_slice().iter().all(|v| v.is_finite()) {
+        return Err(LinalgError::NonFinite { site: "linalg.lu" });
+    }
+    cyclesteal_obs::counter!("linalg.lu.factor");
+    cyclesteal_obs::histogram!("linalg.lu.dim", a.rows() as u64);
+    let n = a.rows();
+    lu.copy_from(a);
+    pivots.clear();
+    pivots.extend(0..n);
+
+    for k in 0..n {
+        let mut p = k;
+        let mut best = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        if best <= PIVOT_TOL {
+            return Err(LinalgError::Singular);
+        }
+        if p != k {
+            for j in 0..n {
+                let tmp = lu[(k, j)];
+                lu[(k, j)] = lu[(p, j)];
+                lu[(p, j)] = tmp;
+            }
+            pivots.swap(k, p);
+        }
+        let pivot = lu[(k, k)];
+        for i in (k + 1)..n {
+            let factor = lu[(i, k)] / pivot;
+            lu[(i, k)] = factor;
+            for j in (k + 1)..n {
+                lu[(i, j)] -= factor * lu[(k, j)];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solves `A x = b` into caller storage using factors from
+/// [`lu_factor_into`]. Performs the identical operation sequence as
+/// [`Lu::solve`].
+///
+/// # Panics
+///
+/// Panics if `b.len()`, `x.len()`, or `pivots.len()` disagree with the
+/// factored dimension.
+pub fn lu_solve_into(lu: &Matrix, pivots: &[usize], b: &[f64], x: &mut [f64]) {
+    let n = lu.rows();
+    assert_eq!(b.len(), n, "lu_solve_into: rhs length mismatch");
+    assert_eq!(x.len(), n, "lu_solve_into: output length mismatch");
+    assert_eq!(pivots.len(), n, "lu_solve_into: pivot length mismatch");
+    for (xi, &p) in x.iter_mut().zip(pivots) {
+        *xi = b[p];
+    }
+    substitute_in_place(lu, x);
+}
+
+/// Multi-RHS solve `out = A⁻¹ B`, column by column, using factors of `A`
+/// from [`lu_factor_into`]. `x` is caller scratch of any capacity;
+/// `out` is reshaped to `B`'s shape. This replaces the
+/// `inverse()`-then-`mul` pattern with one triangular solve per column.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if `b.rows()` differs from
+/// the factored dimension.
+pub fn lu_solve_cols_into(
+    lu: &Matrix,
+    pivots: &[usize],
+    b: &Matrix,
+    out: &mut Matrix,
+    x: &mut Vec<f64>,
+) -> Result<(), LinalgError> {
+    let n = lu.rows();
+    if b.rows() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "lu_solve_cols",
+            lhs: (n, n),
+            rhs: (b.rows(), b.cols()),
+        });
+    }
+    out.reshape(n, b.cols());
+    x.clear();
+    x.resize(n, 0.0);
+    for j in 0..b.cols() {
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi = b[(pivots[i], j)];
+        }
+        substitute_in_place(lu, x);
+        for (i, &xi) in x.iter().enumerate() {
+            out[(i, j)] = xi;
+        }
+    }
+    Ok(())
+}
+
+/// Multi-RHS right-division `out = B A⁻¹`, row by row, using factors of
+/// the **transpose** `Aᵀ` from [`lu_factor_into`] (because
+/// `X A = B  ⟺  Aᵀ Xᵀ = Bᵀ`, each row of `X` is one triangular solve
+/// against the transposed factors). `x` is caller scratch; `out` is
+/// reshaped to `B`'s shape.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if `b.cols()` differs from
+/// the factored dimension.
+pub fn lu_solve_rows_into(
+    lu_t: &Matrix,
+    pivots: &[usize],
+    b: &Matrix,
+    out: &mut Matrix,
+    x: &mut Vec<f64>,
+) -> Result<(), LinalgError> {
+    let n = lu_t.rows();
+    if b.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "lu_solve_rows",
+            lhs: (n, n),
+            rhs: (b.rows(), b.cols()),
+        });
+    }
+    out.reshape(b.rows(), n);
+    x.clear();
+    x.resize(n, 0.0);
+    for i in 0..b.rows() {
+        for (k, xk) in x.iter_mut().enumerate() {
+            *xk = b[(i, pivots[k])];
+        }
+        substitute_in_place(lu_t, x);
+        out.row_mut(i).copy_from_slice(x);
+    }
+    Ok(())
+}
+
+/// Inverse into caller storage using factors from [`lu_factor_into`].
+/// Bit-identical to [`Lu::inverse`]: each unit column is permuted and
+/// substituted in the same order.
+pub fn lu_inverse_into(lu: &Matrix, pivots: &[usize], out: &mut Matrix, x: &mut Vec<f64>) {
+    let n = lu.rows();
+    out.reshape(n, n);
+    x.clear();
+    x.resize(n, 0.0);
+    for j in 0..n {
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi = if pivots[i] == j { 1.0 } else { 0.0 };
+        }
+        substitute_in_place(lu, x);
+        for (i, &xi) in x.iter().enumerate() {
+            out[(i, j)] = xi;
+        }
     }
 }
 
@@ -224,5 +411,99 @@ mod tests {
             lu.solve(&[1.0, 2.0]),
             Err(LinalgError::DimensionMismatch { .. })
         ));
+    }
+
+    fn fixture() -> Matrix {
+        Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 1.0, -1.0], &[3.0, 0.5, 2.0]]).unwrap()
+    }
+
+    #[test]
+    fn factor_into_matches_factor_bitwise() {
+        let a = fixture();
+        let reference = Lu::factor(&a).unwrap();
+        let mut lu = Matrix::zeros(1, 1);
+        let mut piv = vec![99; 7]; // dirty, wrongly-sized scratch
+        lu_factor_into(&a, &mut lu, &mut piv).unwrap();
+        assert_eq!(lu.as_slice(), reference.lu.as_slice());
+        assert_eq!(piv, reference.pivots);
+        // Solves through the caller-owned factors are bit-identical too.
+        let b = [1.0, -2.0, 0.5];
+        let expect = reference.solve(&b).unwrap();
+        let mut x = [0.0; 3];
+        lu_solve_into(&lu, &piv, &b, &mut x);
+        assert_eq!(x.to_vec(), expect);
+    }
+
+    #[test]
+    fn factor_into_reports_same_errors_as_factor() {
+        let mut lu = Matrix::zeros(1, 1);
+        let mut piv = Vec::new();
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            lu_factor_into(&rect, &mut lu, &mut piv),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let sing = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(
+            lu_factor_into(&sing, &mut lu, &mut piv).unwrap_err(),
+            LinalgError::Singular
+        );
+        let nan = Matrix::from_rows(&[&[1.0, f64::NAN], &[0.0, 1.0]]).unwrap();
+        assert_eq!(
+            lu_factor_into(&nan, &mut lu, &mut piv).unwrap_err(),
+            LinalgError::NonFinite { site: "linalg.lu" }
+        );
+    }
+
+    #[test]
+    fn solve_cols_into_matches_inverse_mul() {
+        let a = fixture();
+        let b = Matrix::from_rows(&[&[1.0, 0.5], &[2.0, -1.0], &[0.0, 3.0]]).unwrap();
+        let mut lu = Matrix::zeros(1, 1);
+        let mut piv = Vec::new();
+        lu_factor_into(&a, &mut lu, &mut piv).unwrap();
+        let mut out = Matrix::zeros(1, 1);
+        let mut x = Vec::new();
+        lu_solve_cols_into(&lu, &piv, &b, &mut out, &mut x).unwrap();
+        // out solves A X = B: residual check is exact up to roundoff.
+        let back = a.mul(&out).unwrap();
+        assert!(back.sub(&b).unwrap().max_abs() < 1e-12, "{back:?}");
+        // Wrong-height rhs is rejected.
+        let bad = Matrix::zeros(2, 2);
+        assert!(lu_solve_cols_into(&lu, &piv, &bad, &mut out, &mut x).is_err());
+    }
+
+    #[test]
+    fn solve_rows_into_matches_right_division() {
+        let a = fixture();
+        let b = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-0.5, 0.25, 4.0]]).unwrap();
+        let at = a.transpose();
+        let mut lu_t = Matrix::zeros(1, 1);
+        let mut piv = Vec::new();
+        lu_factor_into(&at, &mut lu_t, &mut piv).unwrap();
+        let mut out = Matrix::zeros(1, 1);
+        let mut x = Vec::new();
+        lu_solve_rows_into(&lu_t, &piv, &b, &mut out, &mut x).unwrap();
+        // out solves X A = B.
+        let back = out.mul(&a).unwrap();
+        assert!(back.sub(&b).unwrap().max_abs() < 1e-12, "{back:?}");
+        let bad = Matrix::zeros(2, 2);
+        assert!(lu_solve_rows_into(&lu_t, &piv, &bad, &mut out, &mut x).is_err());
+    }
+
+    #[test]
+    fn inverse_into_is_bit_identical_to_inverse() {
+        let a = fixture();
+        let reference = Lu::factor(&a).unwrap();
+        let expect = reference.inverse().unwrap();
+        let mut lu = Matrix::zeros(1, 1);
+        let mut piv = Vec::new();
+        lu_factor_into(&a, &mut lu, &mut piv).unwrap();
+        // Dirty, wrongly-shaped output storage must not influence the result.
+        let mut out = Matrix::zeros(2, 5);
+        out[(0, 0)] = 123.0;
+        let mut x = Vec::new();
+        lu_inverse_into(&lu, &piv, &mut out, &mut x);
+        assert_eq!(out.as_slice(), expect.as_slice());
     }
 }

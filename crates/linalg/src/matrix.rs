@@ -136,12 +136,36 @@ impl Matrix {
     /// The transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut t);
+        t
+    }
+
+    /// Writes the transpose into `out`, reusing its capacity.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reshape(self.cols, self.rows);
         for i in 0..self.rows {
             for j in 0..self.cols {
-                t[(j, i)] = self[(i, j)];
+                out[(j, i)] = self[(i, j)];
             }
         }
-        t
+    }
+
+    /// Resizes to `rows x cols` and zero-fills, reusing the existing
+    /// allocation when its capacity suffices.
+    pub fn reshape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrites `self` with a copy of `src` (adopting its shape),
+    /// reusing the existing allocation when its capacity suffices.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Multiplies by a scalar, returning a new matrix.
@@ -159,8 +183,23 @@ impl Matrix {
     ///
     /// Panics if `v.len() != cols`.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.mul_vec_into(v, &mut out);
+        out
+    }
+
+    /// Matrix-vector product `self * v` written into `out`, with the same
+    /// per-row dot products as [`Matrix::mul_vec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols` or `out.len() != rows`.
+    pub fn mul_vec_into(&self, v: &[f64], out: &mut [f64]) {
         assert_eq!(v.len(), self.cols, "mul_vec: length mismatch");
-        (0..self.rows).map(|i| crate::dot(self.row(i), v)).collect()
+        assert_eq!(out.len(), self.rows, "mul_vec: output length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = crate::dot(self.row(i), v);
+        }
     }
 
     /// Row-vector-matrix product `v * self`.
@@ -169,8 +208,21 @@ impl Matrix {
     ///
     /// Panics if `v.len() != rows`.
     pub fn vec_mul(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.rows, "vec_mul: length mismatch");
         let mut out = vec![0.0; self.cols];
+        self.vec_mul_into(v, &mut out);
+        out
+    }
+
+    /// Row-vector-matrix product `v * self` written into `out`, with the
+    /// same accumulation order as [`Matrix::vec_mul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != rows` or `out.len() != cols`.
+    pub fn vec_mul_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.rows, "vec_mul: length mismatch");
+        assert_eq!(out.len(), self.cols, "vec_mul: output length mismatch");
+        out.fill(0.0);
         for (i, &vi) in v.iter().enumerate() {
             if vi == 0.0 {
                 continue;
@@ -179,7 +231,6 @@ impl Matrix {
                 *o += vi * m;
             }
         }
-        out
     }
 
     /// Matrix product `self * rhs`.
@@ -210,6 +261,36 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Matrix product `self * rhs` written into `out` (reusing its
+    /// capacity). Performs the multiplications and additions in exactly
+    /// the same order as [`Matrix::mul`], so the result is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols != rhs.rows`.
+    pub fn mul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "mul",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        out.reshape(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Element-wise addition.
     ///
     /// # Errors
@@ -217,6 +298,77 @@ impl Matrix {
     /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
     pub fn add(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
         self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// In-place element-wise addition `self += rhs`, with the same
+    /// per-element `a + b` evaluation as [`Matrix::add`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Matrix) -> Result<(), LinalgError> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Element-wise subtraction `self - rhs` written into `out` (reusing
+    /// its capacity), with the same per-element `a - b` evaluation as
+    /// [`Matrix::sub`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn sub_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "sub",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        out.reshape(self.rows, self.cols);
+        for (o, (&a, &b)) in out.data.iter_mut().zip(self.data.iter().zip(&rhs.data)) {
+            *o = a - b;
+        }
+        Ok(())
+    }
+
+    /// In-place scalar multiplication, with the same per-element `x * k`
+    /// evaluation as [`Matrix::scale`].
+    pub fn scale_assign(&mut self, k: f64) {
+        for x in &mut self.data {
+            *x *= k;
+        }
+    }
+
+    /// In-place scaled addition `self += alpha * rhs`. Each element is
+    /// updated as `a + (b * alpha)`, which is bit-identical to
+    /// `self.add(&rhs.scale(alpha))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, rhs: &Matrix) -> Result<(), LinalgError> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b * alpha;
+        }
+        Ok(())
     }
 
     /// Element-wise subtraction.
@@ -305,16 +457,31 @@ impl Matrix {
     /// Estimates the spectral radius by power iteration on `|A|`.
     ///
     /// Adequate for the nonnegative rate matrices `R` of QBD processes where
-    /// it certifies `sp(R) < 1`. Returns 0 for an empty matrix.
+    /// it certifies `sp(R) < 1`. Returns 0 for an empty matrix. `iters` is
+    /// a budget, not a mandate: the iteration exits early once the estimate
+    /// stops moving (see [`Matrix::spectral_radius_estimate_converged`]).
     pub fn spectral_radius_estimate(&self, iters: usize) -> f64 {
+        self.spectral_radius_estimate_converged(iters).0
+    }
+
+    /// Power-iteration spectral radius estimate with a relative-tolerance
+    /// early exit, returning `(estimate, iterations_taken)`.
+    ///
+    /// The iteration stops as soon as two consecutive estimates agree to a
+    /// relative tolerance of [`SPECTRAL_RADIUS_RTOL`], or when `max_iters`
+    /// is exhausted, whichever comes first. Both iteration vectors are
+    /// reused across iterations, so the whole call performs exactly two
+    /// vector allocations regardless of the budget.
+    pub fn spectral_radius_estimate_converged(&self, max_iters: usize) -> (f64, usize) {
         if self.rows == 0 || !self.is_square() {
-            return 0.0;
+            return (0.0, 0);
         }
         let n = self.rows;
         let mut v = vec![1.0 / n as f64; n];
+        let mut w = vec![0.0; n];
         let mut lambda = 0.0;
-        for _ in 0..iters {
-            let mut w = vec![0.0; n];
+        for it in 0..max_iters {
+            w.fill(0.0);
             for i in 0..n {
                 for j in 0..n {
                     w[i] += self[(i, j)].abs() * v[j];
@@ -322,17 +489,27 @@ impl Matrix {
             }
             let norm: f64 = w.iter().map(|x| x.abs()).fold(0.0, f64::max);
             if norm == 0.0 {
-                return 0.0;
+                return (0.0, it + 1);
             }
             for x in &mut w {
                 *x /= norm;
             }
+            let prev = lambda;
             lambda = norm;
-            v = w;
+            std::mem::swap(&mut v, &mut w);
+            if it > 0 && (lambda - prev).abs() <= SPECTRAL_RADIUS_RTOL * lambda.abs() {
+                return (lambda, it + 1);
+            }
         }
-        lambda
+        (lambda, max_iters)
     }
 }
+
+/// Relative tolerance for the early exit of
+/// [`Matrix::spectral_radius_estimate_converged`]: consecutive estimates
+/// agreeing to ~100 ULPs are considered converged. Tight enough that the
+/// stability check `sp(R) < 1 - 1e-9` in the QBD solver is unaffected.
+pub const SPECTRAL_RADIUS_RTOL: f64 = 1e-13;
 
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
@@ -507,6 +684,106 @@ mod tests {
     #[test]
     fn spectral_radius_zero_matrix() {
         assert_eq!(Matrix::zeros(3, 3).spectral_radius_estimate(10), 0.0);
+    }
+
+    #[test]
+    fn spectral_radius_early_exit_takes_far_fewer_iterations_than_budget() {
+        // A diagonal |A| converges in a handful of power iterations; with a
+        // huge budget the early exit must fire long before it is exhausted.
+        let a = Matrix::from_diag(&[0.5, 0.9]);
+        let (r, iters) = a.spectral_radius_estimate_converged(1_000_000);
+        assert!((r - 0.9).abs() < 1e-12, "r = {r}");
+        assert!(iters < 200, "took {iters} iterations, expected early exit");
+        // The budget is still honored as a hard cap.
+        let (_, capped) = a.spectral_radius_estimate_converged(3);
+        assert!(capped <= 3);
+    }
+
+    #[test]
+    fn spectral_radius_estimate_unchanged_on_existing_fixtures() {
+        // The early exit only fires once consecutive estimates agree to
+        // ~1e-13 relative, so the values the solver sees are the same ones
+        // the exhaustive iteration produced for the repo's fixtures.
+        let diag = Matrix::from_diag(&[0.5, 0.9]);
+        assert!((diag.spectral_radius_estimate(100) - 0.9).abs() < 1e-9);
+        let dense = m22(0.2, 0.1, 0.05, 0.3);
+        let budget = dense.spectral_radius_estimate(200);
+        let huge = dense.spectral_radius_estimate(1_000_000);
+        assert!(
+            (budget - huge).abs() <= 1e-12 * budget.abs(),
+            "estimate moved between budgets: {budget} vs {huge}"
+        );
+    }
+
+    #[test]
+    fn mul_into_is_bit_identical_to_mul() {
+        let a = m22(1.5, -2.25, 0.0, 4.125);
+        let b = m22(0.1, 0.2, 0.3, 0.4);
+        let expect = a.mul(&b).unwrap();
+        // A dirty, wrongly-shaped output buffer must not influence the result.
+        let mut out = Matrix::from_rows(&[&[7.0, 7.0, 7.0]]).unwrap();
+        a.mul_into(&b, &mut out).unwrap();
+        assert_eq!(out.as_slice(), expect.as_slice());
+        assert!(a.mul_into(&Matrix::zeros(3, 3), &mut out).is_err());
+    }
+
+    #[test]
+    fn add_assign_sub_into_scale_assign_match_allocating_ops() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(0.5, -0.25, 0.125, 8.0);
+
+        let mut acc = a.clone();
+        acc.add_assign(&b).unwrap();
+        assert_eq!(acc.as_slice(), a.add(&b).unwrap().as_slice());
+
+        let mut out = Matrix::zeros(1, 1);
+        a.sub_into(&b, &mut out).unwrap();
+        assert_eq!(out.as_slice(), a.sub(&b).unwrap().as_slice());
+
+        let mut sc = a.clone();
+        sc.scale_assign(-3.5);
+        assert_eq!(sc.as_slice(), a.scale(-3.5).as_slice());
+
+        let wrong = Matrix::zeros(3, 2);
+        assert!(acc.add_assign(&wrong).is_err());
+        assert!(a.sub_into(&wrong, &mut out).is_err());
+    }
+
+    #[test]
+    fn axpy_matches_add_of_scale() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(0.3, -0.7, 0.11, 5.0);
+        let alpha = 1.0 / 3.0;
+        let expect = a.add(&b.scale(alpha)).unwrap();
+        let mut acc = a.clone();
+        acc.axpy(alpha, &b).unwrap();
+        assert_eq!(acc.as_slice(), expect.as_slice());
+        assert!(acc.axpy(1.0, &Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn transpose_into_and_copy_from_reuse_buffers() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let mut t = Matrix::zeros(1, 1);
+        a.transpose_into(&mut t);
+        assert_eq!(t, a.transpose());
+
+        let mut c = Matrix::zeros(5, 5);
+        c.copy_from(&a);
+        assert_eq!(c, a);
+
+        let mut r = c;
+        r.reshape(2, 2);
+        assert_eq!(r.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn vec_mul_into_matches_vec_mul() {
+        let a = m22(1.0, 2.0, 0.0, 4.0);
+        let v = [0.25, -1.5];
+        let mut out = [9.0, 9.0];
+        a.vec_mul_into(&v, &mut out);
+        assert_eq!(out.to_vec(), a.vec_mul(&v));
     }
 
     #[test]

@@ -531,9 +531,7 @@ mod tests {
         let pk2 = mg1::wait_second_moment(0.6, job.moments()).unwrap();
         assert!((w.mean() - pk1).abs() / pk1 < 1e-9, "{} vs {pk1}", w.mean());
         assert!((w.moment2() - pk2).abs() / pk2 < 1e-9);
-        // Atom at zero = 1 - rho.
-        let atom = 1.0 - w.cdf(0.0);
-        let _ = atom; // cdf(0) includes the atom:
+        // cdf(0) includes the atom at zero, which equals 1 - rho.
         assert!((w.cdf(0.0) - 0.4).abs() < 1e-9, "{}", w.cdf(0.0));
     }
 

@@ -21,7 +21,7 @@ use cyclesteal_core::cache::SolveCache;
 use cyclesteal_core::stability::{self, Policy};
 use cyclesteal_core::{cs_cq, cs_id, dedicated, recover, AnalysisError, SystemParams};
 use cyclesteal_dist::{DistError, Exp, HyperExp2};
-use cyclesteal_linalg::LinalgError;
+use cyclesteal_linalg::{LinalgError, Workspace};
 use cyclesteal_markov::MarkovError;
 use cyclesteal_sim::{parallel_map_isolated, replicate, PolicyKind, SimConfig, SimParams};
 use cyclesteal_xtest::fault;
@@ -153,6 +153,14 @@ pub fn run_points(name: &str, points: &[Point], opts: &SweepOptions) -> (SweepRe
     )
 }
 
+thread_local! {
+    /// Per-worker scratch workspace for the QBD solver. One lives on each
+    /// pool thread (and one on the caller's thread for serial sweeps); the
+    /// solver resets every buffer it checks out, so reuse across points
+    /// never changes a row.
+    static WORKSPACE: std::cell::RefCell<Workspace> = std::cell::RefCell::new(Workspace::new());
+}
+
 /// Evaluates one point into its row. Points that violate the Theorem-1
 /// stability condition yield silent `None` values (the figure harness's
 /// off-the-curve cells); every other evaluation failure is attributed as
@@ -264,7 +272,12 @@ fn evaluate_analysis(point: &Point, cache: &SolveCache, row: &mut SweepRow) {
                 // CS-CQ goes through the recovery ladder: infeasible
                 // three-moment fits and exhausted R-iterations degrade the
                 // busy-period fit order before the point is declared failed.
-                let (res, rec) = recover::analyze_cs_cq_cached(&params, cache);
+                // Each worker thread owns one scratch workspace for the QBD
+                // solver; buffers are canonically reset on checkout, so rows
+                // stay bit-identical across thread counts and sweep orders.
+                let (res, rec) = WORKSPACE.with(|ws| {
+                    recover::analyze_cs_cq_cached_in(&params, cache, &mut ws.borrow_mut())
+                });
                 row.attempts = rec.attempts;
                 row.degraded = rec.degraded;
                 res.map(|r| cyclesteal_core::PolicyMeans {

@@ -37,6 +37,7 @@ pub struct Bench {
     filter: Option<String>,
     out_dir: String,
     entries: Vec<Entry>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl Bench {
@@ -55,6 +56,7 @@ impl Bench {
             filter: None,
             out_dir: ".".to_string(),
             entries: Vec::new(),
+            metrics: Vec::new(),
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -139,6 +141,16 @@ impl Bench {
         self.entries.push(entry);
     }
 
+    /// Records a named scalar metric alongside the timings — counts the
+    /// bench target measured itself (e.g. heap allocations per solve),
+    /// which, unlike wall-clock, are exactly reproducible and therefore
+    /// safe for CI to assert on. Metrics land in a `"metrics"` array in
+    /// the JSON report and ignore `--filter`.
+    pub fn metric(&mut self, id: &str, value: f64) {
+        println!("{:<52} metric {value}", id);
+        self.metrics.push((id.to_string(), value));
+    }
+
     /// Prints the footer and writes `BENCH_<name>.json`.
     ///
     /// # Panics
@@ -169,6 +181,15 @@ impl Bench {
                 e.min_ns,
                 e.max_ns,
                 if i + 1 < self.entries.len() { "," } else { "" },
+            ));
+        }
+        json.push_str("  ],\n");
+        json.push_str("  \"metrics\": [\n");
+        for (i, (id, value)) in self.metrics.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"id\": {}, \"value\": {value}}}{}\n",
+                json_str(id),
+                if i + 1 < self.metrics.len() { "," } else { "" },
             ));
         }
         json.push_str("  ]\n}\n");
@@ -257,6 +278,7 @@ mod tests {
             acc
         });
         b.bench("skipped/by_filter_no", || 0u64);
+        b.metric("allocs/selftest", 42.0);
         assert_eq!(b.entries.len(), 2);
         let e = &b.entries[0];
         assert_eq!(e.iters, 50);
@@ -267,6 +289,8 @@ mod tests {
         assert!(json.contains("\"mean_ns\""), "{json}");
         assert!(json.contains("\"p99_ns\""), "{json}");
         assert!(json.contains("spin/small"), "{json}");
+        assert!(json.contains("\"metrics\""), "{json}");
+        assert!(json.contains("{\"id\": \"allocs/selftest\", \"value\": 42}"), "{json}");
     }
 
     #[test]
