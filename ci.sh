@@ -23,6 +23,15 @@ cargo test -q -p cyclesteal-sweep --offline --test fault_injection
 echo "==> obs determinism (telemetry counts bit-identical across 1/2/8 threads)"
 cargo test -q -p cyclesteal-sweep --offline --features obs --test obs_determinism
 
+echo "==> batch differential oracle (batched QBD solves bit-identical to scalar)"
+# The batched solver is a pure performance transform; these suites are the
+# oracle. Random same-shape/mixed-shape/frontier batches shrink on failure,
+# the golden suite replays the Figure-4 sweep batched-vs-scalar at 1/2/8
+# threads, and the solver's own unit tests cover widths {1, 2, 7, 64}.
+cargo test -q --offline --test batch_vs_scalar_props
+cargo test -q --offline --test golden_batched
+cargo test -q -p cyclesteal-markov --offline batch
+
 echo "==> clippy (incl. unwrap-free non-test code in core and sweep)"
 # core and sweep deny clippy::unwrap_used outside tests; warnings anywhere
 # in the workspace are promoted to errors so the gate cannot rot.
@@ -46,6 +55,21 @@ awk -v ref="$allocs_ref" -v ws="$allocs_ws" 'BEGIN {
     if (ref == "" || ws == "" || ref <= 0) { print "kernel gate: missing alloc metrics"; exit 1 }
     printf "qbd solve heap allocations: reference %d, workspace %d (%.1fx fewer)\n", ref, ws, ref / (ws > 0 ? ws : 1)
     if (ws * 5 > ref) { print "kernel gate: workspace path must allocate >= 5x less"; exit 1 }
+}'
+
+echo "==> kernel bench: batched throughput (hard >=1.5x gate over scalar)"
+# Unlike the cross-binary wall-clock comparisons above, this ratio is
+# scalar-vs-batched inside ONE binary on the SAME 64-point Figure-4 grid,
+# so code-layout noise largely cancels; the bench asserts it too, and this
+# re-check keeps a stale or hand-edited JSON from sneaking past.
+pps_scalar=$(sed -n 's|.*"id": "points_per_sec/qbd_scalar", "value": \([0-9.]*\).*|\1|p' \
+    crates/bench/BENCH_kernels.json)
+pps_batch=$(sed -n 's|.*"id": "points_per_sec/qbd_batch", "value": \([0-9.]*\).*|\1|p' \
+    crates/bench/BENCH_kernels.json)
+awk -v scalar="$pps_scalar" -v batch="$pps_batch" 'BEGIN {
+    if (scalar == "" || batch == "" || scalar <= 0) { print "batch gate: missing points_per_sec metrics"; exit 1 }
+    printf "qbd throughput: scalar %.0f points/s, batched %.0f points/s (%.2fx)\n", scalar, batch, batch / scalar
+    if (batch < 1.5 * scalar) { print "batch gate: batched solve must clear 1.5x scalar throughput"; exit 1 }
 }'
 
 echo "==> obs zero-overhead gate (<1% compiled-but-disabled; cross-build delta informational)"

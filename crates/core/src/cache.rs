@@ -215,6 +215,14 @@ impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
         lock(&self.map).len()
     }
 
+    /// `true` when `key` has an entry (ready or pending). Used by the
+    /// sweep batch planner to skip re-solving chains a previous sweep
+    /// already seeded; a pending entry counts because its designated
+    /// computer will finish it.
+    fn contains(&self, key: &K) -> bool {
+        lock(&self.map).contains_key(key)
+    }
+
     fn hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
         obs::counter!(self.hit_label);
@@ -386,6 +394,28 @@ impl SolveCache {
         })
     }
 
+    /// `true` when a QBD solution for this chain's signature is already
+    /// memoized (or being computed). Lets the sweep batch planner dedup
+    /// against earlier sweeps through a shared cache without disturbing
+    /// the hit/miss counters.
+    pub fn has_qbd_solution(&self, qbd: &Qbd) -> bool {
+        self.solutions.contains(&qbd.signature())
+    }
+
+    /// Seeds the QBD layer with an externally computed solution (the sweep
+    /// engine's batched presolve). Runs through the same once-per-key
+    /// protocol as a cache miss — one miss is counted per distinct
+    /// signature, exactly as if the lookup had computed scalar — so the
+    /// telemetry of a presolved sweep stays deterministic. If the key is
+    /// already present the existing value wins and `sol` is discarded
+    /// (both are pure functions of the signature, hence identical).
+    pub fn seed_qbd_solution(&self, qbd: &Qbd, sol: QbdSolution) {
+        let seeded = self
+            .solutions
+            .get_or_compute(qbd.signature(), || Ok::<_, AnalysisError>(sol));
+        debug_assert!(seeded.is_ok(), "seeding cannot fail");
+    }
+
     /// Memoized whole-report analysis: `compute` runs once per key even
     /// under concurrent lookups.
     pub(crate) fn report(
@@ -488,6 +518,43 @@ mod tests {
         let b = cs_cq::analyze_cached(&p2, BusyPeriodFit::ThreeMoment, &cache).unwrap();
         assert_eq!(a.short_response.to_bits(), b.short_response.to_bits());
         assert!(cache.stats().hits >= 1);
+    }
+
+    #[test]
+    fn seeded_qbd_solution_is_served_to_the_analysis_path() {
+        let cache = SolveCache::new();
+        // Dyadic loads: snapping is the identity, so the planner's chain is
+        // exactly the chain the analysis path builds.
+        let p = SystemParams::exponential(1.25, 1.0, 0.5, 1.0).unwrap();
+        let qbd = cs_cq::plan_qbd_cached(&p, BusyPeriodFit::ThreeMoment, &cache).unwrap();
+        assert!(!cache.has_qbd_solution(&qbd));
+        let sol = qbd.solve().unwrap();
+        cache.seed_qbd_solution(&qbd, sol);
+        assert!(cache.has_qbd_solution(&qbd));
+        // Planner: 2 fit misses; seed: 1 qbd miss (the once-per-key
+        // protocol counts the seed as the key's designated compute).
+        let before = cache.stats();
+        assert_eq!((before.hits, before.misses), (0, 3), "{before:?}");
+
+        let via_cache = cs_cq::analyze_cached(&p, BusyPeriodFit::ThreeMoment, &cache).unwrap();
+        // The analysis recomputes nothing the planner covered: one report
+        // miss, and hits on both fits and the seeded QBD solution.
+        let after = cache.stats();
+        assert_eq!((after.hits, after.misses), (3, 4), "{after:?}");
+        let direct = cs_cq::analyze(&p).unwrap();
+        assert_eq!(
+            via_cache.short_response.to_bits(),
+            direct.short_response.to_bits(),
+            "a seeded solve must not move the answer"
+        );
+        assert_eq!(
+            via_cache.long_response.to_bits(),
+            direct.long_response.to_bits()
+        );
+        // Seeding an already-present key is a no-op hit, not a new miss.
+        let again = cs_cq::plan_qbd_cached(&p, BusyPeriodFit::ThreeMoment, &cache).unwrap();
+        cache.seed_qbd_solution(&again, again.solve().unwrap());
+        assert_eq!(cache.stats().misses, 4);
     }
 
     #[test]

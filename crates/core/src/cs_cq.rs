@@ -487,6 +487,45 @@ pub fn build_qbd_model(params: &SystemParams, fit: BusyPeriodFit) -> Result<Qbd,
     build_qbd(params, &chain, &bl_ph, &bn_ph, &arrivals)
 }
 
+/// Builds the CS-CQ QBD exactly as [`analyze_cached`] would build it on a
+/// cache miss — parameters snapped onto the quantization grid, busy-period
+/// fits served through the cache's fit layer — **without solving it**.
+///
+/// This is the sweep engine's batch-planner hook: the planner constructs
+/// the chain for every pending grid point, groups the chains by shape,
+/// solves each group through the batched QBD solver, and seeds the
+/// solutions back via [`SolveCache::seed_qbd_solution`]. Because the
+/// construction path is shared with [`analyze_cached_in`] down to the bit,
+/// the planned chain's [`Qbd::signature`] matches the one the evaluation
+/// path will look up.
+///
+/// # Errors
+///
+/// [`AnalysisError::Unstable`] outside Theorem 1's region (judged on the
+/// *snapped* loads, as the cached analysis does); otherwise as for
+/// [`build_qbd_model`].
+pub fn plan_qbd_cached(
+    params: &SystemParams,
+    fit: BusyPeriodFit,
+    cache: &SolveCache,
+) -> Result<Qbd, AnalysisError> {
+    let snapped = snap_params(params);
+    let (rho_s, rho_l) = (snapped.rho_s(), snapped.rho_l());
+    if !stability::is_stable(Policy::CsCq, rho_s, rho_l) {
+        return Err(AnalysisError::Unstable {
+            policy: "CS-CQ",
+            rho_s,
+            rho_l,
+            rho_s_max: stability::max_rho_s(Policy::CsCq, rho_l),
+        });
+    }
+    let (bl_ph, _) = fit_busy_period_cached(bl_moments(&snapped)?, fit, Some(cache))?;
+    let (bn_ph, _) = fit_busy_period_cached(bn_moments(&snapped)?, fit, Some(cache))?;
+    let chain = ChainLayout::new(&bl_ph, &bn_ph);
+    let arrivals = Map::poisson(snapped.lambda_s())?;
+    build_qbd(&snapped, &chain, &bl_ph, &bn_ph, &arrivals)
+}
+
 /// Moments of `B_L`: the ordinary M/G/1 busy period of long jobs.
 ///
 /// # Errors

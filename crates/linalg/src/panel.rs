@@ -1,0 +1,624 @@
+//! Structure-of-arrays panels for batched small-matrix kernels.
+//!
+//! A [`BatchPanel`] stores `batch` same-shape matrices interleaved so that
+//! entry `(i, j)` of every lane is contiguous in memory: the element of
+//! lane `b` lives at `(i * cols + j) * batch + b`. Batched kernels then
+//! run the *scalar* kernel's loop nest with one extra innermost loop over
+//! lanes, which the compiler can vectorize because consecutive lanes are
+//! consecutive in memory and carry no cross-lane dependencies.
+//!
+//! # Bit-identity contract
+//!
+//! Every kernel in this module replays, **per lane**, exactly the
+//! floating-point operation sequence of its scalar counterpart in
+//! [`crate::matrix`] / [`crate::lu`]:
+//!
+//! * [`BatchPanel::mul_into`] mirrors [`Matrix::mul_into`]: the `i → k → j`
+//!   loop order and the `a == 0.0` skip are preserved per lane (the skip
+//!   becomes a per-lane conditional add, which elides exactly the same
+//!   additions the scalar kernel skips).
+//! * [`BatchPanel::add_assign`] / [`BatchPanel::identity_minus_into`]
+//!   mirror [`Matrix::add_assign`] and `identity.sub_into(..)`: pure
+//!   elementwise maps in the same row-major order per lane.
+//! * [`lu_solve_many_into`] mirrors [`crate::lu_solve_cols_into`]'s
+//!   gather → forward/back substitution → scatter, column by column, with
+//!   the same operation order per lane (no zero-skips, division by the
+//!   diagonal in the back pass).
+//!
+//! No kernel here reassociates sums or introduces FMA, so batched results
+//! are bit-identical to scalar results — the property the batched QBD
+//! solver (`cyclesteal-markov`) and its differential test harness rely on.
+//! If a future kernel ever trades that for speed, it must document a
+//! pinned 1e-10 agreement bound here instead.
+//!
+//! Lanes are fully independent: a kernel happily computes garbage in a
+//! lane whose inputs are garbage (e.g. a batch member that already failed
+//! and fell back to the scalar path) without affecting its neighbours.
+//! Callers simply ignore dead lanes rather than masking them, keeping the
+//! inner loops branch-free.
+
+use crate::Matrix;
+
+/// `batch` same-shape matrices in structure-of-arrays (lane-interleaved)
+/// layout. See the module docs for the layout and the bit-identity
+/// contract of the kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPanel {
+    rows: usize,
+    cols: usize,
+    batch: usize,
+    data: Vec<f64>,
+}
+
+impl BatchPanel {
+    /// A zero-filled `rows x cols` panel of `batch` lanes.
+    pub fn zeros(rows: usize, cols: usize, batch: usize) -> Self {
+        BatchPanel {
+            rows,
+            cols,
+            batch,
+            data: vec![0.0; rows * cols * batch],
+        }
+    }
+
+    /// Rows of each lane matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of each lane matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of lanes.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Reshapes in place to a zero-filled `rows x cols x batch` panel,
+    /// retaining capacity. The canonical reset mirrors
+    /// [`Matrix::reshape`] so pooled panels can never leak state.
+    pub fn reshape(&mut self, rows: usize, cols: usize, batch: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.batch = batch;
+        self.data.clear();
+        self.data.resize(rows * cols * batch, 0.0);
+    }
+
+    #[inline(always)]
+    fn idx(&self, i: usize, j: usize, b: usize) -> usize {
+        (i * self.cols + j) * self.batch + b
+    }
+
+    /// Entry `(i, j)` of lane `b`.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize, b: usize) -> f64 {
+        self.data[self.idx(i, j, b)]
+    }
+
+    /// Mutable entry `(i, j)` of lane `b`.
+    #[inline(always)]
+    pub fn at_mut(&mut self, i: usize, j: usize, b: usize) -> &mut f64 {
+        let idx = self.idx(i, j, b);
+        &mut self.data[idx]
+    }
+
+    /// Copies `m` into lane `b`. Panics if shapes disagree.
+    pub fn load_lane(&mut self, b: usize, m: &Matrix) {
+        assert_eq!((m.rows(), m.cols()), (self.rows, self.cols));
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let idx = self.idx(i, j, b);
+                self.data[idx] = m[(i, j)];
+            }
+        }
+    }
+
+    /// Copies lane `b` out into `m` (reshaped to fit).
+    pub fn store_lane(&self, b: usize, m: &mut Matrix) {
+        m.reshape(self.rows, self.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                m[(i, j)] = self.at(i, j, b);
+            }
+        }
+    }
+
+    /// Largest absolute entry of lane `b`, folded in the same row-major
+    /// order as [`Matrix::max_abs`] (bit-identical for NaN-free lanes).
+    pub fn lane_max_abs(&self, b: usize) -> f64 {
+        let mut acc: f64 = 0.0;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                acc = acc.max(self.at(i, j, b).abs());
+            }
+        }
+        acc
+    }
+
+    /// `true` when every entry of lane `b` is finite.
+    pub fn lane_is_finite(&self, b: usize) -> bool {
+        let mut ok = true;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                ok &= self.at(i, j, b).is_finite();
+            }
+        }
+        ok
+    }
+
+    /// Batched matrix product `out = self * rhs`, lane by lane. Mirrors
+    /// [`Matrix::mul_into`] per lane: `i → k → j` loop order with the
+    /// `a == 0.0` skip, so every lane's result is bit-identical to the
+    /// scalar product of its lane matrices. Panics on shape mismatch.
+    pub fn mul_into(&self, rhs: &BatchPanel, out: &mut BatchPanel) {
+        assert_eq!(self.cols, rhs.rows);
+        assert_eq!(self.batch, rhs.batch);
+        out.reshape(self.rows, rhs.cols, self.batch);
+        let nb = self.batch;
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a_row = &self.data[(i * self.cols + k) * nb..(i * self.cols + k) * nb + nb];
+                for j in 0..rhs.cols {
+                    let r_row = &rhs.data[(k * rhs.cols + j) * nb..(k * rhs.cols + j) * nb + nb];
+                    let o_row =
+                        &mut out.data[(i * rhs.cols + j) * nb..(i * rhs.cols + j) * nb + nb];
+                    // Branch-free form of the scalar skip: the product is
+                    // computed unconditionally and a select keeps the old
+                    // accumulator when `a == 0.0` — per lane exactly the
+                    // additions the scalar kernel performs (an unused
+                    // product in a garbage lane is discarded, never
+                    // accumulated), but the loop body is a pure
+                    // compare-and-blend the compiler can vectorize.
+                    for b in 0..nb {
+                        let a = a_row[b];
+                        let acc = o_row[b] + a * r_row[b];
+                        o_row[b] = if a != 0.0 { acc } else { o_row[b] };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batched `self += other`, elementwise per lane in the same order as
+    /// [`Matrix::add_assign`]. Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &BatchPanel) {
+        assert_eq!(
+            (self.rows, self.cols, self.batch),
+            (other.rows, other.cols, other.batch)
+        );
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Batched `out = I - self` per lane — the scalar path's
+    /// `identity.sub_into(&u, &mut iu)` with the identity implicit.
+    pub fn identity_minus_into(&self, out: &mut BatchPanel) {
+        assert_eq!(self.rows, self.cols);
+        out.reshape(self.rows, self.cols, self.batch);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let id = if i == j { 1.0 } else { 0.0 };
+                for b in 0..self.batch {
+                    let idx = (i * self.cols + j) * self.batch + b;
+                    out.data[idx] = id - self.data[idx];
+                }
+            }
+        }
+    }
+
+    /// Drops every lane whose `alive` flag is `false`, compacting the
+    /// surviving lanes leftward **in their original order** and shrinking
+    /// the panel's batch width to the survivor count.
+    ///
+    /// Lanes are independent in every kernel, so compaction never changes
+    /// a surviving lane's bits — it only stops dead lanes from costing
+    /// work. The batched QBD solver calls this as members converge, so an
+    /// almost-drained batch iterates over a narrow panel instead of
+    /// dragging frozen lanes through every remaining iteration.
+    ///
+    /// Panics if `alive.len()` differs from the batch width.
+    pub fn retain_lanes(&mut self, alive: &[bool]) {
+        assert_eq!(alive.len(), self.batch, "retain_lanes: mask width");
+        let survivors = alive.iter().filter(|&&a| a).count();
+        if survivors == self.batch {
+            return;
+        }
+        // In-place forward compaction: the write cursor never overtakes
+        // the read position because the new stride is strictly smaller.
+        let cells = self.rows * self.cols;
+        let mut w = 0;
+        for cell in 0..cells {
+            for (b, &keep) in alive.iter().enumerate() {
+                if keep {
+                    self.data[w] = self.data[cell * self.batch + b];
+                    w += 1;
+                }
+            }
+        }
+        self.batch = survivors;
+        self.data.truncate(cells * survivors);
+    }
+
+    /// Adopts `other`'s shape and contents (capacity-retaining copy).
+    pub fn copy_from(&mut self, other: &BatchPanel) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.batch = other.batch;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+}
+
+/// Batched `lu_solve_cols_into`: solves `A_b · X_b = B_b` for every lane
+/// `b` given the panels of LU factors (`lus`, lane-interleaved like any
+/// [`BatchPanel`]) and the flat pivot store (`pivots`, lane `b`'s pivots
+/// at `pivots[b * n .. (b + 1) * n]`).
+///
+/// Per lane this replays exactly the scalar
+/// [`crate::lu_solve_cols_into`] — permuted gather, forward substitution,
+/// back substitution with the diagonal division, scatter — column by
+/// column, so each lane's solution is bit-identical to solving that lane
+/// through the scalar kernel. `x` is caller scratch (resized to
+/// `n * batch`).
+///
+/// Panics if shapes or the pivot store length disagree.
+pub fn lu_solve_many_into(
+    lus: &BatchPanel,
+    pivots: &[usize],
+    b: &BatchPanel,
+    out: &mut BatchPanel,
+    x: &mut Vec<f64>,
+) {
+    let n = lus.rows();
+    let nb = lus.batch();
+    assert_eq!(lus.cols(), n);
+    assert_eq!(b.rows(), n);
+    assert_eq!(b.batch(), nb);
+    assert_eq!(pivots.len(), n * nb);
+    let cols = b.cols();
+    out.reshape(n, cols, nb);
+    x.clear();
+    x.resize(n * nb, 0.0);
+    for j in 0..cols {
+        // Gather column j, permuted by each lane's pivots.
+        for i in 0..n {
+            for lane in 0..nb {
+                x[i * nb + lane] = b.at(pivots[lane * n + i], j, lane);
+            }
+        }
+        // Forward substitution (unit lower triangle), then back
+        // substitution — the scalar `substitute_in_place` per lane.
+        for i in 1..n {
+            for k in 0..i {
+                let lu_row = &lus.data[(i * n + k) * nb..(i * n + k) * nb + nb];
+                for lane in 0..nb {
+                    x[i * nb + lane] -= lu_row[lane] * x[k * nb + lane];
+                }
+            }
+        }
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let lu_row = &lus.data[(i * n + k) * nb..(i * n + k) * nb + nb];
+                for lane in 0..nb {
+                    x[i * nb + lane] -= lu_row[lane] * x[k * nb + lane];
+                }
+            }
+            let diag = &lus.data[(i * n + i) * nb..(i * n + i) * nb + nb];
+            for lane in 0..nb {
+                x[i * nb + lane] /= diag[lane];
+            }
+        }
+        // Scatter back into out's column j.
+        for i in 0..n {
+            for lane in 0..nb {
+                *out.at_mut(i, j, lane) = x[i * nb + lane];
+            }
+        }
+    }
+}
+
+/// Batched power-iteration spectral-radius estimate: one estimate per
+/// lane of the square `panel`, written into `out` (index-aligned with
+/// lanes).
+///
+/// Per lane this replays exactly
+/// [`Matrix::spectral_radius_estimate`](crate::Matrix::spectral_radius_estimate):
+/// the `v₀ = 1/n` start, the `|A|·v` accumulation order, the max-abs norm
+/// fold, the normalization division, and the
+/// [`SPECTRAL_RADIUS_RTOL`](crate::SPECTRAL_RADIUS_RTOL) early exit with
+/// the same `it > 0` guard — so each lane's estimate is bit-identical to
+/// the scalar call on that lane's matrix. A lane whose estimate has
+/// converged latches its result; the iteration keeps feeding the lane's
+/// slots (any garbage stays confined to the lane) and stops once every
+/// lane has latched or the budget runs out.
+///
+/// Panics if the panel is not square or `out` is not lane-aligned after
+/// resize.
+pub fn spectral_radius_many(panel: &BatchPanel, max_iters: usize, out: &mut Vec<f64>) {
+    let n = panel.rows();
+    let nb = panel.batch();
+    assert_eq!(panel.cols(), n, "spectral_radius_many: square panel");
+    out.clear();
+    out.resize(nb, 0.0);
+    if n == 0 || nb == 0 {
+        return;
+    }
+    let mut v = vec![1.0 / n as f64; n * nb];
+    let mut w = vec![0.0; n * nb];
+    let mut norm = vec![0.0f64; nb];
+    let mut lambda = vec![0.0f64; nb];
+    let mut prev = vec![0.0f64; nb];
+    let mut done = vec![false; nb];
+    for it in 0..max_iters {
+        w.fill(0.0);
+        for i in 0..n {
+            let w_row = &mut w[i * nb..(i + 1) * nb];
+            for j in 0..n {
+                let a_row = &panel.data[(i * n + j) * nb..(i * n + j) * nb + nb];
+                let v_row = &v[j * nb..(j + 1) * nb];
+                for b in 0..nb {
+                    w_row[b] += a_row[b].abs() * v_row[b];
+                }
+            }
+        }
+        norm.fill(0.0);
+        for i in 0..n {
+            let w_row = &w[i * nb..(i + 1) * nb];
+            for b in 0..nb {
+                norm[b] = norm[b].max(w_row[b].abs());
+            }
+        }
+        for (b, done_b) in done.iter_mut().enumerate() {
+            if !*done_b && norm[b] == 0.0 {
+                // The scalar kernel returns 0 on a vanished iterate.
+                out[b] = 0.0;
+                *done_b = true;
+            }
+        }
+        for i in 0..n {
+            let w_row = &mut w[i * nb..(i + 1) * nb];
+            for b in 0..nb {
+                w_row[b] /= norm[b];
+            }
+        }
+        prev.copy_from_slice(&lambda);
+        lambda.copy_from_slice(&norm);
+        std::mem::swap(&mut v, &mut w);
+        let mut all_done = true;
+        for (b, done_b) in done.iter_mut().enumerate() {
+            if !*done_b
+                && it > 0
+                && (lambda[b] - prev[b]).abs() <= crate::SPECTRAL_RADIUS_RTOL * lambda[b].abs()
+            {
+                out[b] = lambda[b];
+                *done_b = true;
+            }
+            all_done &= *done_b;
+        }
+        if all_done {
+            return;
+        }
+    }
+    for (b, done_b) in done.iter().enumerate() {
+        if !*done_b {
+            out[b] = lambda[b];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lu_factor_into, lu_solve_cols_into};
+
+    /// Deterministic pseudo-random matrix (splitmix-style hash of the
+    /// entry coordinates), well-conditioned via diagonal dominance.
+    fn test_matrix(n: usize, seed: u64, dominant: bool) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut z = seed
+                    .wrapping_add((i as u64) << 32)
+                    .wrapping_add(j as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z ^= z >> 30;
+                z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z ^= z >> 27;
+                m[(i, j)] = (z % 2000) as f64 / 1000.0 - 1.0;
+                // Sprinkle exact zeros so the mul kernel's skip branch is
+                // exercised on both sides.
+                if z % 7 == 0 {
+                    m[(i, j)] = 0.0;
+                }
+            }
+            if dominant {
+                m[(i, i)] += n as f64 + 2.0;
+            }
+        }
+        m
+    }
+
+    fn load_all(mats: &[Matrix]) -> BatchPanel {
+        let (n, c) = (mats[0].rows(), mats[0].cols());
+        let mut p = BatchPanel::zeros(n, c, mats.len());
+        for (b, m) in mats.iter().enumerate() {
+            p.load_lane(b, m);
+        }
+        p
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mats: Vec<Matrix> = (0..3).map(|s| test_matrix(4, s, false)).collect();
+        let p = load_all(&mats);
+        let mut back = Matrix::zeros(1, 1);
+        for (b, m) in mats.iter().enumerate() {
+            p.store_lane(b, &mut back);
+            assert_eq!(back.as_slice(), m.as_slice());
+        }
+    }
+
+    #[test]
+    fn batched_mul_is_bit_identical_to_scalar() {
+        for batch in [1usize, 2, 5] {
+            let lhs: Vec<Matrix> = (0..batch as u64).map(|s| test_matrix(6, s, false)).collect();
+            let rhs: Vec<Matrix> =
+                (0..batch as u64).map(|s| test_matrix(6, s + 100, false)).collect();
+            let (pl, pr) = (load_all(&lhs), load_all(&rhs));
+            let mut po = BatchPanel::zeros(1, 1, 1);
+            pl.mul_into(&pr, &mut po);
+            let mut got = Matrix::zeros(1, 1);
+            for b in 0..batch {
+                let mut want = Matrix::zeros(6, 6);
+                lhs[b].mul_into(&rhs[b], &mut want).unwrap();
+                po.store_lane(b, &mut got);
+                for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                    assert_eq!(g.to_bits(), w.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_and_identity_minus_match_scalar() {
+        let a: Vec<Matrix> = (0..3).map(|s| test_matrix(5, s, false)).collect();
+        let b: Vec<Matrix> = (0..3).map(|s| test_matrix(5, s + 7, false)).collect();
+        let mut pa = load_all(&a);
+        let pb = load_all(&b);
+        pa.add_assign(&pb);
+        let mut iu = BatchPanel::zeros(1, 1, 1);
+        pa.identity_minus_into(&mut iu);
+        let id = Matrix::identity(5);
+        let mut got = Matrix::zeros(1, 1);
+        for lane in 0..3 {
+            let mut sum = a[lane].clone();
+            sum.add_assign(&b[lane]).unwrap();
+            let mut want = Matrix::zeros(5, 5);
+            id.sub_into(&sum, &mut want).unwrap();
+            iu.store_lane(lane, &mut got);
+            for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(g.to_bits(), w.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn lu_solve_many_is_bit_identical_to_scalar() {
+        let n = 5;
+        for batch in [1usize, 2, 7] {
+            let mats: Vec<Matrix> =
+                (0..batch as u64).map(|s| test_matrix(n, s, true)).collect();
+            let rhs: Vec<Matrix> =
+                (0..batch as u64).map(|s| test_matrix(n, s + 31, false)).collect();
+            // Factor every lane through the scalar kernel; pack factors.
+            let mut lus = BatchPanel::zeros(n, n, batch);
+            let mut pivots = vec![0usize; n * batch];
+            let mut lu = Matrix::zeros(n, n);
+            let mut piv = Vec::new();
+            for (b, m) in mats.iter().enumerate() {
+                lu_factor_into(m, &mut lu, &mut piv).unwrap();
+                lus.load_lane(b, &lu);
+                pivots[b * n..(b + 1) * n].copy_from_slice(&piv);
+            }
+            let pb = load_all(&rhs);
+            let mut out = BatchPanel::zeros(1, 1, 1);
+            let mut x = Vec::new();
+            lu_solve_many_into(&lus, &pivots, &pb, &mut out, &mut x);
+            // Differential oracle: the scalar solve per lane.
+            let mut got = Matrix::zeros(1, 1);
+            for (b, m) in mats.iter().enumerate() {
+                lu_factor_into(m, &mut lu, &mut piv).unwrap();
+                let mut want = Matrix::zeros(n, n);
+                let mut xs = Vec::new();
+                lu_solve_cols_into(&lu, &piv, &rhs[b], &mut want, &mut xs).unwrap();
+                out.store_lane(b, &mut got);
+                for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                    assert_eq!(g.to_bits(), w.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_max_abs_matches_scalar_and_garbage_lanes_are_isolated() {
+        let m = test_matrix(4, 3, false);
+        let mut p = BatchPanel::zeros(4, 4, 2);
+        p.load_lane(0, &m);
+        *p.at_mut(1, 2, 1) = f64::NAN;
+        assert_eq!(p.lane_max_abs(0).to_bits(), m.max_abs().to_bits());
+        assert!(p.lane_is_finite(0));
+        assert!(!p.lane_is_finite(1));
+        // A NaN-poisoned lane must not leak into its neighbour through a
+        // batched product.
+        let mut out = BatchPanel::zeros(1, 1, 1);
+        p.mul_into(&p, &mut out);
+        assert!(out.lane_is_finite(0));
+    }
+
+    #[test]
+    fn spectral_radius_many_is_bit_identical_to_scalar() {
+        // Lanes converging at different speeds, a zero lane (norm-0 exit),
+        // and a diagonal lane (instant convergence) all latch the exact
+        // scalar estimate despite the batch iterating past their exits.
+        let mut mats: Vec<Matrix> = (0..5).map(|s| test_matrix(6, s, false)).collect();
+        mats.push(Matrix::zeros(6, 6));
+        let mut diag = Matrix::zeros(6, 6);
+        for i in 0..6 {
+            diag[(i, i)] = 0.1 + i as f64 / 10.0;
+        }
+        mats.push(diag);
+        let p = load_all(&mats);
+        let mut got = Vec::new();
+        for budget in [0usize, 1, 3, 200] {
+            spectral_radius_many(&p, budget, &mut got);
+            for (b, m) in mats.iter().enumerate() {
+                let want = m.spectral_radius_estimate(budget);
+                assert_eq!(
+                    got[b].to_bits(),
+                    want.to_bits(),
+                    "lane {b}, budget {budget}: {} vs {want}",
+                    got[b]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retain_lanes_compacts_survivors_in_order_and_bit_exact() {
+        let mats: Vec<Matrix> = (0..5).map(|s| test_matrix(4, s, false)).collect();
+        let mut p = load_all(&mats);
+        p.retain_lanes(&[true, false, true, true, false]);
+        assert_eq!(p.batch(), 3);
+        let mut got = Matrix::zeros(1, 1);
+        for (lane, orig) in [0usize, 2, 3].iter().enumerate() {
+            p.store_lane(lane, &mut got);
+            for (g, w) in got.as_slice().iter().zip(mats[*orig].as_slice()) {
+                assert_eq!(g.to_bits(), w.to_bits());
+            }
+        }
+        // Compacted panels multiply bit-identically to narrow-built ones.
+        let narrow = load_all(&[mats[0].clone(), mats[2].clone(), mats[3].clone()]);
+        let (mut a, mut b) = (BatchPanel::zeros(1, 1, 1), BatchPanel::zeros(1, 1, 1));
+        p.mul_into(&p, &mut a);
+        narrow.mul_into(&narrow, &mut b);
+        assert_eq!(a, b);
+        // All-survivor and no-survivor edges.
+        p.retain_lanes(&[true, true, true]);
+        assert_eq!(p.batch(), 3);
+        p.retain_lanes(&[false, false, false]);
+        assert_eq!(p.batch(), 0);
+    }
+
+    #[test]
+    fn reshape_resets_to_canonical_zero() {
+        let mut p = BatchPanel::zeros(2, 2, 2);
+        *p.at_mut(0, 0, 0) = 9.0;
+        p.reshape(3, 2, 4);
+        assert_eq!((p.rows(), p.cols(), p.batch()), (3, 2, 4));
+        assert!((0..3).all(|i| (0..2).all(|j| (0..4).all(|b| p.at(i, j, b) == 0.0))));
+    }
+}

@@ -22,6 +22,7 @@
 //! [`take_vec`]: Workspace::take_vec
 //! [`take_idx`]: Workspace::take_idx
 
+use crate::panel::BatchPanel;
 use crate::Matrix;
 
 /// A pool of reusable matrices, index lists, and vectors.
@@ -51,6 +52,7 @@ pub struct Workspace {
     mats: Vec<Matrix>,
     idxs: Vec<Vec<usize>>,
     vecs: Vec<Vec<f64>>,
+    panels: Vec<BatchPanel>,
 }
 
 impl Workspace {
@@ -110,9 +112,27 @@ impl Workspace {
         self.vecs.push(v);
     }
 
+    /// Borrows a zero-filled `rows x cols x batch` SoA panel from the
+    /// pool. Like every `take_*`, the buffer is canonically reset so the
+    /// batched solvers stay bit-identical regardless of pool history.
+    pub fn take_panel(&mut self, rows: usize, cols: usize, batch: usize) -> BatchPanel {
+        match self.panels.pop() {
+            Some(mut p) => {
+                p.reshape(rows, cols, batch);
+                p
+            }
+            None => BatchPanel::zeros(rows, cols, batch),
+        }
+    }
+
+    /// Returns a panel to the pool, retaining its capacity.
+    pub fn give_panel(&mut self, p: BatchPanel) {
+        self.panels.push(p);
+    }
+
     /// Number of currently pooled (idle) buffers across all kinds.
     pub fn pooled(&self) -> usize {
-        self.mats.len() + self.idxs.len() + self.vecs.len()
+        self.mats.len() + self.idxs.len() + self.vecs.len() + self.panels.len()
     }
 }
 

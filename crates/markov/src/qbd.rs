@@ -19,8 +19,8 @@
 //! a process with the number of short jobs as the level.
 
 use cyclesteal_linalg::{
-    lu_factor_into, lu_inverse_into, lu_solve_cols_into, lu_solve_into, lu_solve_rows_into,
-    max_abs_diff, Matrix, Workspace,
+    lu_factor_into, lu_inverse_into, lu_solve_cols_into, lu_solve_into, lu_solve_many_into,
+    lu_solve_rows_into, max_abs_diff, spectral_radius_many, Matrix, Workspace,
 };
 
 use crate::MarkovError;
@@ -361,6 +361,264 @@ impl Qbd {
         sol
     }
 
+    /// Solves a batch of **same-shape** QBDs in lockstep, sharing the
+    /// logarithmic-reduction iteration across the batch through the
+    /// structure-of-arrays kernels of `cyclesteal_linalg` (batched panel
+    /// products plus [`lu_solve_many_into`]).
+    ///
+    /// # Bit-identity contract
+    ///
+    /// Every batched kernel replays, per lane, exactly the scalar kernel's
+    /// floating-point operation sequence (see `cyclesteal_linalg::panel`),
+    /// and each lane converges, freezes, and error-exits on its own
+    /// per-lane tests — so the result for every batch member is
+    /// **bit-identical** to [`Qbd::solve_in`] on that member alone,
+    /// regardless of batch size or composition. Lanes that leave the
+    /// batched fast path for any reason (injected `qbd.solve` fault,
+    /// drift-ratio instability, a singular intermediate factorization,
+    /// divergence to non-finite values, or exhausting [`LR_MAX_ITER`]) are
+    /// replayed wholesale through the scalar [`Qbd::solve_in`] — fallback
+    /// ladder included — which reproduces the scalar result and telemetry
+    /// for that lane exactly. The batch layer is therefore a pure
+    /// optimization with the scalar pipeline as its differential oracle.
+    ///
+    /// Batches of size ≤ 1 and mixed-shape batches degenerate to per-point
+    /// [`Qbd::solve_in`] calls.
+    ///
+    /// The returned vector is index-aligned with `qbds`; the
+    /// `markov.qbd.solve` counter is emitted exactly once per member
+    /// (matching a scalar per-point run), with one `markov.qbd.solve_batch`
+    /// counter per batched group.
+    pub fn solve_batch_in(
+        qbds: &[&Qbd],
+        ws: &mut Workspace,
+    ) -> Vec<Result<QbdSolution, MarkovError>> {
+        let same_shape = qbds.windows(2).all(|w| {
+            w[0].boundary_dim() == w[1].boundary_dim() && w[0].phase_dim() == w[1].phase_dim()
+        });
+        if qbds.len() <= 1 || !same_shape {
+            return qbds.iter().map(|q| q.solve_in(ws)).collect();
+        }
+        cyclesteal_obs::span!("markov.qbd.solve_batch");
+        cyclesteal_obs::counter!("markov.qbd.solve_batch");
+        let nb = qbds.len();
+        let m = qbds[0].phase_dim();
+
+        let mut results: Vec<Option<Result<QbdSolution, MarkovError>>> = Vec::with_capacity(nb);
+        results.resize_with(nb, || None);
+        let mut gs: Vec<Option<Matrix>> = Vec::with_capacity(nb);
+        gs.resize_with(nb, || None);
+
+        // Per-lane scalar preamble — the precheck and the H₀/L₀ init of
+        // `logred_g_in`, replayed exactly — loaded into the SoA panels.
+        // Lanes are packed densely from the start: `lane_ids[lane]` maps a
+        // panel lane back to its member index, and as members converge or
+        // fall back the surviving lanes are compacted leftward
+        // ([`BatchPanel::retain_lanes`]) so the panel kernels only ever
+        // touch live lanes. Compaction cannot change a lane's bits — every
+        // kernel is per-lane independent — it only sheds dead work.
+        let mut h_panel = ws.take_panel(m, m, nb);
+        let mut l_panel = ws.take_panel(m, m, nb);
+        let mut lane_ids: Vec<usize> = Vec::with_capacity(nb);
+        {
+            let mut tmp = ws.take_mat(m, m);
+            let mut lu = ws.take_mat(m, m);
+            let mut piv = ws.take_idx();
+            let mut x = ws.take_vec(m);
+            let mut h = ws.take_mat(m, m);
+            let mut l = ws.take_mat(m, m);
+            for (b, q) in qbds.iter().enumerate() {
+                let init = q.attempt_precheck().and_then(|()| {
+                    tmp.copy_from(&q.a1);
+                    tmp.scale_assign(-1.0);
+                    lu_factor_into(&tmp, &mut lu, &mut piv)?;
+                    lu_solve_cols_into(&lu, &piv, &q.a0, &mut h, &mut x)?;
+                    lu_solve_cols_into(&lu, &piv, &q.a2, &mut l, &mut x)?;
+                    Ok(())
+                });
+                match init {
+                    Ok(()) => {
+                        h_panel.load_lane(lane_ids.len(), &h);
+                        l_panel.load_lane(lane_ids.len(), &l);
+                        lane_ids.push(b);
+                    }
+                    // Any preamble failure — injected fault, drift-ratio
+                    // instability, singular A1 — replays through the full
+                    // scalar ladder, which reproduces the scalar outcome
+                    // (fault sites re-fire deterministically per scope).
+                    Err(_) => results[b] = Some(q.solve_in(ws)),
+                }
+            }
+            ws.give_mat(tmp);
+            ws.give_mat(lu);
+            ws.give_idx(piv);
+            ws.give_vec(x);
+            ws.give_mat(h);
+            ws.give_mat(l);
+        }
+        if lane_ids.len() < nb {
+            let mut prefix = vec![false; nb];
+            prefix[..lane_ids.len()].fill(true);
+            h_panel.retain_lanes(&prefix);
+            l_panel.retain_lanes(&prefix);
+        }
+
+        let mut g_panel = ws.take_panel(m, m, nb);
+        g_panel.copy_from(&l_panel);
+        let mut t_panel = ws.take_panel(m, m, nb);
+        t_panel.copy_from(&h_panel);
+        let mut u_panel = ws.take_panel(m, m, nb);
+        let mut iu_panel = ws.take_panel(m, m, nb);
+        let mut tmp_panel = ws.take_panel(m, m, nb);
+        let mut tmp2_panel = ws.take_panel(m, m, nb);
+        let mut lup_panel = ws.take_panel(m, m, nb);
+        let mut pivots = ws.take_idx();
+        let mut xs = ws.take_vec(m * nb);
+        let mut iu_lane = ws.take_mat(m, m);
+        let mut lu_lane = ws.take_mat(m, m);
+        let mut piv_lane = ws.take_idx();
+
+        for iter in 0..LR_MAX_ITER {
+            let live = lane_ids.len();
+            if live == 0 {
+                break;
+            }
+            // U = H·L + L·H; refactor (I − U) per live lane.
+            h_panel.mul_into(&l_panel, &mut u_panel);
+            l_panel.mul_into(&h_panel, &mut tmp_panel);
+            u_panel.add_assign(&tmp_panel);
+            u_panel.identity_minus_into(&mut iu_panel);
+            // Per-iteration per-lane factor store. The reshape zero-fills,
+            // so a lane whose factorization fails below leaves harmless
+            // zeros (division by a 0.0 diagonal yields non-finite garbage
+            // confined to that lane, which is dropped at compaction).
+            lup_panel.reshape(m, m, live);
+            pivots.clear();
+            pivots.resize(m * live, 0);
+            let mut alive = vec![true; live];
+            for lane in 0..live {
+                iu_panel.store_lane(lane, &mut iu_lane);
+                match lu_factor_into(&iu_lane, &mut lu_lane, &mut piv_lane) {
+                    Ok(()) => {
+                        lup_panel.load_lane(lane, &lu_lane);
+                        pivots[lane * m..(lane + 1) * m].copy_from_slice(&piv_lane);
+                    }
+                    Err(_) => {
+                        // The scalar path hits the same singular factor at
+                        // the same iteration; replay it wholesale.
+                        alive[lane] = false;
+                        results[lane_ids[lane]] = Some(qbds[lane_ids[lane]].solve_in(ws));
+                    }
+                }
+            }
+            h_panel.mul_into(&h_panel, &mut tmp_panel);
+            lu_solve_many_into(&lup_panel, &pivots, &tmp_panel, &mut h_panel, &mut xs);
+            l_panel.mul_into(&l_panel, &mut tmp_panel);
+            lu_solve_many_into(&lup_panel, &pivots, &tmp_panel, &mut l_panel, &mut xs);
+            t_panel.mul_into(&l_panel, &mut tmp_panel); // inc = T·L
+            g_panel.add_assign(&tmp_panel);
+            t_panel.mul_into(&h_panel, &mut tmp2_panel);
+            std::mem::swap(&mut t_panel, &mut tmp2_panel);
+            for lane in 0..live {
+                if !alive[lane] {
+                    continue;
+                }
+                // Same per-lane tests, in the same order, as the scalar
+                // iteration: non-finite G/T first, then the G-increment
+                // residual.
+                if !g_panel.lane_is_finite(lane) || !t_panel.lane_is_finite(lane) {
+                    alive[lane] = false;
+                    results[lane_ids[lane]] = Some(qbds[lane_ids[lane]].solve_in(ws));
+                    continue;
+                }
+                if tmp_panel.lane_max_abs(lane) < FP_TOL {
+                    cyclesteal_obs::histogram!("markov.qbd.lr_iters", iter as u64 + 1);
+                    let mut g = ws.take_mat(m, m);
+                    g_panel.store_lane(lane, &mut g);
+                    gs[lane_ids[lane]] = Some(g);
+                    alive[lane] = false;
+                }
+            }
+            if alive.iter().any(|a| !*a) {
+                h_panel.retain_lanes(&alive);
+                l_panel.retain_lanes(&alive);
+                g_panel.retain_lanes(&alive);
+                t_panel.retain_lanes(&alive);
+                let mut keep = alive.iter();
+                lane_ids.retain(|_| *keep.next().expect("mask covers every lane"));
+            }
+        }
+        // Lanes that exhausted LR_MAX_ITER: the scalar path raises
+        // NoConvergence and ladders into functional iteration; replay it.
+        for &b in &lane_ids {
+            results[b] = Some(qbds[b].solve_in(ws));
+        }
+        ws.give_panel(h_panel);
+        ws.give_panel(l_panel);
+        ws.give_panel(g_panel);
+        ws.give_panel(t_panel);
+        ws.give_panel(u_panel);
+        ws.give_panel(iu_panel);
+        ws.give_panel(tmp_panel);
+        ws.give_panel(tmp2_panel);
+        ws.give_panel(lup_panel);
+        ws.give_idx(pivots);
+        ws.give_vec(xs);
+        ws.give_mat(iu_lane);
+        ws.give_mat(lu_lane);
+        ws.give_idx(piv_lane);
+
+        // Converged lanes run the tail of [`Qbd::attempt_in`]'s
+        // logarithmic-reduction branch from their own `G`: `R = A0 ·
+        // (−(A1 + A0·G))⁻¹` per lane, one **batched** spectral-radius
+        // certificate over all the `R`s (bit-identical per lane — see
+        // [`spectral_radius_many`]), then the scalar boundary solve. No
+        // step here can raise `NoConvergence`, so errors surface directly,
+        // exactly as `solve_in` surfaces non-`NoConvergence` attempt
+        // errors without entering the fallback ladder. One
+        // `markov.qbd.solve` counter fires per member, batched or not —
+        // parity with a scalar per-point run (fallback lanes are counted
+        // inside their `solve_in` replay).
+        let mut rs: Vec<(usize, Matrix)> = Vec::new();
+        for (b, g) in gs.into_iter().enumerate() {
+            if let Some(g) = g {
+                match qbds[b].r_from_g_in(g, ws) {
+                    Ok(r) => rs.push((b, r)),
+                    Err(e) => {
+                        cyclesteal_obs::counter!("markov.qbd.solve");
+                        results[b] = Some(Err(e));
+                    }
+                }
+            }
+        }
+        if !rs.is_empty() {
+            let mut r_panel = ws.take_panel(m, m, rs.len());
+            for (lane, (_, r)) in rs.iter().enumerate() {
+                r_panel.load_lane(lane, r);
+            }
+            let mut sps = ws.take_vec(rs.len());
+            spectral_radius_many(&r_panel, 200, &mut sps);
+            ws.give_panel(r_panel);
+            for ((b, r), &sp) in rs.into_iter().zip(&sps) {
+                let res = if sp >= STABILITY_MARGIN {
+                    Err(MarkovError::Unstable {
+                        spectral_radius: sp,
+                    })
+                } else {
+                    qbds[b].boundary_solve_in(&r, ws)
+                };
+                ws.give_mat(r);
+                cyclesteal_obs::counter!("markov.qbd.solve");
+                results[b] = Some(res);
+            }
+            ws.give_vec(sps);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch lane resolves to a result"))
+            .collect()
+    }
+
     /// One allocating solve attempt (see [`Qbd::solve_reference`]).
     fn attempt_reference(&self, alg: RAlgorithm, fi_cap: usize) -> Result<QbdSolution, MarkovError> {
         self.attempt_precheck()?;
@@ -430,8 +688,16 @@ impl Qbd {
     }
 
     fn r_logarithmic_reduction_in(&self, ws: &mut Workspace) -> Result<Matrix, MarkovError> {
-        let m = self.phase_dim();
         let g = self.logred_g_in(ws)?;
+        self.r_from_g_in(g, ws)
+    }
+
+    /// The tail of the logarithmic-reduction pipeline: `R` from a converged
+    /// `G` via `R = A0 · (−(A1 + A0 G))⁻¹`. Consumes `g` (returned to the
+    /// pool). Shared by the scalar and the batched solvers so both compute
+    /// bit-identical `R` matrices from the same `G`.
+    fn r_from_g_in(&self, g: Matrix, ws: &mut Workspace) -> Result<Matrix, MarkovError> {
+        let m = self.phase_dim();
         // inner = −(A1 + A0·G)
         let mut inner = ws.take_mat(m, m);
         self.a0.mul_into(&g, &mut inner)?;
@@ -1307,6 +1573,103 @@ mod tests {
         // And for the multi-phase fixture, n - 1 = 2.
         let sol = mph1_qbd(0.4).solve().unwrap();
         assert_eq!(sol.normalization_pivot(), 2);
+    }
+
+    /// Asserts every batch member's outcome is bit-identical to solving it
+    /// alone through the scalar path (values via `to_bits`; errors via
+    /// their rendered messages, which carry kind and diagnostics).
+    fn assert_batch_matches_scalar(qbds: &[Qbd]) {
+        let refs: Vec<&Qbd> = qbds.iter().collect();
+        let mut ws = Workspace::new();
+        let batch = Qbd::solve_batch_in(&refs, &mut ws);
+        assert_eq!(batch.len(), qbds.len());
+        for (i, (q, got)) in qbds.iter().zip(batch.iter()).enumerate() {
+            let want = q.solve_in(&mut Workspace::new());
+            match (got, &want) {
+                (Ok(g), Ok(w)) => {
+                    let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(g.boundary()), bits(w.boundary()), "lane {i} boundary");
+                    assert_eq!(bits(g.pi0()), bits(w.pi0()), "lane {i} pi0");
+                    assert_eq!(
+                        bits(g.r().as_slice()),
+                        bits(w.r().as_slice()),
+                        "lane {i} R"
+                    );
+                    assert_eq!(
+                        g.normalization_pivot(),
+                        w.normalization_pivot(),
+                        "lane {i} pivot"
+                    );
+                }
+                (Err(g), Err(w)) => assert_eq!(g.to_string(), w.to_string(), "lane {i} error"),
+                (g, w) => panic!("lane {i}: batch {g:?} vs scalar {w:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_solve_is_bit_identical_to_scalar_across_sizes() {
+        for size in [1usize, 2, 7, 64] {
+            let qbds: Vec<Qbd> = (0..size)
+                .map(|i| mph1_qbd(0.05 + 0.5 * i as f64 / size.max(2) as f64))
+                .collect();
+            assert_batch_matches_scalar(&qbds);
+        }
+    }
+
+    #[test]
+    fn mixed_shape_batch_degenerates_to_scalar() {
+        // 1-phase M/M/1 chains mixed with 2-phase M/PH/1 chains: the batch
+        // entry point must fall back to per-point scalar solves and still
+        // return index-aligned, bit-identical results.
+        let qbds = vec![mm1(0.7, 1.0), mph1_qbd(0.4), mm1(0.3, 1.0), mph1_qbd(0.55)];
+        assert_batch_matches_scalar(&qbds);
+    }
+
+    #[test]
+    fn unstable_member_fails_alone_without_poisoning_the_batch() {
+        // rho = 1.7 * 0.7 > 1: the middle lane is unstable and must report
+        // exactly the scalar Unstable error while its batch-mates solve to
+        // the bit.
+        let qbds = vec![mph1_qbd(0.2), mph1_qbd(0.7), mph1_qbd(0.5)];
+        let refs: Vec<&Qbd> = qbds.iter().collect();
+        let results = Qbd::solve_batch_in(&refs, &mut Workspace::new());
+        assert!(results[0].is_ok() && results[2].is_ok());
+        assert!(matches!(results[1], Err(MarkovError::Unstable { .. })));
+        assert_batch_matches_scalar(&qbds);
+    }
+
+    #[test]
+    fn batch_reuses_a_dirty_workspace_bit_identically() {
+        let qbds: Vec<Qbd> = (0..5).map(|i| mph1_qbd(0.1 + 0.08 * i as f64)).collect();
+        let refs: Vec<&Qbd> = qbds.iter().collect();
+        let fresh = Qbd::solve_batch_in(&refs, &mut Workspace::new());
+        let mut ws = Workspace::new();
+        mm1(0.5, 1.0).solve_in(&mut ws).unwrap(); // dirty the pool
+        Qbd::solve_batch_in(&refs, &mut ws);
+        let reused = Qbd::solve_batch_in(&refs, &mut ws);
+        for (a, b) in fresh.iter().zip(reused.iter()) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.boundary(), b.boundary());
+            assert_eq!(a.r().as_slice(), b.r().as_slice());
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn injected_fault_hits_every_lane_of_a_batch_identically_to_scalar() {
+        use cyclesteal_xtest::fault;
+
+        let qbds: Vec<Qbd> = (0..3).map(|i| mph1_qbd(0.2 + 0.1 * i as f64)).collect();
+        let armed = fault::arm(fault::FaultPlan::new(5, 1.0, &["qbd.solve"]));
+        let _scope = fault::Scope::enter("qbd-batch-unit");
+        // All lanes share the ambient fault scope, so every lane's precheck
+        // fires and replays the scalar ladder — the batch must reproduce
+        // the scalar FallbackExhausted errors exactly.
+        assert_batch_matches_scalar(&qbds);
+        drop(_scope);
+        drop(armed);
+        assert_batch_matches_scalar(&qbds);
     }
 
     #[test]

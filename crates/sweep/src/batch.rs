@@ -1,0 +1,225 @@
+//! The batch presolve planner: groups a sweep's pending CS-CQ analysis
+//! points by QBD shape and solves each group through the batched
+//! factor-once/solve-many pipeline ([`Qbd::solve_batch_in`]) **before**
+//! the per-point evaluation phase, seeding the shared [`SolveCache`] so
+//! evaluation finds every chain already solved.
+//!
+//! # Why this cannot change a report
+//!
+//! The batched solver is bit-identical to the scalar [`Qbd::solve_in`]
+//! per lane (every batched kernel replays the scalar floating-point
+//! sequence, and every convergence/fallback decision is per-lane — see
+//! `cyclesteal_markov::qbd`), and the planner builds each chain through
+//! [`cs_cq::plan_qbd_cached`], the exact construction path the cached
+//! evaluation uses on a miss. A seeded solution is therefore the same
+//! bits evaluation would have computed itself; the presolve phase is a
+//! pure reordering of work. Error results are never seeded — a failing
+//! point re-runs the scalar pipeline (recovery ladder included) during
+//! evaluation and gets its ordinary attributed failure record.
+//!
+//! Points with a planned fault on their scope are skipped wholesale:
+//! faulted points bypass the shared cache during evaluation (see the
+//! engine), so presolving them would be wasted work at best and at worst
+//! would let a clean presolve mask an injection site.
+
+use cyclesteal_core::cache::SolveCache;
+use cyclesteal_core::cs_cq::{self, BusyPeriodFit};
+use cyclesteal_core::stability::{self, Policy};
+use cyclesteal_core::SystemParams;
+use cyclesteal_linalg::Workspace;
+use cyclesteal_markov::Qbd;
+use cyclesteal_xtest::fault;
+
+use crate::grid::{Evaluator, Point};
+use crate::report::SweepRow;
+
+/// Largest number of chains solved in one batched lockstep group. Chosen
+/// to keep the per-iteration SoA panels (9 of `m x m x batch` doubles)
+/// comfortably inside L2 for the paper's chain sizes.
+const MAX_BATCH: usize = 64;
+
+/// What the batch presolve phase did, surfaced through
+/// [`SweepMetrics::batch`](crate::SweepMetrics::batch). Purely
+/// informational — the report is bit-identical whether or not a presolve
+/// ran at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// CS-CQ analysis points that passed the stability precheck and had
+    /// no fault planned on their scope (the planner's candidates,
+    /// counted before deduplication).
+    pub eligible: usize,
+    /// Distinct chain signatures planned and not already cached — the
+    /// solves the presolve phase actually performed.
+    pub unique: usize,
+    /// Same-shape groups (≥ 2 chains) dispatched to the batched solver.
+    pub batches: usize,
+    /// Chains solved inside those batched groups.
+    pub batched: usize,
+    /// Chains whose shape group degenerated to a single member and were
+    /// solved through the scalar path instead.
+    pub scalar: usize,
+    /// Successful solutions seeded into the shared cache (failed solves
+    /// are never seeded; evaluation re-attributes them scalar-side).
+    pub seeded: usize,
+    /// Otherwise-eligible points skipped because the armed fault plan
+    /// targets their scope.
+    pub skipped_faulted: usize,
+}
+
+/// Plans and presolves the batchable chains of `points`, seeding `cache`.
+///
+/// Runs serially on the caller's thread (the engine invokes it before the
+/// evaluation phase fans out), so the stats — like everything else about
+/// the presolve — are independent of the sweep's thread count.
+pub(crate) fn presolve(points: &[Point], cache: &SolveCache, ws: &mut Workspace) -> BatchStats {
+    let mut stats = BatchStats::default();
+    let mut planned: Vec<Qbd> = Vec::new();
+    for point in points {
+        if point.evaluator != Evaluator::Analysis || point.policy != Policy::CsCq {
+            continue;
+        }
+        // Same Theorem-1 precheck as the evaluator: genuinely unstable
+        // points never reach the QBD solver at all.
+        if !stability::is_stable(Policy::CsCq, point.rho_s, point.rho_l) {
+            continue;
+        }
+        if fault::planned_site(&SweepRow::id_of(point)).is_some() {
+            stats.skipped_faulted += 1;
+            continue;
+        }
+        stats.eligible += 1;
+        let Ok(params) = SystemParams::from_loads(
+            point.rho_s,
+            point.mean_s,
+            point.rho_l,
+            point.long.moments(),
+        ) else {
+            // Evaluation attributes the parameter failure; nothing to plan.
+            continue;
+        };
+        // The first rung of the recovery ladder — the fit the evaluator
+        // will try first; deeper rungs are rare and stay scalar.
+        let Ok(qbd) = cs_cq::plan_qbd_cached(&params, BusyPeriodFit::ThreeMoment, cache) else {
+            continue;
+        };
+        if !cache.has_qbd_solution(&qbd) {
+            planned.push(qbd);
+        }
+    }
+
+    // Canonical order: group same-shape chains together, deduplicate by
+    // signature. Sorting by (shape, signature) makes the grouping — and
+    // therefore every stat — independent of the input permutation;
+    // batch *composition* cannot affect results because every batched
+    // kernel is per-lane independent.
+    planned.sort_by_key(|q| (q.boundary_dim(), q.phase_dim(), q.signature()));
+    planned.dedup_by_key(|q| q.signature());
+    stats.unique = planned.len();
+
+    let mut group = planned.as_slice();
+    while let Some(first) = group.first() {
+        let shape = (first.boundary_dim(), first.phase_dim());
+        let len = group
+            .iter()
+            .take_while(|q| (q.boundary_dim(), q.phase_dim()) == shape)
+            .count();
+        let (shaped, rest) = group.split_at(len);
+        group = rest;
+        for chunk in shaped.chunks(MAX_BATCH) {
+            if chunk.len() >= 2 {
+                stats.batches += 1;
+                stats.batched += chunk.len();
+            } else {
+                stats.scalar += chunk.len();
+            }
+            let refs: Vec<&Qbd> = chunk.iter().collect();
+            let results = Qbd::solve_batch_in(&refs, ws);
+            for (qbd, result) in chunk.iter().zip(results) {
+                if let Ok(sol) = result {
+                    cache.seed_qbd_solution(qbd, sol);
+                    stats.seeded += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpec;
+
+    fn cs_cq_points() -> Vec<Point> {
+        let mut spec = GridSpec::analysis(
+            "batch_unit",
+            vec![0.3, 0.5, 0.7, 0.9, 1.1],
+            vec![0.3, 0.5],
+        );
+        spec.policies = vec![Policy::CsCq];
+        spec.points()
+    }
+
+    #[test]
+    fn presolve_seeds_every_eligible_chain_once() {
+        let points = cs_cq_points();
+        let cache = SolveCache::new();
+        let mut ws = Workspace::new();
+        let stats = presolve(&points, &cache, &mut ws);
+        assert_eq!(stats.eligible, points.len(), "all points stable and CS-CQ");
+        assert!(stats.unique > 0);
+        assert_eq!(stats.batched + stats.scalar, stats.unique);
+        assert_eq!(stats.seeded, stats.unique, "every planned chain solves cleanly");
+        assert_eq!(stats.skipped_faulted, 0);
+        // A second presolve over the same grid finds everything cached.
+        let again = presolve(&points, &cache, &mut ws);
+        assert_eq!(again.eligible, points.len());
+        assert_eq!(again.unique, 0);
+        assert_eq!(again.seeded, 0);
+        assert_eq!(again.batches, 0);
+    }
+
+    #[test]
+    fn non_cs_cq_and_unstable_points_are_not_planned() {
+        let mut spec = GridSpec::analysis("filters", vec![0.5, 2.5], vec![0.5]);
+        spec.policies = vec![Policy::Dedicated, Policy::CsId, Policy::CsCq];
+        let cache = SolveCache::new();
+        let mut ws = Workspace::new();
+        let stats = presolve(&spec.points(), &cache, &mut ws);
+        // Only the stable CS-CQ point (rho_s = 0.5) qualifies; rho_s = 2.5
+        // is past the frontier at rho_l = 0.5.
+        assert_eq!(stats.eligible, 1);
+        assert_eq!(stats.unique, 1);
+        assert_eq!(stats.scalar, 1, "a lone chain degenerates to scalar");
+        assert_eq!(stats.batches, 0);
+    }
+
+    #[test]
+    fn presolve_stats_are_input_order_independent() {
+        let mut fwd = cs_cq_points();
+        let cache_a = SolveCache::new();
+        let cache_b = SolveCache::new();
+        let mut ws = Workspace::new();
+        let a = presolve(&fwd, &cache_a, &mut ws);
+        fwd.reverse();
+        let b = presolve(&fwd, &cache_b, &mut ws);
+        assert_eq!(a, b);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn fault_planned_points_are_skipped() {
+        use cyclesteal_xtest::fault::FaultPlan;
+        let points = cs_cq_points();
+        // Rate 1.0: every scope draws a fault, so every point is skipped.
+        let plan = FaultPlan::new(7, 1.0, &["qbd.solve"]);
+        let _armed = fault::arm(plan);
+        let cache = SolveCache::new();
+        let mut ws = Workspace::new();
+        let stats = presolve(&points, &cache, &mut ws);
+        assert_eq!(stats.skipped_faulted, points.len());
+        assert_eq!(stats.eligible, 0);
+        assert_eq!(stats.unique, 0);
+        assert_eq!(stats.seeded, 0);
+    }
+}

@@ -26,11 +26,14 @@ use cyclesteal_markov::MarkovError;
 use cyclesteal_sim::{parallel_map_isolated, replicate, PolicyKind, SimConfig, SimParams};
 use cyclesteal_xtest::fault;
 
+use crate::batch::{self, BatchStats};
 use crate::grid::{Evaluator, GridSpec, Point};
 use crate::report::{FailureCounts, FailureKind, SweepMetrics, SweepReport, SweepRow};
 
 /// Execution knobs of a sweep run. Only wall-clock time depends on them —
-/// never the report.
+/// never the report: the batched presolve is bit-identical to the scalar
+/// pipeline (see [`crate::BatchStats`]), so `batch` on/off, like thread
+/// count and chunking, cannot move a single row.
 #[derive(Debug, Clone, Default)]
 pub struct SweepOptions {
     /// Worker threads (`0` or `1` = serial on the calling thread).
@@ -39,14 +42,20 @@ pub struct SweepOptions {
     pub chunk: usize,
     /// A cache to reuse across runs; a fresh one is created when `None`.
     pub cache: Option<Arc<SolveCache>>,
+    /// When `true`, a serial presolve phase groups the sweep's CS-CQ
+    /// chains by shape and solves them through the batched
+    /// factor-once/solve-many pipeline before evaluation fans out.
+    pub batch: bool,
 }
 
 impl SweepOptions {
-    /// Options with `threads` workers and default chunking.
+    /// Options with `threads` workers, default chunking, and the batched
+    /// presolve enabled.
     pub fn threads(threads: usize) -> Self {
         SweepOptions {
             threads,
             chunk: 4,
+            batch: true,
             ..SweepOptions::default()
         }
     }
@@ -55,6 +64,13 @@ impl SweepOptions {
     /// to observe hit counters from outside).
     pub fn with_cache(mut self, cache: Arc<SolveCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Forces the batched presolve on or off — `with_batch(false)` is the
+    /// differential harness's scalar oracle configuration.
+    pub fn with_batch(mut self, batch: bool) -> Self {
+        self.batch = batch;
         self
     }
 }
@@ -88,6 +104,15 @@ pub fn run_points(name: &str, points: &[Point], opts: &SweepOptions) -> (SweepRe
     // this run only the work it actually did.
     let obs_before = cyclesteal_obs::snapshot_if_active();
     let start = Instant::now();
+    // Batched presolve: serial, on the calling thread, before the pool
+    // fans out — so its work (and its telemetry) is identical for every
+    // thread count and input order of the same multiset of points.
+    let batch_stats = if opts.batch {
+        cyclesteal_obs::span!("sweep.phase.presolve");
+        WORKSPACE.with(|ws| batch::presolve(points, &cache, &mut ws.borrow_mut()))
+    } else {
+        BatchStats::default()
+    };
     let evaluated = {
         cyclesteal_obs::span!("sweep.phase.evaluate");
         cyclesteal_obs::counter!("sweep.points", points.len() as u64);
@@ -148,6 +173,7 @@ pub fn run_points(name: &str, points: &[Point], opts: &SweepOptions) -> (SweepRe
             point_ns,
             cache: cache.stats(),
             failures,
+            batch: batch_stats,
             obs,
         },
     )
@@ -418,6 +444,17 @@ mod tests {
         assert_eq!(metrics.threads, 8);
         assert_eq!(metrics.point_ns.len(), small_spec().len());
         assert!(metrics.elapsed_ns > 0);
+    }
+
+    #[test]
+    fn batched_and_scalar_runs_agree_bitwise() {
+        let spec = small_spec();
+        let (batched, bm) = run(&spec, &SweepOptions::threads(2));
+        let (scalar, sm) = run(&spec, &SweepOptions::threads(2).with_batch(false));
+        assert_eq!(batched.to_json(), scalar.to_json());
+        assert!(bm.batch.seeded > 0, "presolve did real work: {:?}", bm.batch);
+        assert_eq!(bm.batch.eligible, 6, "six stable CS-CQ points");
+        assert_eq!(sm.batch, BatchStats::default(), "scalar run skips presolve");
     }
 
     #[test]

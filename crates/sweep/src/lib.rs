@@ -36,10 +36,12 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod batch;
 mod engine;
 mod grid;
 mod report;
 
+pub use batch::BatchStats;
 pub use engine::{run, run_points, SweepOptions};
 pub use grid::{policy_name, Evaluator, GridSpec, LongLaw, Point};
 pub use report::{

@@ -371,6 +371,11 @@ pub struct SweepMetrics {
     /// Failure tallies over the report's rows (a pure function of the
     /// report; duplicated here so health checks don't re-scan rows).
     pub failures: FailureCounts,
+    /// What the batched presolve phase did (all zeros when the run was
+    /// configured scalar). Informational only: the presolve is
+    /// bit-identical to the scalar pipeline, so these counters never
+    /// correlate with a report difference.
+    pub batch: crate::batch::BatchStats,
     /// The run's **full** telemetry delta — counts *plus* the timing
     /// class (span `total_ns`, gauges) that the report's embedded
     /// [`SweepReport::obs`] deliberately strips. `Some` exactly when the

@@ -9,7 +9,7 @@
 #![cfg(debug_assertions)]
 
 use cyclesteal_core::stability::Policy;
-use cyclesteal_sweep::{run, FailureKind, GridSpec, SweepOptions};
+use cyclesteal_sweep::{run, FailureKind, GridSpec, SweepOptions, SweepRow};
 use cyclesteal_xtest::fault::{self, FaultPlan, QuietPanics};
 
 /// The armed sites, one per layer: the sweep worker itself (panic), the
@@ -134,4 +134,49 @@ fn injected_faults_are_attributed_and_reports_stay_deterministic() {
     assert_eq!(metrics1.failures.non_finite, fired[2]);
     assert_eq!(metrics1.failures.unstable, 0);
     assert_eq!(metrics1.failures.infeasible_fit, 0);
+}
+
+/// The batched presolve under faults: the planner must skip exactly the
+/// planned-faulted points — their solves then run inside the per-point
+/// fault scope and attribute as usual, instead of being served a clean
+/// answer seeded from outside the scope — batch the rest, and change no
+/// bytes: the armed batched report equals the armed scalar one.
+#[test]
+fn faulted_points_bypass_the_batch_without_poisoning_their_mates() {
+    let spec = grid();
+    let plan = FaultPlan::new(0x00C0_FFEE, 0.05, &SITES);
+    // `site_for` is a pure function of (seed, scope), so the skip oracle
+    // can be computed before arming.
+    let planned: usize = spec
+        .points()
+        .iter()
+        .map(|p| usize::from(plan.site_for(&SweepRow::id_of(p)).is_some()))
+        .sum();
+    assert!(planned > 0, "the plan must actually fire");
+
+    let _quiet = QuietPanics::install();
+    let armed = fault::arm(plan);
+    let (batched, bm) = run(&spec, &SweepOptions::threads(2));
+    let (scalar, sm) = run(&spec, &SweepOptions::threads(2).with_batch(false));
+    drop(armed);
+
+    assert_eq!(
+        batched.to_json(),
+        scalar.to_json(),
+        "batched vs scalar under faults"
+    );
+    // Every grid point is CS-CQ, analysis-evaluated, and stable, so the
+    // planner screens come down to the fault check alone.
+    assert_eq!(bm.batch.skipped_faulted, planned, "{:?}", bm.batch);
+    assert_eq!(bm.batch.eligible, spec.len() - planned, "{:?}", bm.batch);
+    assert!(
+        bm.batch.batched > 0 && bm.batch.seeded > 0,
+        "the non-faulted mates must still batch: {:?}",
+        bm.batch
+    );
+    assert_eq!(
+        sm.batch,
+        cyclesteal_sweep::BatchStats::default(),
+        "batch off must stay off"
+    );
 }

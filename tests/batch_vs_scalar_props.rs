@@ -1,0 +1,98 @@
+//! Differential property suite for the batched QBD solver: random CS-CQ
+//! chains pushed through [`Qbd::solve_batch_in`] must be **bit-identical**
+//! — values and errors alike — to solving each chain alone through the
+//! scalar [`Qbd::solve_in`] path. The batch layer is a pure performance
+//! transform; these properties are the oracle that keeps it one.
+//!
+//! Runs on the in-tree `cyclesteal_xtest` property layer, so failures
+//! shrink to a minimal witness batch and reproduce from a fixed seed.
+
+use cyclesteal::core::stability::{max_rho_s, Policy};
+use cyclesteal::core::{cs_cq, SystemParams};
+use cyclesteal::linalg::Workspace;
+use cyclesteal::markov::qbd::Qbd;
+use cyclesteal_xtest::prop::vec as vec_of;
+use cyclesteal_xtest::{props, xassume};
+
+/// Builds the CS-CQ chain for `(ρ_S, ρ_L)` with unit means, or `None`
+/// where the parameters fall outside the model-construction domain.
+fn try_chain(rho_s: f64, rho_l: f64) -> Option<Qbd> {
+    let params = SystemParams::exponential(rho_s, 1.0, rho_l, 1.0).ok()?;
+    cs_cq::build_qbd_model(&params, Default::default()).ok()
+}
+
+/// Solves `qbds` once as a batch and once per point through the scalar
+/// path, then asserts bitwise agreement lane by lane: solution vectors and
+/// `R` via `to_bits`, the normalization pivot exactly, and errors via
+/// their rendered messages (which carry kind and diagnostics).
+fn assert_batch_matches_scalar(qbds: &[Qbd]) {
+    let refs: Vec<&Qbd> = qbds.iter().collect();
+    let mut ws = Workspace::new();
+    let batch = Qbd::solve_batch_in(&refs, &mut ws);
+    assert_eq!(batch.len(), qbds.len());
+    for (i, (q, got)) in qbds.iter().zip(batch.iter()).enumerate() {
+        let want = q.solve_in(&mut Workspace::new());
+        match (got, &want) {
+            (Ok(g), Ok(w)) => {
+                let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(g.boundary()), bits(w.boundary()), "lane {i} boundary");
+                assert_eq!(bits(g.pi0()), bits(w.pi0()), "lane {i} pi0");
+                assert_eq!(bits(g.r().as_slice()), bits(w.r().as_slice()), "lane {i} R");
+                assert_eq!(
+                    g.normalization_pivot(),
+                    w.normalization_pivot(),
+                    "lane {i} pivot"
+                );
+            }
+            (Err(g), Err(w)) => assert_eq!(g.to_string(), w.to_string(), "lane {i} error"),
+            (g, w) => panic!("lane {i}: batch {g:?} vs scalar {w:?}"),
+        }
+    }
+}
+
+props! {
+    cases = 12;
+
+    /// Same-shape batches at every gated width {1, 2, 7, 64}: varying only
+    /// ρ_S keeps the busy-period fits — and so the chain shape — fixed, so
+    /// the whole draw rides one batched group through the SoA kernels.
+    fn same_shape_batches_are_bit_identical(
+        (width_idx, rhos) in (0usize..4, vec_of(0.05f64..1.45, 64)),
+    ) {
+        let width = [1usize, 2, 7, 64][width_idx];
+        let qbds: Vec<Qbd> = rhos[..width]
+            .iter()
+            .map(|&rho_s| try_chain(rho_s, 0.5).expect("in-domain point"))
+            .collect();
+        assert_batch_matches_scalar(&qbds);
+    }
+
+    /// Random (ρ_S, ρ_L) draws produce heterogeneous shapes; the batch
+    /// entry point must split or fall back to scalar solves per lane and
+    /// still return index-aligned, bit-identical results.
+    fn mixed_shape_batches_fall_back_bit_identically(
+        pairs in vec_of((0.05f64..1.0, 0.1f64..0.85), 6),
+    ) {
+        let qbds: Vec<Qbd> = pairs
+            .iter()
+            .filter_map(|&(rho_s, rho_l)| try_chain(rho_s, rho_l))
+            .collect();
+        xassume!(!qbds.is_empty());
+        assert_batch_matches_scalar(&qbds);
+    }
+
+    /// Batches straddling the Theorem-1 frontier: unstable lanes must
+    /// report exactly the scalar error while their stable batch-mates
+    /// solve to the bit — no cross-lane poisoning in either direction.
+    fn frontier_straddling_batches_report_identical_errors(
+        (rho_l, deltas) in (0.2f64..0.7, vec_of(-0.08f64..0.08, 5)),
+    ) {
+        let frontier = max_rho_s(Policy::CsCq, rho_l);
+        let qbds: Vec<Qbd> = deltas
+            .iter()
+            .filter_map(|&d| try_chain((frontier + d).max(0.05), rho_l))
+            .collect();
+        xassume!(!qbds.is_empty());
+        assert_batch_matches_scalar(&qbds);
+    }
+}
