@@ -32,6 +32,15 @@ cargo test -q --offline --test batch_vs_scalar_props
 cargo test -q --offline --test golden_batched
 cargo test -q -p cyclesteal-markov --offline batch
 
+echo "==> (k, m) fleet reduction gate (1x1 bit-identity + {1,2,4}^2 analysis-vs-sim grid)"
+# The fleet generalization is only trusted through its reduction: the
+# differential suite proves the (1, 1) fleet chain IS the 2-host chain
+# (same QBD signature, same solution bits, same golden Figure-4 curve),
+# then cross-validates every {1,2,4}^2 shape against the fleet simulator;
+# the property suite shrinks random workloads over the same invariants.
+cargo test -q --offline --test km_reduction
+cargo test -q --offline --test km_props
+
 echo "==> clippy (incl. unwrap-free non-test code in core and sweep)"
 # core and sweep deny clippy::unwrap_used outside tests; warnings anywhere
 # in the workspace are promoted to errors so the gate cannot rot.

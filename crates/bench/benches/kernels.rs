@@ -156,5 +156,41 @@ fn main() {
         batch_pps / scalar_pps
     );
 
+    // --- Fleet chains: one (k = 2, m = 2) batched group, report-only.
+    // The fleet QBD has a wider phase block (multiset slot phases) and a
+    // deeper boundary than the 2-host chain, so its batched throughput is
+    // tracked separately; no gate ratio — the group exists to catch
+    // regressions in the trend line, not to fail CI on machine noise.
+    let fleet_hosts = cyclesteal_core::cs_cq_km::Hosts::new(2, 2).unwrap();
+    let fleet_grid: Vec<Qbd> = (0..32)
+        .map(|i| {
+            let rho_s = 0.1 + 2.9 * (i as f64) / 31.0;
+            let params = SystemParams::exponential(rho_s, 1.0, 0.8, 1.0).unwrap();
+            cyclesteal_core::cs_cq_km::build_qbd_model(fleet_hosts, &params, Default::default())
+                .unwrap()
+        })
+        .collect();
+    let fleet_refs: Vec<&Qbd> = fleet_grid.iter().collect();
+    for q in &fleet_grid {
+        black_box(q.solve_in(&mut ws).unwrap());
+    }
+    black_box(Qbd::solve_batch_in(&fleet_refs, &mut ws));
+    let fleet_scalar_secs = best_of(Box::new(|| {
+        for q in &fleet_grid {
+            black_box(q.solve_in(&mut ws_scalar).unwrap());
+        }
+    }));
+    let fleet_batch_secs = best_of(Box::new(|| {
+        black_box(Qbd::solve_batch_in(&fleet_refs, &mut ws));
+    }));
+    h.metric(
+        "points_per_sec/qbd_scalar_k2m2",
+        fleet_grid.len() as f64 / fleet_scalar_secs,
+    );
+    h.metric(
+        "points_per_sec/qbd_batch_k2m2",
+        fleet_grid.len() as f64 / fleet_batch_secs,
+    );
+
     h.finish();
 }

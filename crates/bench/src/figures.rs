@@ -49,6 +49,7 @@ pub fn response_vs_rho_s(
         policy,
         evaluator: Evaluator::Analysis,
         extend_longs: false,
+        hosts: (1, 1),
     };
     let points: Vec<Point> = sweep
         .iter()
@@ -106,6 +107,7 @@ pub fn response_vs_rho_l(
         policy,
         evaluator: Evaluator::Analysis,
         extend_longs,
+        hosts: (1, 1),
     };
     // One engine run covers both tables: the joint-analysis points for the
     // short panel and the extended long-only points for the long panel.

@@ -96,7 +96,13 @@ impl CacheStats {
 }
 
 type FitKey = (u64, u64, u64, u8);
-type ReportKey = ([u64; 6], u8);
+/// Whole-report key: quantized workload bits, fit tag, and the `(k, m)`
+/// host counts. The host counts are exact integers — never quantized — so
+/// two scenarios differing only in fleet shape cannot collide; the 2-host
+/// analysis keys itself as `(1, 1)` and shares entries with the `(k, m)`
+/// generalization at that point (where the two paths are bit-identical by
+/// the `km_reduction` differential suite).
+type ReportKey = ([u64; 6], u8, (u32, u32));
 
 /// Locks a mutex, riding through poisoning. Memo state transitions are
 /// single statements guarded by their own protocol (see [`Memo`]), so a

@@ -64,7 +64,7 @@ pub enum BusyPeriodFit {
 
 impl BusyPeriodFit {
     /// Stable discriminant for cache keys.
-    fn tag(self) -> u8 {
+    pub(crate) fn tag(self) -> u8 {
         match self {
             BusyPeriodFit::MeanOnly => 1,
             BusyPeriodFit::TwoMoment => 2,
@@ -213,6 +213,7 @@ pub fn analyze_cached_in(
             snapped.long_moments().m3().to_bits(),
         ],
         fit.tag(),
+        (1, 1),
     );
     cache.report(key, || {
         let poisson = Map::poisson(snapped.lambda_s())?;
@@ -223,7 +224,7 @@ pub fn analyze_cached_in(
 /// Snaps every workload parameter onto the cache quantization grid; keeps
 /// the original parameters if the snapped triple happens to fall outside
 /// the feasible set (only possible exactly on a feasibility boundary).
-fn snap_params(params: &SystemParams) -> SystemParams {
+pub(crate) fn snap_params(params: &SystemParams) -> SystemParams {
     let long = params.long_moments();
     Moments3::new(quantize(long.mean()), quantize(long.m2()), quantize(long.m3()))
         .map_err(AnalysisError::from)
@@ -565,7 +566,7 @@ fn long_response_with_setup_prob(
     )?)
 }
 
-fn fit_busy_period_cached(
+pub(crate) fn fit_busy_period_cached(
     m: Moments3,
     fit: BusyPeriodFit,
     cache: Option<&SolveCache>,
@@ -655,7 +656,7 @@ impl ChainLayout {
 }
 
 /// Fills `diag` so that the row sums of the concatenated blocks vanish.
-fn fix_diagonal(local: &mut Matrix, others: &[&Matrix]) {
+pub(crate) fn fix_diagonal(local: &mut Matrix, others: &[&Matrix]) {
     for i in 0..local.rows() {
         let mut out: f64 = 0.0;
         for j in 0..local.cols() {

@@ -1,0 +1,931 @@
+//! CS-CQ for a **fleet**: `k` short hosts plus `m` stealing (long) hosts
+//! under one central queue — the many-server generalization of the paper's
+//! 2-host chain (`crate::cs_cq` is the `k = m = 1` instance).
+//!
+//! # The model
+//!
+//! Long jobs split uniformly at random over `m` *long slots* (one per
+//! stealing host), so each slot sees an independent Poisson stream of rate
+//! `λ_L / m` and its long dynamics collapse into per-slot busy periods
+//! exactly as in the 2-host chain: `B_L` (entered when a long arrives at an
+//! empty slot while a server is idle) and `B_{N+1}` (entered when the long
+//! had to wait for a server), both three-moment-matched into Coxian
+//! transitions. Servers are renamable and work-conserving: any of the
+//! `k + m` servers may serve shorts or run a slot's busy period.
+//!
+//! # The chain
+//!
+//! * **Level** — number of short jobs in system (tracked exactly).
+//! * **Phase** — the *multiset* of per-slot states over the `m` slots.
+//!   Each slot is in one of `2 + k1 + k2` states: `F` (empty), a `B_L`
+//!   Coxian stage, a `B_{N+1}` stage, or `R5` (a long waits for a server).
+//!   Phases are enumerated as **non-decreasing slot-state tuples in
+//!   lexicographic order** — at `m = 1` this is exactly the 2-host phase
+//!   order `[W, BL…, BN…, R5]`, which makes the `(1, 1)` chain reduce
+//!   **bit-for-bit** to `crate::cs_cq` (same QBD signature, same
+//!   solution). The enumeration order is therefore part of the public
+//!   contract; see DESIGN §11.
+//! * **Boundary** — levels `0 .. k + m − 1`, each restricted to the phases
+//!   reachable there: with `r` slots in `R5` and `b` slots busy on longs,
+//!   all `k + m − b` short-capable servers are busy whenever a long waits,
+//!   so a phase is valid at level `n` iff `r = 0` or `n ≥ (k + m − b)`.
+//!
+//! Work conservation fixes the instantaneous transitions:
+//!
+//! * a short completion while a long waits hands the freed server to the
+//!   oldest waiting slot (`R5 → B_{N+1}` stage `j` w.p. `β_j`);
+//! * a draining busy period while a long waits likewise rescues the oldest
+//!   waiting slot (impossible at `(1, 1)`, where `b ≥ 1` and `r ≥ 1`
+//!   cannot coexist — the reduction is untouched);
+//! * a long arriving at an empty slot starts `B_L` iff a server is idle
+//!   (`n < k + f + r` with `f` free slots), else the slot enters `R5`.
+//!
+//! `m = 0` drops the long class entirely: the chain degenerates to the
+//! M/M/`k` birth–death of the shorts (`long_response = 0`).
+//!
+//! # Outputs
+//!
+//! [`CsCqReport`], exactly as the 2-host analysis: shorts via `E[N_S]` and
+//! Little's law; longs as a per-slot M/G/1 with arrival rate `λ_L / m` and
+//! an `Exp((k + m) μ_S)` setup paid with the chain's conditional
+//! probability that an arriving long finds its slot free but every server
+//! busy (PASTA).
+
+use cyclesteal_dist::{busy, DistError, Moments3, Ph};
+use cyclesteal_linalg::{Matrix, Workspace};
+use cyclesteal_markov::Qbd;
+use cyclesteal_mg1::mg1;
+
+use crate::cache::SolveCache;
+use crate::cs_cq::{
+    fit_busy_period_cached, fix_diagonal, snap_params, BusyPeriodFit, CsCqReport,
+};
+use crate::{stability, AnalysisError, SystemParams};
+
+/// Fleet shape: `k` short hosts and `m` stealing (long) hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hosts {
+    k: usize,
+    m: usize,
+}
+
+impl Hosts {
+    /// Creates a fleet shape.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Param`] if `k == 0` (the model needs at least one
+    /// short host) or `k + m > 32` (a guard against accidental
+    /// combinatorial blow-ups — the phase space grows as
+    /// `C(m + k1 + k2 + 1, m)`).
+    pub fn new(k: usize, m: usize) -> Result<Self, AnalysisError> {
+        if k == 0 {
+            return Err(AnalysisError::Param(DistError::Inconsistent {
+                reason: "fleet needs at least one short host (k >= 1)",
+            }));
+        }
+        if k + m > 32 {
+            return Err(AnalysisError::Param(DistError::Inconsistent {
+                reason: "fleet too large (k + m must be <= 32)",
+            }));
+        }
+        Ok(Hosts { k, m })
+    }
+
+    /// The paper's 2-host system: one short host, one stealing host.
+    pub fn paper() -> Self {
+        Hosts { k: 1, m: 1 }
+    }
+
+    /// Number of short hosts.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stealing (long) hosts.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+}
+
+/// Analyzes the `(k, m)` fleet with the paper's three-moment busy-period
+/// transitions.
+///
+/// # Errors
+///
+/// [`AnalysisError::Unstable`] outside the fleet stability region
+/// (`ρ_L < m`, `ρ_S < (k + m) − ρ_L`); [`AnalysisError::Chain`] if the QBD
+/// solver fails.
+///
+/// # Examples
+///
+/// ```
+/// use cyclesteal_core::cs_cq_km::{analyze, Hosts};
+/// use cyclesteal_core::SystemParams;
+///
+/// # fn main() -> Result<(), cyclesteal_core::AnalysisError> {
+/// // rho_s = 2.5 needs more than two hosts; a (2, 1) fleet carries it.
+/// let p = SystemParams::exponential(2.5, 1.0, 0.3, 1.0)?;
+/// let r = analyze(Hosts::new(2, 1)?, &p)?;
+/// assert!(r.short_response.is_finite());
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze(hosts: Hosts, params: &SystemParams) -> Result<CsCqReport, AnalysisError> {
+    analyze_with(hosts, params, BusyPeriodFit::ThreeMoment)
+}
+
+/// Analyzes the fleet with a chosen busy-period moment-matching order.
+///
+/// # Errors
+///
+/// As for [`analyze`].
+pub fn analyze_with(
+    hosts: Hosts,
+    params: &SystemParams,
+    fit: BusyPeriodFit,
+) -> Result<CsCqReport, AnalysisError> {
+    analyze_inner(hosts, params, fit, None, &mut Workspace::new())
+}
+
+/// [`analyze_with`] through a [`SolveCache`] (parameters snapped onto the
+/// quantization grid; fits, QBD solutions and whole reports memoized).
+/// The report key carries `(k, m)` verbatim — host counts are integers and
+/// are never quantized, so scenarios differing only in fleet shape cannot
+/// collide. At `(1, 1)` the key coincides with the 2-host
+/// [`crate::cs_cq::analyze_cached`] key, which is sound because the two
+/// construction paths are bit-identical there (the `km_reduction` suite
+/// is the gate).
+///
+/// # Errors
+///
+/// As for [`analyze`]. Errors are never cached.
+pub fn analyze_cached(
+    hosts: Hosts,
+    params: &SystemParams,
+    fit: BusyPeriodFit,
+    cache: &SolveCache,
+) -> Result<CsCqReport, AnalysisError> {
+    analyze_cached_in(hosts, params, fit, cache, &mut Workspace::new())
+}
+
+/// [`analyze_cached`] solving out of a caller-owned scratch [`Workspace`].
+///
+/// # Errors
+///
+/// As for [`analyze`].
+pub fn analyze_cached_in(
+    hosts: Hosts,
+    params: &SystemParams,
+    fit: BusyPeriodFit,
+    cache: &SolveCache,
+    ws: &mut Workspace,
+) -> Result<CsCqReport, AnalysisError> {
+    let snapped = snap_params(params);
+    let key = (
+        [
+            snapped.lambda_s().to_bits(),
+            snapped.mu_s().to_bits(),
+            snapped.lambda_l().to_bits(),
+            snapped.long_moments().mean().to_bits(),
+            snapped.long_moments().m2().to_bits(),
+            snapped.long_moments().m3().to_bits(),
+        ],
+        fit.tag(),
+        (hosts.k as u32, hosts.m as u32),
+    );
+    cache.report(key, || analyze_inner(hosts, &snapped, fit, Some(cache), ws))
+}
+
+/// Builds the fleet QBD exactly as [`analyze_with`] constructs it,
+/// **without solving** — the `(k, m)` counterpart of
+/// [`crate::cs_cq::build_qbd_model`].
+///
+/// # Errors
+///
+/// As for [`analyze`], minus the solver errors.
+pub fn build_qbd_model(
+    hosts: Hosts,
+    params: &SystemParams,
+    fit: BusyPeriodFit,
+) -> Result<Qbd, AnalysisError> {
+    let fits = fit_slot_busy_periods(hosts, params, fit, None)?;
+    build_qbd(hosts, params, fits.as_ref().map(|f| (&f.0 .0, &f.1 .0)))
+}
+
+/// Builds the fleet QBD exactly as [`analyze_cached_in`] would on a cache
+/// miss — parameters snapped, fits served through the cache — without
+/// solving. The sweep batch planner's `(k, m)` hook: construction is
+/// bit-shared with the cached analysis path, so the planned chain's
+/// [`Qbd::signature`] matches the one evaluation will look up.
+///
+/// # Errors
+///
+/// [`AnalysisError::Unstable`] outside the fleet stability region (judged
+/// on the snapped loads); otherwise as for [`build_qbd_model`].
+pub fn plan_qbd_cached(
+    hosts: Hosts,
+    params: &SystemParams,
+    fit: BusyPeriodFit,
+    cache: &SolveCache,
+) -> Result<Qbd, AnalysisError> {
+    let snapped = snap_params(params);
+    let (rho_s, rho_l) = (snapped.rho_s(), snapped.rho_l());
+    if !stability::is_stable_km(hosts.k, hosts.m, rho_s, rho_l) {
+        return Err(unstable_error(hosts, rho_s, rho_l));
+    }
+    let fits = fit_slot_busy_periods(hosts, &snapped, fit, Some(cache))?;
+    build_qbd(hosts, &snapped, fits.as_ref().map(|f| (&f.0 .0, &f.1 .0)))
+}
+
+/// Moments of a slot's `B_L`: the M/G/1 busy period of the slot's own
+/// Poisson(`λ_L / m`) long stream. At `m = 1` this is exactly
+/// [`crate::cs_cq::bl_moments`].
+///
+/// # Errors
+///
+/// [`AnalysisError::Param`] if the slot load `ρ_L / m ≥ 1` or `m == 0`.
+pub fn bl_moments(hosts: Hosts, params: &SystemParams) -> Result<Moments3, AnalysisError> {
+    if hosts.m == 0 {
+        return Err(AnalysisError::Param(DistError::Inconsistent {
+            reason: "a fleet without stealing hosts has no long busy periods",
+        }));
+    }
+    Ok(busy::mg1_busy(
+        params.lambda_l() / hosts.m as f64,
+        params.long_moments(),
+    )?)
+}
+
+/// Moments of a slot's `B_{N+1}`: the busy period started by the longs
+/// accumulated while waiting `I ~ Exp((k + m) μ_S)` for a short completion
+/// (all `k + m` servers busy with shorts). At `m = 1` this is exactly
+/// [`crate::cs_cq::bn_moments`].
+///
+/// # Errors
+///
+/// As for [`bl_moments`].
+pub fn bn_moments(hosts: Hosts, params: &SystemParams) -> Result<Moments3, AnalysisError> {
+    if hosts.m == 0 {
+        return Err(AnalysisError::Param(DistError::Inconsistent {
+            reason: "a fleet without stealing hosts has no long busy periods",
+        }));
+    }
+    Ok(busy::bn1(
+        params.lambda_l() / hosts.m as f64,
+        params.long_moments(),
+        (hosts.k + hosts.m) as f64 * params.mu_s(),
+    )?)
+}
+
+fn unstable_error(hosts: Hosts, rho_s: f64, rho_l: f64) -> AnalysisError {
+    let rho_s_max = if hosts.m == 0 {
+        hosts.k as f64
+    } else {
+        stability::max_rho_s_km(hosts.k, hosts.m, rho_l)
+    };
+    AnalysisError::Unstable {
+        policy: "CS-CQ",
+        rho_s,
+        rho_l,
+        rho_s_max,
+    }
+}
+
+type SlotFits = (
+    (Ph, cyclesteal_dist::match3::MatchQuality),
+    (Ph, cyclesteal_dist::match3::MatchQuality),
+);
+
+/// Fits both per-slot busy periods, or `None` for `m = 0` (no long class).
+fn fit_slot_busy_periods(
+    hosts: Hosts,
+    params: &SystemParams,
+    fit: BusyPeriodFit,
+    cache: Option<&SolveCache>,
+) -> Result<Option<SlotFits>, AnalysisError> {
+    if hosts.m == 0 {
+        return Ok(None);
+    }
+    let bl = fit_busy_period_cached(bl_moments(hosts, params)?, fit, cache)?;
+    let bn = fit_busy_period_cached(bn_moments(hosts, params)?, fit, cache)?;
+    Ok(Some((bl, bn)))
+}
+
+fn analyze_inner(
+    hosts: Hosts,
+    params: &SystemParams,
+    fit: BusyPeriodFit,
+    cache: Option<&SolveCache>,
+    ws: &mut Workspace,
+) -> Result<CsCqReport, AnalysisError> {
+    cyclesteal_obs::span!("core.cs_cq_km.analyze");
+    cyclesteal_obs::counter!("core.cs_cq_km.analyze");
+    let (rho_s, rho_l) = (params.rho_s(), params.rho_l());
+    if !stability::is_stable_km(hosts.k, hosts.m, rho_s, rho_l) {
+        return Err(unstable_error(hosts, rho_s, rho_l));
+    }
+
+    let fits = fit_slot_busy_periods(hosts, params, fit, cache)?;
+    let phs = fits.as_ref().map(|f| (&f.0 .0, &f.1 .0));
+    let layout = KmLayout::new(hosts, phs);
+    let qbd = build_with_layout(&layout, params, phs)?;
+    let sol = match cache {
+        Some(c) => c.qbd_solution(&qbd, ws)?,
+        None => qbd.solve_in(ws)?,
+    };
+
+    // E[N_S]: boundary level n holds n shorts; repeating level j holds
+    // (k + m) + j. At (1, 1) this is exactly the 2-host expression
+    // `level1_mass + 2·repeating_mass + expected_level_index`.
+    let (k, m) = (hosts.k, hosts.m);
+    let mut mean_shorts = 0.0;
+    for n in 1..(k + m) {
+        let mass: f64 = sol.boundary()[layout.offsets[n]..layout.offsets[n + 1]]
+            .iter()
+            .sum();
+        mean_shorts += n as f64 * mass;
+    }
+    mean_shorts += (k + m) as f64 * sol.repeating_mass();
+    mean_shorts += sol.expected_level_index();
+    let short_response = mean_shorts / params.lambda_s();
+
+    // Region probabilities, slot-averaged (PASTA over the uniformly chosen
+    // slot of an arriving long): region 1 = slot free and a server idle,
+    // region 2 = slot free but every server busy, region 5 = a long waits
+    // at the slot. Boundary first, then the repeating aggregate, so the
+    // (1, 1) accumulation order matches the 2-host loop term for term.
+    let mut p_region1 = 0.0;
+    let mut p_region2 = 0.0;
+    let mut p_region5 = 0.0;
+    let (setup_probability, long_response) = if m == 0 {
+        (0.0, 0.0)
+    } else {
+        for n in 0..(k + m) {
+            for (pos, &p) in layout.levels[n].iter().enumerate() {
+                let x = sol.boundary()[layout.offsets[n] + pos];
+                let info = layout.info[p];
+                if info.free >= 1 {
+                    let w = info.free as f64 / m as f64;
+                    if n < layout.avail(p) {
+                        p_region1 += w * x;
+                    } else {
+                        p_region2 += w * x;
+                    }
+                }
+                if info.r5 >= 1 {
+                    p_region5 += info.r5 as f64 / m as f64 * x;
+                }
+            }
+        }
+        let phase_mass = sol.phase_mass();
+        for (info, &x) in layout.info.iter().zip(&phase_mass) {
+            if info.free >= 1 {
+                // No server is ever idle at repeating levels (n ≥ k + m).
+                p_region2 += info.free as f64 / m as f64 * x;
+            }
+            if info.r5 >= 1 {
+                p_region5 += info.r5 as f64 / m as f64 * x;
+            }
+        }
+        let p_setup = p_region2 / (p_region1 + p_region2);
+        // Per-slot M/G/1 with setup K = Exp((k + m) μ_S) w.p. p_setup.
+        let theta = (k + m) as f64 * params.mu_s();
+        let k1 = p_setup / theta;
+        let k2 = 2.0 * p_setup / (theta * theta);
+        let long_response = mg1::mean_response_with_setup(
+            params.lambda_l() / m as f64,
+            params.long_moments(),
+            k1,
+            k2,
+        )?;
+        (p_setup, long_response)
+    };
+
+    let (bl_match, bn_match) = match &fits {
+        Some(((_, blq), (_, bnq))) => (*blq, *bnq),
+        // m = 0: no busy periods exist; report the trivial quality.
+        None => (
+            cyclesteal_dist::match3::MatchQuality::MeanOnly,
+            cyclesteal_dist::match3::MatchQuality::MeanOnly,
+        ),
+    };
+    Ok(CsCqReport {
+        short_response,
+        long_response,
+        mean_shorts_in_system: mean_shorts,
+        p_region1,
+        p_region2,
+        p_region5,
+        setup_probability,
+        bl_match,
+        bn_match,
+        total_mass: sol.total_mass(),
+    })
+}
+
+/// Per-phase slot-state counts.
+#[derive(Debug, Clone, Copy)]
+struct PhaseInfo {
+    /// Slots in `F` (empty).
+    free: usize,
+    /// Slots running a busy period (`BL` or `BN` stage).
+    busy: usize,
+    /// Slots with a waiting long (`R5`).
+    r5: usize,
+}
+
+/// Phase enumeration and boundary layout of the `(k, m)` chain.
+///
+/// Slot-state ids: `F = 0`, `BL(i) = 1 + i`, `BN(j) = 1 + k1 + j`,
+/// `R5 = 1 + k1 + k2`. Phases are the sorted (non-decreasing) slot-state
+/// tuples of length `m`, in lexicographic order — the bit-identity
+/// contract with the 2-host chain at `m = 1`.
+struct KmLayout {
+    k: usize,
+    m: usize,
+    k1: usize,
+    k2: usize,
+    phases: Vec<Vec<u8>>,
+    info: Vec<PhaseInfo>,
+    /// Valid phase ids per boundary level `0 .. k + m`, ascending.
+    levels: Vec<Vec<usize>>,
+    /// `offsets[n]` = boundary index of level `n`'s first phase;
+    /// `offsets[k + m]` = total boundary dimension.
+    offsets: Vec<usize>,
+    /// `level_pos[n][p]` = position of phase `p` within level `n`
+    /// (`usize::MAX` when invalid there).
+    level_pos: Vec<Vec<usize>>,
+}
+
+impl KmLayout {
+    fn new(hosts: Hosts, phs: Option<(&Ph, &Ph)>) -> Self {
+        let (k, m) = (hosts.k, hosts.m);
+        let (k1, k2) = match phs {
+            Some((bl, bn)) => (bl.dim(), bn.dim()),
+            None => (0, 0),
+        };
+        let hs = if m == 0 { 0 } else { 2 + k1 + k2 };
+        let mut phases = Vec::new();
+        let mut cur = Vec::new();
+        enumerate_multisets(&mut phases, &mut cur, 0, m, hs as u8);
+
+        let info: Vec<PhaseInfo> = phases
+            .iter()
+            .map(|t| {
+                let r5_id = (1 + k1 + k2) as u8;
+                let free = t.iter().filter(|&&s| s == 0).count();
+                let r5 = t.iter().filter(|&&s| s == r5_id).count();
+                PhaseInfo {
+                    free,
+                    r5,
+                    busy: m - free - r5,
+                }
+            })
+            .collect();
+
+        let mut levels = Vec::with_capacity(k + m);
+        let mut offsets = Vec::with_capacity(k + m + 1);
+        let mut level_pos = Vec::with_capacity(k + m);
+        let mut off = 0;
+        for n in 0..(k + m) {
+            let mut valid = Vec::new();
+            let mut pos = vec![usize::MAX; phases.len()];
+            for (p, i) in info.iter().enumerate() {
+                if i.r5 == 0 || n >= k + i.free + i.r5 {
+                    pos[p] = valid.len();
+                    valid.push(p);
+                }
+            }
+            offsets.push(off);
+            off += valid.len();
+            levels.push(valid);
+            level_pos.push(pos);
+        }
+        offsets.push(off);
+
+        KmLayout {
+            k,
+            m,
+            k1,
+            k2,
+            phases,
+            info,
+            levels,
+            offsets,
+            level_pos,
+        }
+    }
+
+    /// Servers available to shorts in phase `p`: `k + m` minus the slots
+    /// busy running long work.
+    fn avail(&self, p: usize) -> usize {
+        self.k + self.m - self.info[p].busy
+    }
+
+    /// Slot-state id of `B_L` stage `i`.
+    fn st_bl(&self, i: usize) -> u8 {
+        (1 + i) as u8
+    }
+
+    /// Slot-state id of `B_{N+1}` stage `j`.
+    fn st_bn(&self, j: usize) -> u8 {
+        (1 + self.k1 + j) as u8
+    }
+
+    /// Slot-state id of `R5`.
+    fn st_r5(&self) -> u8 {
+        (1 + self.k1 + self.k2) as u8
+    }
+
+    fn index_of(&self, t: &[u8]) -> usize {
+        self.phases
+            .binary_search_by(|x| x.as_slice().cmp(t))
+            .expect("every sorted slot tuple is enumerated")
+    }
+
+    /// Phase reached from `p` by moving one slot `from → to`.
+    fn replace(&self, p: usize, from: u8, to: u8) -> usize {
+        let mut t = self.phases[p].clone();
+        let pos = t
+            .iter()
+            .position(|&s| s == from)
+            .expect("slot state present in phase");
+        t[pos] = to;
+        t.sort_unstable();
+        self.index_of(&t)
+    }
+
+    /// Phase reached from `p` by moving two slots at once.
+    fn replace2(&self, p: usize, from1: u8, to1: u8, from2: u8, to2: u8) -> usize {
+        let mut t = self.phases[p].clone();
+        let pos1 = t
+            .iter()
+            .position(|&s| s == from1)
+            .expect("first slot state present");
+        t[pos1] = to1;
+        let pos2 = t
+            .iter()
+            .enumerate()
+            .position(|(i, &s)| s == from2 && i != pos1)
+            .expect("second slot state present");
+        t[pos2] = to2;
+        t.sort_unstable();
+        self.index_of(&t)
+    }
+
+    /// Boundary column of phase `p` at level `n` (must be valid there).
+    fn bidx(&self, n: usize, p: usize) -> usize {
+        let pos = self.level_pos[n][p];
+        debug_assert_ne!(pos, usize::MAX, "phase invalid at boundary level");
+        self.offsets[n] + pos
+    }
+
+    /// Distinct `(state, count)` runs of phase `p`'s sorted tuple.
+    fn runs(&self, p: usize) -> Vec<(u8, usize)> {
+        let mut out: Vec<(u8, usize)> = Vec::new();
+        for &s in &self.phases[p] {
+            match out.last_mut() {
+                Some((last, c)) if *last == s => *c += 1,
+                _ => out.push((s, 1)),
+            }
+        }
+        out
+    }
+}
+
+/// Non-decreasing tuples of length `left` over `start..hs`, lex order.
+fn enumerate_multisets(out: &mut Vec<Vec<u8>>, cur: &mut Vec<u8>, start: u8, left: usize, hs: u8) {
+    if left == 0 {
+        out.push(cur.clone());
+        return;
+    }
+    for s in start..hs {
+        cur.push(s);
+        enumerate_multisets(out, cur, s, left - 1, hs);
+        cur.pop();
+    }
+}
+
+fn build_qbd(
+    hosts: Hosts,
+    params: &SystemParams,
+    phs: Option<(&Ph, &Ph)>,
+) -> Result<Qbd, AnalysisError> {
+    let layout = KmLayout::new(hosts, phs);
+    build_with_layout(&layout, params, phs)
+}
+
+/// Assembles the six generator blocks. Every rate expression is written so
+/// that at `(k, m) = (1, 1)` it evaluates **bitwise** to the corresponding
+/// 2-host expression in `crate::cs_cq::build_qbd` (`1.0 · x ≡ x`,
+/// `λ_L · (1/1) ≡ λ_L`, `2 as f64 · μ_S ≡ 2.0 · μ_S`), making the two
+/// chains share their [`Qbd::signature`].
+fn build_with_layout(
+    layout: &KmLayout,
+    params: &SystemParams,
+    phs: Option<(&Ph, &Ph)>,
+) -> Result<Qbd, AnalysisError> {
+    if let Some((bl, bn)) = phs {
+        for ph in [bl, bn] {
+            let mass: f64 = ph.initial().iter().sum();
+            if (mass - 1.0).abs() > 1e-9 {
+                return Err(AnalysisError::Param(DistError::Inconsistent {
+                    reason: "busy-period phase-type has an atom at zero",
+                }));
+            }
+        }
+    }
+
+    let (k, m) = (layout.k, layout.m);
+    let (lambda_s, mu_s, lambda_l) = (params.lambda_s(), params.mu_s(), params.lambda_l());
+    let np = layout.phases.len();
+    let nb = layout.offsets[k + m];
+    let bn_initial = phs.map(|(_, bn)| bn.initial());
+
+    // Down-transitions from phase `p` with `s` shorts in service: the
+    // completion frees a server, which rescues the oldest waiting slot
+    // when one exists (`R5 → BN(j)` w.p. β_j). Emits into `mat` at
+    // `(row, col_of(target phase))`.
+    let emit_completion =
+        |mat: &mut Matrix, row: usize, p: usize, s: usize, col_of: &dyn Fn(usize) -> usize| {
+            if s == 0 {
+                return;
+            }
+            if layout.info[p].r5 == 0 {
+                mat[(row, col_of(p))] += s as f64 * mu_s;
+            } else {
+                let init = bn_initial.expect("R5 slots require a long class");
+                for (j, &beta) in init.iter().enumerate().take(layout.k2) {
+                    let q = layout.replace(p, layout.st_r5(), layout.st_bn(j));
+                    mat[(row, col_of(q))] += s as f64 * mu_s * beta;
+                }
+            }
+        };
+
+    // Within-level transitions of phase `p` at a level with `idle` servers
+    // available (boundary levels can have idle servers; repeating cannot).
+    let emit_local =
+        |mat: &mut Matrix, row: usize, p: usize, idle: bool, col_of: &dyn Fn(usize) -> usize| {
+            let info = layout.info[p];
+            if info.free >= 1 {
+                let (bl, _) = phs.expect("free slots require a long class");
+                if idle {
+                    // A long starts B_L on an idle server (region 1 → 3).
+                    for j in 0..layout.k1 {
+                        let q = layout.replace(p, 0, layout.st_bl(j));
+                        mat[(row, col_of(q))] +=
+                            lambda_l * (info.free as f64 / m as f64) * bl.initial()[j];
+                    }
+                } else {
+                    // Every server is busy: the long waits (region 2 → 5).
+                    let q = layout.replace(p, 0, layout.st_r5());
+                    mat[(row, col_of(q))] += lambda_l * (info.free as f64 / m as f64);
+                }
+            }
+            // Busy-period Coxian dynamics, per distinct occupied stage.
+            for (state, count) in layout.runs(p) {
+                let (ph, i) = if state == 0 || state == layout.st_r5() {
+                    continue;
+                } else if (state as usize) <= layout.k1 {
+                    let (bl, _) = phs.expect("BL slots require a long class");
+                    (bl, state as usize - 1)
+                } else {
+                    let (_, bn) = phs.expect("BN slots require a long class");
+                    (bn, state as usize - 1 - layout.k1)
+                };
+                for j in 0..ph.dim() {
+                    if i != j {
+                        let to = if (state as usize) <= layout.k1 {
+                            layout.st_bl(j)
+                        } else {
+                            layout.st_bn(j)
+                        };
+                        let q = layout.replace(p, state, to);
+                        mat[(row, col_of(q))] += count as f64 * ph.subgenerator()[(i, j)];
+                    }
+                }
+                // Busy period ends: the slot empties; the freed server
+                // rescues the oldest waiting slot when one exists
+                // (impossible at (1, 1), where b and r cannot coexist).
+                if info.r5 == 0 {
+                    let q = layout.replace(p, state, 0);
+                    mat[(row, col_of(q))] += count as f64 * ph.exit_rates()[i];
+                } else {
+                    let init = bn_initial.expect("R5 slots require a long class");
+                    for (j, &beta) in init.iter().enumerate().take(layout.k2) {
+                        let q =
+                            layout.replace2(p, state, 0, layout.st_r5(), layout.st_bn(j));
+                        mat[(row, col_of(q))] +=
+                            count as f64 * ph.exit_rates()[i] * beta;
+                    }
+                }
+            }
+        };
+
+    // ---- Repeating blocks (levels n ≥ k + m: no server is ever idle) ----
+    let mut a0 = Matrix::zeros(np, np);
+    for p in 0..np {
+        a0[(p, p)] += lambda_s;
+    }
+
+    let mut a2 = Matrix::zeros(np, np);
+    for p in 0..np {
+        emit_completion(&mut a2, p, p, layout.avail(p), &|q| q);
+    }
+
+    let mut a1 = Matrix::zeros(np, np);
+    for p in 0..np {
+        emit_local(&mut a1, p, p, false, &|q| q);
+    }
+    fix_diagonal(&mut a1, &[&a0, &a2]);
+
+    // ---- Boundary blocks (levels 0 .. k + m − 1) ------------------------
+    let mut b00 = Matrix::zeros(nb, nb);
+    let mut b01 = Matrix::zeros(nb, np);
+    let mut b10 = Matrix::zeros(np, nb);
+
+    for n in 0..(k + m) {
+        for &p in &layout.levels[n] {
+            let row = layout.bidx(n, p);
+            // Short arrival: up one level (into the repeating portion from
+            // the last boundary level).
+            if n + 1 < k + m {
+                b00[(row, layout.bidx(n + 1, p))] += lambda_s;
+            } else {
+                b01[(row, p)] += lambda_s;
+            }
+            // Short completion: down one level.
+            let s = n.min(layout.avail(p));
+            if n >= 1 {
+                emit_completion(&mut b00, row, p, s, &|q| layout.bidx(n - 1, q));
+            }
+            // Long arrivals and busy-period dynamics within the level; a
+            // server is idle iff fewer shorts than short-capable servers.
+            emit_local(&mut b00, row, p, n < layout.avail(p), &|q| {
+                layout.bidx(n, q)
+            });
+        }
+    }
+    fix_diagonal(&mut b00, &[&b01]);
+
+    // First repeating level (n = k + m) down to the last boundary level.
+    for p in 0..np {
+        emit_completion(&mut b10, p, p, layout.avail(p), &|q| {
+            layout.bidx(k + m - 1, q)
+        });
+    }
+
+    Ok(Qbd::new(b00, b01, b10, a0, a1, a2)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cs_cq;
+    use cyclesteal_mg1::mmc;
+
+    fn exp_params(rho_s: f64, rho_l: f64) -> SystemParams {
+        SystemParams::exponential(rho_s, 1.0, rho_l, 1.0).unwrap()
+    }
+
+    #[test]
+    fn one_one_chain_is_bit_identical_to_the_2host_chain() {
+        for (rho_s, rho_l) in [(0.5, 0.5), (1.2, 0.5), (1.45, 0.5), (0.9, 0.9)] {
+            let p = exp_params(rho_s, rho_l);
+            let two_host = cs_cq::build_qbd_model(&p, BusyPeriodFit::ThreeMoment).unwrap();
+            let fleet =
+                build_qbd_model(Hosts::paper(), &p, BusyPeriodFit::ThreeMoment).unwrap();
+            assert_eq!(fleet.boundary_dim(), two_host.boundary_dim());
+            assert_eq!(fleet.phase_dim(), two_host.phase_dim());
+            assert_eq!(
+                fleet.signature(),
+                two_host.signature(),
+                "({rho_s}, {rho_l}): the (1,1) fleet chain must reduce bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn m_zero_reduces_to_mmk_of_the_shorts() {
+        for k in [1usize, 2, 4] {
+            let rho_s = 0.7 * k as f64;
+            let p = exp_params(rho_s, 0.5);
+            let r = analyze(Hosts::new(k, 0).unwrap(), &p).unwrap();
+            let want = mmc::mean_response(k as u32, p.lambda_s(), p.mu_s()).unwrap();
+            assert!(
+                (r.short_response - want).abs() / want < 1e-9,
+                "k = {k}: {} vs M/M/{k} {want}",
+                r.short_response
+            );
+            assert_eq!(r.long_response, 0.0);
+            assert_eq!(r.setup_probability, 0.0);
+        }
+    }
+
+    #[test]
+    fn fleet_chains_solve_with_unit_mass() {
+        for (k, m) in [(2, 1), (1, 2), (2, 2), (3, 2)] {
+            let hosts = Hosts::new(k, m).unwrap();
+            let p = exp_params(0.6 * (k + m) as f64, 0.4 * m as f64);
+            let r = analyze(hosts, &p).unwrap();
+            assert!(
+                (r.total_mass - 1.0).abs() < 1e-8,
+                "({k},{m}): mass {}",
+                r.total_mass
+            );
+            assert!(r.short_response.is_finite() && r.short_response > 0.0);
+            assert!(r.long_response.is_finite() && r.long_response > 0.0);
+            assert!((0.0..=1.0).contains(&r.setup_probability), "({k},{m})");
+        }
+    }
+
+    #[test]
+    fn fleet_stability_frontier_enforced() {
+        let hosts = Hosts::new(2, 2).unwrap();
+        // rho_s_max = (k + m) - rho_l = 3.5 at rho_l = 0.5.
+        assert!(analyze(hosts, &exp_params(3.4, 0.5)).is_ok());
+        assert!(matches!(
+            analyze(hosts, &exp_params(3.6, 0.5)),
+            Err(AnalysisError::Unstable { .. })
+        ));
+        // Long class needs rho_l < m.
+        assert!(analyze(hosts, &exp_params(0.5, 1.5)).is_ok());
+        assert!(analyze(hosts, &exp_params(0.5, 2.1)).is_err());
+    }
+
+    #[test]
+    fn hosts_validation() {
+        assert!(Hosts::new(0, 1).is_err());
+        assert!(Hosts::new(1, 40).is_err());
+        let h = Hosts::new(3, 2).unwrap();
+        assert_eq!((h.k(), h.m()), (3, 2));
+    }
+
+    #[test]
+    fn hosts_differing_scenarios_never_share_cache_entries() {
+        let cache = SolveCache::new();
+        let p = exp_params(1.1, 0.5);
+        let fit = BusyPeriodFit::ThreeMoment;
+        let a = analyze_cached(Hosts::new(1, 2).unwrap(), &p, fit, &cache).unwrap();
+        let b = analyze_cached(Hosts::new(2, 1).unwrap(), &p, fit, &cache).unwrap();
+        // Same workload, different fleet shape: genuinely different answers,
+        // so a key collision would be observable — and the integer (k, m)
+        // component makes one impossible.
+        assert_ne!(
+            a.short_response.to_bits(),
+            b.short_response.to_bits(),
+            "(1,2) and (2,1) must not collide in the report cache"
+        );
+        // Re-running both must hit the report layer, proving each (k, m)
+        // got its own entry rather than overwriting the other's.
+        let before = cache.stats();
+        let a2 = analyze_cached(Hosts::new(1, 2).unwrap(), &p, fit, &cache).unwrap();
+        let b2 = analyze_cached(Hosts::new(2, 1).unwrap(), &p, fit, &cache).unwrap();
+        let after = cache.stats();
+        assert_eq!(after.hits, before.hits + 2);
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(a.short_response.to_bits(), a2.short_response.to_bits());
+        assert_eq!(b.short_response.to_bits(), b2.short_response.to_bits());
+    }
+
+    #[test]
+    fn planned_fleet_chain_signature_matches_the_cached_analysis_path() {
+        // The (k, m) mirror of the 2-host seeded-solution test: the batch
+        // planner's chain must carry the exact signature the analysis path
+        // looks up, so a presolved solution is served, not recomputed.
+        let cache = SolveCache::new();
+        let hosts = Hosts::new(2, 2).unwrap();
+        let p = exp_params(1.25, 0.5);
+        let qbd = plan_qbd_cached(hosts, &p, BusyPeriodFit::ThreeMoment, &cache).unwrap();
+        assert!(!cache.has_qbd_solution(&qbd));
+        let sol = qbd.solve().unwrap();
+        cache.seed_qbd_solution(&qbd, sol);
+        assert!(cache.has_qbd_solution(&qbd));
+        // Planner: 2 fit misses; seed: 1 qbd miss.
+        let before = cache.stats();
+        assert_eq!((before.hits, before.misses), (0, 3), "{before:?}");
+        let via_cache =
+            analyze_cached(hosts, &p, BusyPeriodFit::ThreeMoment, &cache).unwrap();
+        // Analysis: one report miss; hits on both fits and the seeded QBD.
+        let after = cache.stats();
+        assert_eq!((after.hits, after.misses), (3, 4), "{after:?}");
+        let direct = analyze(hosts, &p).unwrap();
+        assert_eq!(
+            via_cache.short_response.to_bits(),
+            direct.short_response.to_bits(),
+            "a seeded fleet solve must not move the answer"
+        );
+    }
+
+    #[test]
+    fn adding_stealing_hosts_helps_the_shorts() {
+        // Same absolute workload, growing m: shorts can only gain capacity.
+        let p = exp_params(1.4, 0.5);
+        let r1 = analyze(Hosts::new(1, 1).unwrap(), &p).unwrap();
+        let r2 = analyze(Hosts::new(1, 2).unwrap(), &p).unwrap();
+        let r3 = analyze(Hosts::new(1, 3).unwrap(), &p).unwrap();
+        assert!(r2.short_response <= r1.short_response + 1e-9);
+        assert!(r3.short_response <= r2.short_response + 1e-9);
+    }
+}

@@ -48,6 +48,7 @@
 
 pub mod cache;
 pub mod cs_cq;
+pub mod cs_cq_km;
 pub mod cs_id;
 pub mod dedicated;
 mod error;

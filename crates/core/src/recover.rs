@@ -25,6 +25,7 @@
 
 use crate::cache::SolveCache;
 use crate::cs_cq::{self, BusyPeriodFit, CsCqReport};
+use crate::cs_cq_km;
 use crate::{AnalysisError, SystemParams};
 use cyclesteal_dist::DistError;
 use cyclesteal_linalg::Workspace;
@@ -143,6 +144,29 @@ pub fn analyze_cs_cq_cached_in(
 /// [`cs_cq::analyze_with`]).
 pub fn analyze_cs_cq(params: &SystemParams) -> (Result<CsCqReport, AnalysisError>, Recovery) {
     run_fit_ladder(|fit| cs_cq::analyze_with(params, fit))
+}
+
+/// The `(k, m)` fleet analysis through a [`SolveCache`] with the same
+/// fit-order degradation ladder as [`analyze_cs_cq_cached`]. At
+/// `Hosts::paper()` every rung calls a construction that is bit-identical
+/// to the 2-host one, so the ladder outcome matches too.
+pub fn analyze_cs_cq_km_cached(
+    hosts: cs_cq_km::Hosts,
+    params: &SystemParams,
+    cache: &SolveCache,
+) -> (Result<CsCqReport, AnalysisError>, Recovery) {
+    analyze_cs_cq_km_cached_in(hosts, params, cache, &mut Workspace::new())
+}
+
+/// [`analyze_cs_cq_km_cached`] solving out of a caller-owned scratch
+/// [`Workspace`]; results are bit-identical to the plain variant.
+pub fn analyze_cs_cq_km_cached_in(
+    hosts: cs_cq_km::Hosts,
+    params: &SystemParams,
+    cache: &SolveCache,
+    ws: &mut Workspace,
+) -> (Result<CsCqReport, AnalysisError>, Recovery) {
+    run_fit_ladder(|fit| cs_cq_km::analyze_cached_in(hosts, params, fit, cache, ws))
 }
 
 /// Escalation budget for [`shorts_distribution`].

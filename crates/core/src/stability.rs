@@ -67,6 +67,35 @@ pub fn is_stable(policy: Policy, rho_s: f64, rho_l: f64) -> bool {
     rho_l < 1.0 && rho_s > 0.0 && rho_s < max_rho_s(policy, rho_l)
 }
 
+/// The supremum of stable `ρ_S` for a CS-CQ fleet of `k` short hosts and
+/// `m` stealing (long) hosts: the central queue lets the shorts consume all
+/// capacity the longs leave, so `ρ_S < (k + m) − ρ_L`. With `k = m = 1`
+/// this is exactly [`max_rho_s`] for [`Policy::CsCq`].
+///
+/// # Panics
+///
+/// Panics if `rho_l` is negative or not finite, or if `k == 0`.
+pub fn max_rho_s_km(k: usize, m: usize, rho_l: f64) -> f64 {
+    assert!(
+        rho_l >= 0.0 && rho_l.is_finite(),
+        "rho_l must be nonnegative and finite"
+    );
+    assert!(k > 0, "need at least one short host");
+    ((k + m) as f64 - rho_l).max(0.0)
+}
+
+/// Whether `(ρ_S, ρ_L)` is in the stability region of a `(k, m)` CS-CQ
+/// fleet. Long jobs split uniformly over the `m` stealing hosts, so the
+/// long class is stable iff `ρ_L < m`; the shorts iff
+/// `ρ_S < [`max_rho_s_km`]`. With `m = 0` the long class does not exist
+/// (`ρ_L` is ignored) and the fleet is a plain M/M/`k` of shorts.
+pub fn is_stable_km(k: usize, m: usize, rho_s: f64, rho_l: f64) -> bool {
+    if m == 0 {
+        return rho_s > 0.0 && rho_s < k as f64;
+    }
+    rho_l < m as f64 && rho_s > 0.0 && rho_s < max_rho_s_km(k, m, rho_l)
+}
+
 /// The largest `ρ_L` keeping the *short* class stable at load `rho_s`
 /// (long-class stability additionally requires `ρ_L < 1`). Used for the
 /// `ρ_L`-sweeps of Figure 6.

@@ -37,11 +37,16 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fleet;
 mod policy;
 mod pool;
 mod stats;
 
 pub use engine::{simulate, Arrivals, SimConfig, SimParams, SimResult};
+pub use fleet::{
+    replicate_fleet, replicate_fleet_parallel, simulate_fleet, FleetParams, FleetReplicated,
+    FleetResult,
+};
 pub use policy::{JobClass, PolicyKind};
 pub use pool::{parallel_map, parallel_map_isolated};
 pub use stats::{replicate, replicate_parallel, ClassStats, Replicated};

@@ -4,7 +4,10 @@
 //! distinct seeds give genuinely different sample paths.
 
 use cyclesteal_dist::{Exp, HyperExp2};
-use cyclesteal_sim::{simulate, PolicyKind, SimConfig, SimParams, SimResult};
+use cyclesteal_sim::{
+    replicate_fleet_parallel, simulate, FleetParams, FleetReplicated, PolicyKind, SimConfig,
+    SimParams, SimResult,
+};
 
 fn run(policy: PolicyKind, seed: u64) -> SimResult {
     let short = Exp::with_mean(1.0).unwrap();
@@ -56,6 +59,68 @@ fn same_seed_is_bit_identical_for_every_policy() {
         let b = run(policy, 0xD5EED);
         assert_bit_identical(&a, &b);
     }
+}
+
+/// Replicated `(k, m)` fleet runs at a given thread count.
+fn fleet_run(threads: usize, seed: u64) -> FleetReplicated {
+    let short = Exp::with_mean(1.0).unwrap();
+    let long = HyperExp2::balanced_means(2.0, 4.0).unwrap();
+    let params = FleetParams::new(2, 2, 1.2, 0.4, &short, &long).unwrap();
+    let config = SimConfig {
+        seed,
+        total_jobs: 20_000,
+        ..SimConfig::default()
+    };
+    replicate_fleet_parallel(&params, &config, 6, threads)
+}
+
+/// The fleet engine carries the same seeded-determinism contract as the
+/// 2-host engine: replicated statistics are bit-identical at 1, 2, and 8
+/// threads (replications shard across threads but aggregate in seed
+/// order), run by run and in the pooled aggregates.
+#[test]
+fn fleet_replication_is_bit_identical_across_thread_counts() {
+    let base = fleet_run(1, 0xF1EE7);
+    for threads in [2, 8] {
+        let other = fleet_run(threads, 0xF1EE7);
+        assert_eq!(base.runs.len(), other.runs.len());
+        for (a, b) in base.runs.iter().zip(&other.runs) {
+            for (x, y) in [
+                (&a.short, &b.short),
+                (&a.long, &b.long),
+                (&a.short_wait, &b.short_wait),
+                (&a.long_wait, &b.long_wait),
+            ] {
+                assert_eq!(x.count, y.count, "{threads} threads");
+                assert_eq!(x.mean.to_bits(), y.mean.to_bits(), "{threads} threads");
+                assert_eq!(x.variance.to_bits(), y.variance.to_bits());
+            }
+            assert_eq!(a.end_time.to_bits(), b.end_time.to_bits());
+            assert_eq!(a.completions, b.completions);
+            assert_eq!(a.queued_at_end, b.queued_at_end);
+            for (u, v) in a.utilization.iter().zip(&b.utilization) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+        assert_eq!(
+            base.short.mean.to_bits(),
+            other.short.mean.to_bits(),
+            "{threads} threads"
+        );
+        assert_eq!(base.long.mean.to_bits(), other.long.mean.to_bits());
+        assert_eq!(base.short.ci_half.to_bits(), other.short.ci_half.to_bits());
+    }
+}
+
+/// Distinct fleet seeds give genuinely different sample paths that still
+/// estimate the same system.
+#[test]
+fn fleet_seeds_differ() {
+    let a = fleet_run(1, 11);
+    let b = fleet_run(1, 22);
+    assert_ne!(a.short.mean.to_bits(), b.short.mean.to_bits());
+    assert_ne!(a.long.mean.to_bits(), b.long.mean.to_bits());
+    assert!((a.short.mean - b.short.mean).abs() / a.short.mean < 0.2);
 }
 
 #[test]

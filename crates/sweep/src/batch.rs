@@ -24,6 +24,7 @@
 
 use cyclesteal_core::cache::SolveCache;
 use cyclesteal_core::cs_cq::{self, BusyPeriodFit};
+use cyclesteal_core::cs_cq_km;
 use cyclesteal_core::stability::{self, Policy};
 use cyclesteal_core::SystemParams;
 use cyclesteal_linalg::Workspace;
@@ -78,9 +79,19 @@ pub(crate) fn presolve(points: &[Point], cache: &SolveCache, ws: &mut Workspace)
         if point.evaluator != Evaluator::Analysis || point.policy != Policy::CsCq {
             continue;
         }
+        // Non-(1,1) points also block on extend_longs, which the fleet
+        // evaluator rejects outright — nothing would consume a presolve.
+        if point.hosts != (1, 1) && point.extend_longs {
+            continue;
+        }
         // Same Theorem-1 precheck as the evaluator: genuinely unstable
         // points never reach the QBD solver at all.
-        if !stability::is_stable(Policy::CsCq, point.rho_s, point.rho_l) {
+        let stable = if point.hosts == (1, 1) {
+            stability::is_stable(Policy::CsCq, point.rho_s, point.rho_l)
+        } else {
+            stability::is_stable_km(point.hosts.0, point.hosts.1, point.rho_s, point.rho_l)
+        };
+        if !stable {
             continue;
         }
         if fault::planned_site(&SweepRow::id_of(point)).is_some() {
@@ -98,8 +109,18 @@ pub(crate) fn presolve(points: &[Point], cache: &SolveCache, ws: &mut Workspace)
             continue;
         };
         // The first rung of the recovery ladder — the fit the evaluator
-        // will try first; deeper rungs are rare and stay scalar.
-        let Ok(qbd) = cs_cq::plan_qbd_cached(&params, BusyPeriodFit::ThreeMoment, cache) else {
+        // will try first; deeper rungs are rare and stay scalar. Fleet
+        // points plan through the (k, m) builder, whose block shapes —
+        // and therefore the shape groups formed below — depend on the
+        // fleet dimensions, not just the workload.
+        let qbd = if point.hosts == (1, 1) {
+            cs_cq::plan_qbd_cached(&params, BusyPeriodFit::ThreeMoment, cache)
+        } else {
+            cs_cq_km::Hosts::new(point.hosts.0, point.hosts.1).and_then(|hosts| {
+                cs_cq_km::plan_qbd_cached(hosts, &params, BusyPeriodFit::ThreeMoment, cache)
+            })
+        };
+        let Ok(qbd) = qbd else {
             continue;
         };
         if !cache.has_qbd_solution(&qbd) {

@@ -19,11 +19,14 @@ use std::time::Instant;
 
 use cyclesteal_core::cache::SolveCache;
 use cyclesteal_core::stability::{self, Policy};
-use cyclesteal_core::{cs_cq, cs_id, dedicated, recover, AnalysisError, SystemParams};
+use cyclesteal_core::{cs_cq, cs_cq_km, cs_id, dedicated, recover, AnalysisError, SystemParams};
 use cyclesteal_dist::{DistError, Exp, HyperExp2};
 use cyclesteal_linalg::{LinalgError, Workspace};
 use cyclesteal_markov::MarkovError;
-use cyclesteal_sim::{parallel_map_isolated, replicate, PolicyKind, SimConfig, SimParams};
+use cyclesteal_sim::{
+    parallel_map_isolated, replicate, replicate_fleet, FleetParams, PolicyKind, SimConfig,
+    SimParams,
+};
 use cyclesteal_xtest::fault;
 
 use crate::batch::{self, BatchStats};
@@ -271,7 +274,71 @@ fn classify_chain(c: &MarkovError) -> FailureKind {
     }
 }
 
+/// Evaluates a non-`(1, 1)` fleet point analytically. CS-CQ only: the
+/// fleet generalization exists for the central-queue policy alone, so any
+/// other policy here is an attributed infeasible configuration (never a
+/// silent drop). The `(1, 1)` path never enters this function — those
+/// points keep the exact 2-host pipeline (and its bit-level behavior)
+/// they always had.
+fn evaluate_analysis_km(point: &Point, cache: &SolveCache, row: &mut SweepRow) {
+    let (k, m) = point.hosts;
+    if point.policy != Policy::CsCq {
+        row.record_failure(FailureKind::InfeasibleFit {
+            reason: format!(
+                "policy {} has no (k, m) fleet model (hosts {k}x{m})",
+                crate::grid::policy_name(point.policy)
+            ),
+        });
+        return;
+    }
+    if point.extend_longs {
+        row.record_failure(FailureKind::InfeasibleFit {
+            reason: "extend_longs has no long-only formula for (k, m) fleets".to_string(),
+        });
+        return;
+    }
+    let hosts = match cs_cq_km::Hosts::new(k, m) {
+        Ok(h) => h,
+        Err(e) => {
+            row.record_failure(classify(&e));
+            return;
+        }
+    };
+    let params = match SystemParams::from_loads(
+        point.rho_s,
+        point.mean_s,
+        point.rho_l,
+        point.long.moments(),
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            row.record_failure(classify(&e));
+            return;
+        }
+    };
+    // Same contract as the 2-host path: genuine (precheck) instability is
+    // data, not a failure.
+    if !stability::is_stable_km(k, m, point.rho_s, point.rho_l) {
+        return;
+    }
+    let (res, rec) = WORKSPACE.with(|ws| {
+        recover::analyze_cs_cq_km_cached_in(hosts, &params, cache, &mut ws.borrow_mut())
+    });
+    row.attempts = rec.attempts;
+    row.degraded = rec.degraded;
+    match res {
+        Ok(r) => {
+            row.short_response = Some(r.short_response);
+            row.long_response = Some(r.long_response);
+        }
+        Err(e) => row.record_failure(classify(&e)),
+    }
+}
+
 fn evaluate_analysis(point: &Point, cache: &SolveCache, row: &mut SweepRow) {
+    if point.hosts != (1, 1) {
+        return evaluate_analysis_km(point, cache, row);
+    }
     let params = match SystemParams::from_loads(
         point.rho_s,
         point.mean_s,
@@ -350,6 +417,9 @@ fn evaluate_simulation(
     base_seed: u64,
     row: &mut SweepRow,
 ) {
+    if point.hosts != (1, 1) {
+        return evaluate_simulation_km(point, total_jobs, reps, base_seed, row);
+    }
     if !stability::is_stable(point.policy, point.rho_s, point.rho_l) {
         return;
     }
@@ -407,6 +477,82 @@ fn evaluate_simulation(
         ..SimConfig::default()
     };
     let rep = replicate(kind, &params, &config, reps.max(1));
+    if rep.short.count > 0 {
+        row.short_response = Some(rep.short.mean);
+        row.short_ci = Some(rep.short.ci_half);
+    }
+    if rep.long.count > 0 {
+        row.long_response = Some(rep.long.mean);
+        row.long_ci = Some(rep.long.ci_half);
+    }
+}
+
+/// Simulates a non-`(1, 1)` fleet point with `cyclesteal_sim`'s fleet
+/// engine. CS-CQ only, like [`evaluate_analysis_km`]; the seed still
+/// derives from the canonical row id, which carries the `hosts` suffix,
+/// so fleet points draw streams independent of their 2-host cousins.
+fn evaluate_simulation_km(
+    point: &Point,
+    total_jobs: u64,
+    reps: usize,
+    base_seed: u64,
+    row: &mut SweepRow,
+) {
+    let (k, m) = point.hosts;
+    if point.policy != Policy::CsCq {
+        row.record_failure(FailureKind::InfeasibleFit {
+            reason: format!(
+                "policy {} has no (k, m) fleet simulator (hosts {k}x{m})",
+                crate::grid::policy_name(point.policy)
+            ),
+        });
+        return;
+    }
+    if !stability::is_stable_km(k, m, point.rho_s, point.rho_l) {
+        return;
+    }
+    let infeasible = |row: &mut SweepRow, e: &dyn std::fmt::Display| {
+        row.record_failure(FailureKind::InfeasibleFit {
+            reason: e.to_string(),
+        });
+    };
+    let shorts = match Exp::with_mean(point.mean_s) {
+        Ok(d) => d,
+        Err(e) => return infeasible(row, &e),
+    };
+    // Same two-moment representative selection as the 2-host path.
+    let scv = point.long.scv();
+    let longs_exp;
+    let longs_h2;
+    let longs: &dyn cyclesteal_dist::Distribution = if (scv - 1.0).abs() <= 1e-9 {
+        match Exp::with_mean(point.long.mean()) {
+            Ok(d) => {
+                longs_exp = d;
+                &longs_exp
+            }
+            Err(e) => return infeasible(row, &e),
+        }
+    } else {
+        match HyperExp2::balanced_means(point.long.mean(), scv) {
+            Ok(d) => {
+                longs_h2 = d;
+                &longs_h2
+            }
+            Err(e) => return infeasible(row, &e),
+        }
+    };
+    let lambda_s = point.rho_s / point.mean_s;
+    let lambda_l = point.rho_l / point.long.mean();
+    let params = match FleetParams::new(k, m, lambda_s, lambda_l, &shorts, longs) {
+        Ok(p) => p,
+        Err(e) => return infeasible(row, &e),
+    };
+    let config = SimConfig {
+        seed: fnv1a64(row.id.as_bytes()).wrapping_add(base_seed),
+        total_jobs,
+        ..SimConfig::default()
+    };
+    let rep = replicate_fleet(&params, &config, reps.max(1));
     if rep.short.count > 0 {
         row.short_response = Some(rep.short.mean);
         row.short_ci = Some(rep.short.ci_half);

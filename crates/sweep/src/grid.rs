@@ -97,11 +97,19 @@ pub struct Point {
     /// long panels. When `false`, both classes come from the joint
     /// analysis and an unstable point yields no values at all.
     pub extend_longs: bool,
+    /// Fleet shape `(k, m)`: `k` short hosts and `m` stealing hosts.
+    /// `(1, 1)` is the paper's 2-host system and keeps the canonical row
+    /// id (and therefore every derived simulation seed) exactly as it was
+    /// before the fleet dimension existed. Shapes other than `(1, 1)` are
+    /// supported by CS-CQ only (the `cs_cq_km` analysis and the fleet
+    /// simulator); other policies at such points yield attributed
+    /// `infeasible_fit` failures.
+    pub hosts: (usize, usize),
 }
 
-/// A declarative sweep: the cartesian product of the four axes, evaluated
+/// A declarative sweep: the cartesian product of the five axes, evaluated
 /// one way. Build it, then [`GridSpec::points`] flattens it (row-major:
-/// `rho_s` outermost, then `rho_l`, long law, policy).
+/// `rho_s` outermost, then `rho_l`, long law, policy, fleet shape).
 #[derive(Debug, Clone)]
 pub struct GridSpec {
     /// Report name (lands in the JSON header).
@@ -120,6 +128,9 @@ pub struct GridSpec {
     pub evaluator: Evaluator,
     /// See [`Point::extend_longs`].
     pub extend_longs: bool,
+    /// Fleet-shape axis (see [`Point::hosts`]); `[(1, 1)]` reproduces the
+    /// paper's 2-host grids verbatim.
+    pub hosts: Vec<(usize, usize)>,
 }
 
 impl GridSpec {
@@ -137,12 +148,17 @@ impl GridSpec {
             policies: vec![Policy::Dedicated, Policy::CsId, Policy::CsCq],
             evaluator: Evaluator::Analysis,
             extend_longs: false,
+            hosts: vec![(1, 1)],
         }
     }
 
     /// Number of points in the product.
     pub fn len(&self) -> usize {
-        self.rho_s.len() * self.rho_l.len() * self.long_laws.len() * self.policies.len()
+        self.rho_s.len()
+            * self.rho_l.len()
+            * self.long_laws.len()
+            * self.policies.len()
+            * self.hosts.len()
     }
 
     /// `true` when any axis is empty.
@@ -157,15 +173,18 @@ impl GridSpec {
             for &rho_l in &self.rho_l {
                 for &long in &self.long_laws {
                     for &policy in &self.policies {
-                        out.push(Point {
-                            rho_s,
-                            rho_l,
-                            mean_s: self.mean_s,
-                            long,
-                            policy,
-                            evaluator: self.evaluator,
-                            extend_longs: self.extend_longs,
-                        });
+                        for &hosts in &self.hosts {
+                            out.push(Point {
+                                rho_s,
+                                rho_l,
+                                mean_s: self.mean_s,
+                                long,
+                                policy,
+                                evaluator: self.evaluator,
+                                extend_longs: self.extend_longs,
+                                hosts,
+                            });
+                        }
                     }
                 }
             }

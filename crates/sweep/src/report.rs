@@ -138,8 +138,16 @@ impl SweepRow {
         };
         // Rust's f64 Display is shortest-round-trip and deterministic, so
         // the id (and everything keyed on it) is reproducible bit-for-bit.
+        // The fleet suffix appears only for non-(1,1) shapes: the paper's
+        // 2-host points keep their pre-fleet ids, so goldens and derived
+        // simulation seeds are untouched.
+        let hosts = if point.hosts == (1, 1) {
+            String::new()
+        } else {
+            format!("|hosts={}x{}", point.hosts.0, point.hosts.1)
+        };
         format!(
-            "{}|rho_s={}|rho_l={}|mean_s={}|lmean={}|lscv={}|{}{}",
+            "{}|rho_s={}|rho_l={}|mean_s={}|lmean={}|lscv={}|{}{}{}",
             policy_name(point.policy),
             point.rho_s,
             point.rho_l,
@@ -148,6 +156,7 @@ impl SweepRow {
             point.long.scv(),
             eval,
             if point.extend_longs { "|ext" } else { "" },
+            hosts,
         )
     }
 
@@ -505,6 +514,7 @@ mod tests {
             policy: Policy::CsCq,
             evaluator: Evaluator::Analysis,
             extend_longs: false,
+            hosts: (1, 1),
         };
         assert_eq!(SweepRow::id_of(&p), SweepRow::id_of(&p.clone()));
         let q = Point { rho_s: 1.0, ..p };
@@ -518,5 +528,32 @@ mod tests {
             ..p
         };
         assert!(SweepRow::id_of(&s).contains("sim:j100:r2:s7"));
+    }
+
+    /// The fleet dimension must be invisible at `(1, 1)` — existing ids
+    /// (and the simulation seeds derived from them) are frozen — and must
+    /// distinguish every other shape.
+    #[test]
+    fn hosts_suffix_only_for_non_paper_shapes() {
+        let p = Point {
+            rho_s: 0.9,
+            rho_l: 0.5,
+            mean_s: 1.0,
+            long: LongLaw::exponential(1.0).unwrap(),
+            policy: Policy::CsCq,
+            evaluator: Evaluator::Analysis,
+            extend_longs: false,
+            hosts: (1, 1),
+        };
+        let id = SweepRow::id_of(&p);
+        assert!(!id.contains("hosts"), "(1,1) keeps the pre-fleet id: {id}");
+        assert_eq!(id, "cs_cq|rho_s=0.9|rho_l=0.5|mean_s=1|lmean=1|lscv=1|analysis");
+        let f = Point {
+            hosts: (2, 4),
+            ..p
+        };
+        let fid = SweepRow::id_of(&f);
+        assert!(fid.ends_with("|hosts=2x4"), "{fid}");
+        assert_ne!(SweepRow::id_of(&Point { hosts: (4, 2), ..p }), fid);
     }
 }

@@ -136,6 +136,116 @@ fn injected_faults_are_attributed_and_reports_stay_deterministic() {
     assert_eq!(metrics1.failures.infeasible_fit, 0);
 }
 
+/// A 900-point CS-CQ fleet grid over three non-paper shapes, every point
+/// inside the `(k, m)` frontier (`ρ_S ≤ 1.0 < k + m − ρ_L` and
+/// `ρ_L ≤ 0.75 < m` for every shape), so a clean run evaluates every row.
+fn km_grid() -> GridSpec {
+    let rho_s: Vec<f64> = (0..20).map(|i| 0.05 + 0.05 * i as f64).collect();
+    let rho_l: Vec<f64> = (0..15).map(|j| 0.05 + 0.05 * j as f64).collect();
+    let mut spec = GridSpec::analysis("fault_injection_km", rho_s, rho_l);
+    spec.policies = vec![Policy::CsCq];
+    spec.hosts = vec![(2, 1), (2, 2), (4, 2)];
+    spec
+}
+
+/// Faults planned at `(k, m) > (1, 1)` points go through exactly the same
+/// contract as 2-host points: each injection surfaces as the right
+/// [`FailureKind`] on the right fleet row (the scope is the row id, which
+/// carries the `hosts=KxM` suffix), faulted points bypass the shared
+/// [`SolveCache`] (non-faulted rows stay bit-identical to a clean run)
+/// and the batch presolve (`skipped_faulted` counts them), and the
+/// batched armed report equals the scalar armed report byte for byte.
+#[test]
+fn fleet_faults_are_attributed_and_bypass_cache_and_batch() {
+    let spec = km_grid();
+    assert_eq!(spec.len(), 900);
+
+    let (clean, clean_metrics) = run(&spec, &SweepOptions::threads(2));
+    assert_eq!(clean_metrics.failures.total(), 0, "clean fleet run");
+    for row in &clean.rows {
+        assert!(row.id.contains("|hosts="), "{} must be a fleet row", row.id);
+        assert!(row.short_response.is_some(), "{} must evaluate", row.id);
+    }
+
+    let plan = FaultPlan::new(0x0F1E_E700, 0.05, &SITES);
+    let oracle: Vec<Option<String>> = clean
+        .rows
+        .iter()
+        .map(|r| plan.site_for(&r.id).map(str::to_string))
+        .collect();
+    let planned = oracle.iter().flatten().count();
+    assert!(planned > 0, "the plan must actually fire on fleet scopes");
+
+    let _quiet = QuietPanics::install();
+    let armed = fault::arm(plan);
+    let (batched, bm) = run(&spec, &SweepOptions::threads(2));
+    let (scalar, _) = run(&spec, &SweepOptions::threads(2).with_batch(false));
+    drop(armed);
+
+    assert_eq!(
+        batched.to_json(),
+        scalar.to_json(),
+        "batched vs scalar under fleet faults"
+    );
+    // The presolve planner screens fleet points on the same fault oracle.
+    assert_eq!(bm.batch.skipped_faulted, planned, "{:?}", bm.batch);
+    assert_eq!(bm.batch.eligible, spec.len() - planned, "{:?}", bm.batch);
+
+    let mut fired = [0u64; 3];
+    for ((clean_row, armed_row), planned) in clean.rows.iter().zip(&batched.rows).zip(&oracle) {
+        assert_eq!(clean_row.id, armed_row.id);
+        match planned.as_deref() {
+            None => assert_eq!(armed_row, clean_row, "{}", clean_row.id),
+            Some(site) => {
+                let failure = armed_row
+                    .failure
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{} must carry a failure record", armed_row.id));
+                match site {
+                    "sweep.point" => {
+                        fired[0] += 1;
+                        assert!(
+                            matches!(&failure.kind, FailureKind::Panicked { message }
+                                if message.contains("injected")),
+                            "{}: {:?}",
+                            armed_row.id,
+                            armed_row.failure
+                        );
+                    }
+                    "qbd.solve" => {
+                        fired[1] += 1;
+                        assert!(
+                            matches!(failure.kind, FailureKind::NoConvergence { .. }),
+                            "{}: {:?}",
+                            armed_row.id,
+                            armed_row.failure
+                        );
+                        // The fleet path runs the same three-rung recovery
+                        // ladder as the 2-host path.
+                        assert_eq!(armed_row.attempts, 3, "{}", armed_row.id);
+                        assert!(armed_row.degraded, "{}", armed_row.id);
+                    }
+                    "dist.busy.mg1" => {
+                        fired[2] += 1;
+                        assert!(
+                            matches!(&failure.kind, FailureKind::NonFinite { site }
+                                if site == "dist.busy.mg1"),
+                            "{}: {:?}",
+                            armed_row.id,
+                            armed_row.failure
+                        );
+                    }
+                    other => panic!("plan chose an unarmed site {other}"),
+                }
+            }
+        }
+    }
+    // Each layer's injection must actually be exercised on fleet chains.
+    for (count, site) in fired.iter().zip(SITES) {
+        assert!(*count >= 3, "site {site} fired only {count} times on fleet rows");
+    }
+}
+
 /// The batched presolve under faults: the planner must skip exactly the
 /// planned-faulted points — their solves then run inside the per-point
 /// fault scope and attribute as usual, instead of being served a clean

@@ -42,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     policy,
                     evaluator,
                     extend_longs: false,
+                    hosts: (1, 1),
                 });
             }
         }

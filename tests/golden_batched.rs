@@ -29,6 +29,7 @@ fn point(rho_s: f64, rho_l: f64, long: LongLaw) -> Point {
         policy: Policy::CsCq,
         evaluator: Evaluator::Analysis,
         extend_longs: false,
+        hosts: (1, 1),
     }
 }
 

@@ -96,6 +96,7 @@ fn fig56_point(rho_s: f64, rho_l: f64, policy: Policy, extend_longs: bool) -> Po
         policy,
         evaluator: Evaluator::Analysis,
         extend_longs,
+        hosts: (1, 1),
     }
 }
 

@@ -26,6 +26,7 @@ fn grid(evaluator: Evaluator) -> Vec<Point> {
                 policy: Policy::CsCq,
                 evaluator,
                 extend_longs: false,
+                hosts: (1, 1),
             });
         }
     }
