@@ -125,4 +125,79 @@ for f in crates/bench/BENCH_solver.json crates/bench/BENCH_analysis_vs_simulatio
     [ -s "$f" ] || { echo "missing bench output $f" >&2; exit 1; }
 done
 
+echo "==> daemon crash-recovery smoke (SIGKILL mid-WAL-append, restart, bit-identical replay)"
+# The kill-restart gate, end to end over real TCP and a real filesystem:
+# a daemon armed with --kill-after-appends writes a torn WAL record and
+# raw-SIGKILLs itself mid-stream; the restarted daemon must truncate the
+# torn tail, recover every completed append, and re-serve the full query
+# stream byte-identically to a daemon that never crashed.
+cargo build --release --offline --example svc_daemon --example svc_client
+SVC_DAEMON=target/release/examples/svc_daemon
+SVC_CLIENT=target/release/examples/svc_client
+SVC_TMP=target/svc-gate
+rm -rf "$SVC_TMP"
+mkdir -p "$SVC_TMP"
+
+# Waits for "LISTENING <addr>" in $1 and prints the addr.
+svc_wait_addr() {
+    i=0
+    while [ $i -lt 100 ]; do
+        addr=$(sed -n 's/^LISTENING //p' "$1")
+        [ -n "$addr" ] && { echo "$addr"; return 0; }
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "daemon did not start: $1" >&2
+    return 1
+}
+
+# 1. Arm the crash: die with a torn record after the 7th append (index 6).
+"$SVC_DAEMON" --workers 1 --data-dir "$SVC_TMP/crashdir" --kill-after-appends 6 \
+    > "$SVC_TMP/d_crash.log" 2>&1 &
+svc_pid=$!
+svc_addr=$(svc_wait_addr "$SVC_TMP/d_crash.log")
+"$SVC_CLIENT" --addr "$svc_addr" stream --count 12 --tolerate-crash > "$SVC_TMP/crashed.txt"
+wait "$svc_pid" && { echo "crash gate: daemon should have been SIGKILLed" >&2; exit 1; } || true
+grep -q "^CRASHED_AT_QUERY 6$" "$SVC_TMP/crashed.txt" \
+    || { echo "crash gate: expected the crash at query 6" >&2; cat "$SVC_TMP/crashed.txt" >&2; exit 1; }
+
+# 2. Restart on the crashed dir: warm recovery must report the torn tail.
+"$SVC_DAEMON" --workers 1 --data-dir "$SVC_TMP/crashdir" > "$SVC_TMP/d_recovered.log" 2>&1 &
+svc_pid=$!
+svc_addr=$(svc_wait_addr "$SVC_TMP/d_recovered.log")
+grep -q "recovered: 0 snapshot + 6 wal entries (torn tail truncated)" "$SVC_TMP/d_recovered.log" \
+    || { echo "crash gate: wrong recovery" >&2; cat "$SVC_TMP/d_recovered.log" >&2; exit 1; }
+"$SVC_CLIENT" --addr "$svc_addr" stream --count 12 > "$SVC_TMP/recovered.txt"
+"$SVC_CLIENT" --addr "$svc_addr" drain > /dev/null
+wait "$svc_pid"
+
+# 3. Oracle: the same stream against a daemon that never crashed.
+"$SVC_DAEMON" --workers 1 --data-dir "$SVC_TMP/freshdir" > "$SVC_TMP/d_oracle.log" 2>&1 &
+svc_pid=$!
+svc_addr=$(svc_wait_addr "$SVC_TMP/d_oracle.log")
+"$SVC_CLIENT" --addr "$svc_addr" stream --count 12 > "$SVC_TMP/oracle.txt"
+"$SVC_CLIENT" --addr "$svc_addr" drain > /dev/null
+wait "$svc_pid"
+cmp "$SVC_TMP/recovered.txt" "$SVC_TMP/oracle.txt" \
+    || { echo "crash gate: recovered answers differ from the never-crashed run" >&2; exit 1; }
+echo "crash gate: 6 entries recovered, torn tail truncated, 12 replayed answers bit-identical"
+
+echo "==> daemon overload smoke (slowed worker, bounded queue -> structured sheds)"
+# 10x the daemon's drain rate: a 20-query burst into a 2-slot queue behind
+# one 40 ms/query worker. Admitted queries must all complete; the rest
+# must shed as structured queue_full rejections with retry hints (the
+# client asserts the shape of every shed response).
+"$SVC_DAEMON" --workers 1 --queue 2 --slow-ms 40 > "$SVC_TMP/d_overload.log" 2>&1 &
+svc_pid=$!
+svc_addr=$(svc_wait_addr "$SVC_TMP/d_overload.log")
+burst=$("$SVC_CLIENT" --addr "$svc_addr" burst --count 20)
+echo "$burst"
+"$SVC_CLIENT" --addr "$svc_addr" drain > /dev/null
+wait "$svc_pid"
+echo "$burst" | awk '{
+    split($2, a, "="); split($3, b, "=");
+    if (a[2] < 1) { print "overload gate: no admitted query completed"; exit 1 }
+    if (b[2] < 1) { print "overload gate: nothing was shed under 10x load"; exit 1 }
+}'
+
 echo "==> OK"

@@ -71,6 +71,16 @@ impl BusyPeriodFit {
             BusyPeriodFit::ThreeMoment => 3,
         }
     }
+
+    /// Stable snake_case name, used in failure/timeout stage labels and
+    /// service responses.
+    pub fn name(self) -> &'static str {
+        match self {
+            BusyPeriodFit::MeanOnly => "mean_only",
+            BusyPeriodFit::TwoMoment => "two_moment",
+            BusyPeriodFit::ThreeMoment => "three_moment",
+        }
+    }
 }
 
 /// Full CS-CQ analysis output.
@@ -203,7 +213,21 @@ pub fn analyze_cached_in(
     ws: &mut Workspace,
 ) -> Result<CsCqReport, AnalysisError> {
     let snapped = snap_params(params);
-    let key = (
+    let key = report_key(&snapped, fit);
+    cache.report(key, || {
+        let poisson = Map::poisson(snapped.lambda_s())?;
+        analyze_inner(&snapped, fit, &poisson, Some(cache), ws)
+    })
+}
+
+/// The [`crate::cache::ReportKey`] under which [`analyze_cached`] memoizes
+/// (and the persistence layer stores) this workload: the *snapped*
+/// parameter bits, the fit tag, and `(1, 1)` host counts. Snapping is
+/// applied here, so callers may pass un-quantized parameters and still get
+/// the exact key the cached analysis uses.
+pub fn report_key(params: &SystemParams, fit: BusyPeriodFit) -> crate::cache::ReportKey {
+    let snapped = snap_params(params);
+    (
         [
             snapped.lambda_s().to_bits(),
             snapped.mu_s().to_bits(),
@@ -214,11 +238,7 @@ pub fn analyze_cached_in(
         ],
         fit.tag(),
         (1, 1),
-    );
-    cache.report(key, || {
-        let poisson = Map::poisson(snapped.lambda_s())?;
-        analyze_inner(&snapped, fit, &poisson, Some(cache), ws)
-    })
+    )
 }
 
 /// Snaps every workload parameter onto the cache quantization grid; keeps

@@ -182,7 +182,21 @@ pub fn analyze_cached_in(
     ws: &mut Workspace,
 ) -> Result<CsCqReport, AnalysisError> {
     let snapped = snap_params(params);
-    let key = (
+    let key = report_key(hosts, &snapped, fit);
+    cache.report(key, || analyze_inner(hosts, &snapped, fit, Some(cache), ws))
+}
+
+/// The [`crate::cache::ReportKey`] under which [`analyze_cached`] memoizes
+/// (and the persistence layer stores) this `(k, m)` workload. Parameters
+/// are snapped here; host counts are carried verbatim. At `(1, 1)` this is
+/// exactly [`crate::cs_cq::report_key`].
+pub fn report_key(
+    hosts: Hosts,
+    params: &SystemParams,
+    fit: BusyPeriodFit,
+) -> crate::cache::ReportKey {
+    let snapped = snap_params(params);
+    (
         [
             snapped.lambda_s().to_bits(),
             snapped.mu_s().to_bits(),
@@ -193,8 +207,7 @@ pub fn analyze_cached_in(
         ],
         fit.tag(),
         (hosts.k as u32, hosts.m as u32),
-    );
-    cache.report(key, || analyze_inner(hosts, &snapped, fit, Some(cache), ws))
+    )
 }
 
 /// Builds the fleet QBD exactly as [`analyze_with`] constructs it,

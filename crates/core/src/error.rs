@@ -25,6 +25,19 @@ pub enum AnalysisError {
         /// The maximum tail mass the query is allowed to drop.
         tolerance: f64,
     },
+    /// A deadline-budgeted analysis ran out of time before any rung of
+    /// the degradation ladder could finish (see
+    /// `recover::analyze_cs_cq_deadline_cached_in`). The answer is *not*
+    /// wrong, merely unaffordable within the caller's budget; retry with a
+    /// larger budget or no deadline.
+    DeadlineExceeded {
+        /// The ladder stage that could not be afforded (a
+        /// `BusyPeriodFit::name()`, or `"admission"` when the budget was
+        /// already exhausted before the first attempt).
+        stage: &'static str,
+        /// The total budget the query carried, in nanoseconds.
+        budget_ns: u64,
+    },
     /// The requested configuration violates the policy's stability
     /// condition (Theorem 1), so no stationary analysis exists.
     Unstable {
@@ -53,6 +66,11 @@ impl fmt::Display for AnalysisError {
                 "distribution truncated at n_max = {n_max}: tail mass {tail_mass:.3e} \
                  exceeds tolerance {tolerance:.0e}; retry with a larger n_max"
             ),
+            AnalysisError::DeadlineExceeded { stage, budget_ns } => write!(
+                f,
+                "deadline exceeded at stage `{stage}`: the {budget_ns} ns budget \
+                 cannot afford another attempt; retry with a larger budget"
+            ),
             AnalysisError::Unstable {
                 policy,
                 rho_s,
@@ -72,7 +90,9 @@ impl Error for AnalysisError {
         match self {
             AnalysisError::Param(e) => Some(e),
             AnalysisError::Chain(e) => Some(e),
-            AnalysisError::Truncated { .. } | AnalysisError::Unstable { .. } => None,
+            AnalysisError::Truncated { .. }
+            | AnalysisError::DeadlineExceeded { .. }
+            | AnalysisError::Unstable { .. } => None,
         }
     }
 }
@@ -125,6 +145,14 @@ mod tests {
         };
         assert!(e.to_string().contains("n_max = 50"));
         assert!(e.to_string().contains("larger n_max"));
+        assert!(Error::source(&e).is_none());
+
+        let e = AnalysisError::DeadlineExceeded {
+            stage: "three_moment",
+            budget_ns: 1_000,
+        };
+        assert!(e.to_string().contains("three_moment"));
+        assert!(e.to_string().contains("1000 ns"));
         assert!(Error::source(&e).is_none());
     }
 }

@@ -53,6 +53,103 @@ const FIT_LADDER: [BusyPeriodFit; 3] = [
     BusyPeriodFit::MeanOnly,
 ];
 
+/// A monotonic nanosecond source the deadline ladder reads time through.
+///
+/// Injectable so budget decisions can be made deterministic in tests: the
+/// blanket impl lets any `Fn() -> u64` closure serve as a clock (e.g.
+/// `cyclesteal_xtest::clock::StepClock::as_fn`), while production uses
+/// [`MonotonicClock`]. Only *differences* of readings are ever used, so
+/// the epoch is arbitrary.
+pub trait Clock {
+    /// Current time in nanoseconds since an arbitrary fixed epoch.
+    fn now_ns(&self) -> u64;
+}
+
+impl<F: Fn() -> u64> Clock for F {
+    fn now_ns(&self) -> u64 {
+        self()
+    }
+}
+
+/// The production clock: [`std::time::Instant`] nanoseconds since the
+/// first reading taken through any `MonotonicClock`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonotonicClock;
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        let epoch = *EPOCH.get_or_init(Instant::now);
+        u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A started budget: a clock, the reading at query admission, and the
+/// total nanoseconds the caller is willing to spend. All arithmetic is
+/// saturating, so a non-monotonic injected clock cannot panic the ladder.
+#[derive(Clone, Copy)]
+pub struct Deadline<'a> {
+    clock: &'a dyn Clock,
+    start_ns: u64,
+    budget_ns: u64,
+}
+
+impl std::fmt::Debug for Deadline<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deadline")
+            .field("start_ns", &self.start_ns)
+            .field("budget_ns", &self.budget_ns)
+            .finish()
+    }
+}
+
+impl<'a> Deadline<'a> {
+    /// Starts the budget now (one clock reading).
+    pub fn start(clock: &'a dyn Clock, budget_ns: u64) -> Self {
+        Deadline {
+            start_ns: clock.now_ns(),
+            clock,
+            budget_ns,
+        }
+    }
+
+    /// The total budget this deadline was started with.
+    pub fn budget_ns(&self) -> u64 {
+        self.budget_ns
+    }
+
+    /// Nanoseconds spent since [`Deadline::start`].
+    pub fn elapsed_ns(&self) -> u64 {
+        self.clock.now_ns().saturating_sub(self.start_ns)
+    }
+
+    /// Budget not yet spent (`0` once expired).
+    pub fn remaining_ns(&self) -> u64 {
+        self.budget_ns.saturating_sub(self.elapsed_ns())
+    }
+
+    /// `true` once the budget is fully spent.
+    pub fn expired(&self) -> bool {
+        self.remaining_ns() == 0
+    }
+}
+
+/// What a deadline-budgeted ladder did: the ordinary [`Recovery`] plus
+/// whether the *deadline* (rather than a numeric failure) forced the
+/// ladder to skip ahead to the cheapest rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineRecovery {
+    /// Rungs tried and the fit that produced the outcome, exactly as in
+    /// the un-budgeted ladder.
+    pub recovery: Recovery,
+    /// `true` when remaining budget could not afford the next escalation
+    /// and the ladder jumped straight to the mean-only rung. A steered
+    /// success is always also `degraded`.
+    pub steered: bool,
+}
+
 /// Is this failure worth retrying with a lower fit order? Infeasible
 /// moment regions and exhausted `R`-iterations both depend on the fitted
 /// busy-period Coxians; a lower-order fit changes the chain and can
@@ -94,6 +191,86 @@ fn run_fit_ladder(
         }
     }
     unreachable!("the ladder returns from its last rung")
+}
+
+/// The fit ladder under a time budget. Same escalation rules as
+/// [`run_fit_ladder`], with three deadline-specific behaviours:
+///
+/// 1. **Expired at a rung boundary** → `DeadlineExceeded { stage }`
+///    naming the rung that could not start (so an expired-on-arrival
+///    budget fails with `stage: "three_moment"` and `attempts: 0`).
+/// 2. **Steering**: after a retryable failure, if the remaining budget is
+///    smaller than what the failed attempt just cost — the best available
+///    estimate of the next rung's cost — the ladder jumps straight to the
+///    cheapest rung (mean-only) instead of walking through intermediate
+///    orders it cannot afford. The result is served `degraded` +
+///    `steered`.
+/// 3. **Started work is finished**: an attempt that is already running
+///    when the budget expires completes and, if successful, is served —
+///    the answer is correct, merely late. Deadlines bound *scheduling*
+///    decisions, never discard computed results.
+///
+/// Budget decisions depend only on the injected [`Clock`] readings, so a
+/// scripted clock makes every branch of this ladder deterministic.
+fn run_fit_ladder_deadline(
+    deadline: &Deadline<'_>,
+    mut attempt: impl FnMut(BusyPeriodFit) -> Result<CsCqReport, AnalysisError>,
+) -> (Result<CsCqReport, AnalysisError>, DeadlineRecovery) {
+    let mut steered = false;
+    let mut rung = 0usize;
+    let mut attempts = 0u32;
+    let last = FIT_LADDER.len() - 1;
+    loop {
+        let fit = FIT_LADDER[rung];
+        if deadline.expired() {
+            cyclesteal_obs::counter!("core.recover.deadline_exceeded");
+            return (
+                Err(AnalysisError::DeadlineExceeded {
+                    stage: fit.name(),
+                    budget_ns: deadline.budget_ns(),
+                }),
+                DeadlineRecovery {
+                    recovery: Recovery {
+                        attempts,
+                        degraded: false,
+                        fit,
+                    },
+                    steered,
+                },
+            );
+        }
+        attempts += 1;
+        let recovery = Recovery {
+            attempts,
+            degraded: rung > 0,
+            fit,
+        };
+        cyclesteal_obs::counter!("core.recover.attempts");
+        let before = deadline.elapsed_ns();
+        match attempt(fit) {
+            Ok(report) => {
+                cyclesteal_obs::histogram!("core.recover.ladder_depth", u64::from(attempts));
+                if recovery.degraded {
+                    cyclesteal_obs::counter!("core.recover.degraded");
+                }
+                return (Ok(report), DeadlineRecovery { recovery, steered });
+            }
+            Err(e) if rung < last && fit_retryable(&e) => {
+                let cost = deadline.elapsed_ns().saturating_sub(before);
+                if rung + 1 < last && deadline.remaining_ns() < cost {
+                    rung = last;
+                    steered = true;
+                    cyclesteal_obs::counter!("core.recover.deadline_steered");
+                } else {
+                    rung += 1;
+                }
+            }
+            Err(e) => {
+                cyclesteal_obs::counter!("core.recover.exhausted");
+                return (Err(e), DeadlineRecovery { recovery, steered });
+            }
+        }
+    }
 }
 
 /// CS-CQ analysis through a [`SolveCache`] with automatic fit-order
@@ -167,6 +344,37 @@ pub fn analyze_cs_cq_km_cached_in(
     ws: &mut Workspace,
 ) -> (Result<CsCqReport, AnalysisError>, Recovery) {
     run_fit_ladder(|fit| cs_cq_km::analyze_cached_in(hosts, params, fit, cache, ws))
+}
+
+/// [`analyze_cs_cq_cached_in`] under a time budget: the fit ladder is
+/// steered by the [`Deadline`] (see [`run_fit_ladder_deadline`]'s rules —
+/// expired budgets fail with [`AnalysisError::DeadlineExceeded`], tight
+/// budgets jump straight to the mean-only rung and flag the result
+/// `steered` + `degraded`). Results that *are* produced remain pure
+/// functions of `(params, fit)`: the deadline picks which rung answers,
+/// never what a rung computes, so cached bit-identity survives.
+pub fn analyze_cs_cq_deadline_cached_in(
+    params: &SystemParams,
+    cache: &SolveCache,
+    ws: &mut Workspace,
+    deadline: &Deadline<'_>,
+) -> (Result<CsCqReport, AnalysisError>, DeadlineRecovery) {
+    run_fit_ladder_deadline(deadline, |fit| {
+        cs_cq::analyze_cached_in(params, fit, cache, ws)
+    })
+}
+
+/// The `(k, m)` fleet counterpart of [`analyze_cs_cq_deadline_cached_in`].
+pub fn analyze_cs_cq_km_deadline_cached_in(
+    hosts: cs_cq_km::Hosts,
+    params: &SystemParams,
+    cache: &SolveCache,
+    ws: &mut Workspace,
+    deadline: &Deadline<'_>,
+) -> (Result<CsCqReport, AnalysisError>, DeadlineRecovery) {
+    run_fit_ladder_deadline(deadline, |fit| {
+        cs_cq_km::analyze_cached_in(hosts, params, fit, cache, ws)
+    })
 }
 
 /// Escalation budget for [`shorts_distribution`].
@@ -315,6 +523,209 @@ mod tests {
         assert!(!rec.degraded);
         let mass: f64 = dist.iter().sum();
         assert!(mass > 1.0 - 2e-6, "escalated depth covers the tail: {mass}");
+    }
+
+    mod deadline {
+        use super::*;
+        use cyclesteal_dist::match3::MatchQuality;
+        use cyclesteal_markov::MarkovError;
+        use cyclesteal_xtest::clock::StepClock;
+
+        /// A syntactically valid report whose `short_response` tags which
+        /// mocked rung produced it.
+        fn report_tagged(tag: f64) -> CsCqReport {
+            CsCqReport {
+                short_response: tag,
+                long_response: 1.0,
+                mean_shorts_in_system: 1.0,
+                p_region1: 0.25,
+                p_region2: 0.25,
+                p_region5: 0.25,
+                setup_probability: 0.5,
+                bl_match: MatchQuality::ExactThree,
+                bn_match: MatchQuality::ExactThree,
+                total_mass: 1.0,
+            }
+        }
+
+        fn retryable() -> AnalysisError {
+            AnalysisError::Chain(MarkovError::NoConvergence {
+                what: "mock",
+                iterations: 1,
+                residual: 1.0,
+            })
+        }
+
+        #[test]
+        fn expired_on_arrival_times_out_at_the_first_stage() {
+            let clock = StepClock::new(0, 0);
+            let f = clock.as_fn();
+            let deadline = Deadline::start(&f, 0);
+            let (res, rec) = run_fit_ladder_deadline(&deadline, |_| {
+                panic!("an expired budget must not start work")
+            });
+            assert!(matches!(
+                res,
+                Err(AnalysisError::DeadlineExceeded {
+                    stage: "three_moment",
+                    budget_ns: 0,
+                })
+            ));
+            assert_eq!(rec.recovery.attempts, 0);
+            assert!(!rec.steered);
+        }
+
+        #[test]
+        fn ample_budget_serves_the_primary_rung() {
+            let clock = StepClock::new(0, 0);
+            let f = clock.as_fn();
+            let deadline = Deadline::start(&f, 1_000);
+            let (res, rec) = run_fit_ladder_deadline(&deadline, |fit| {
+                clock.advance(10);
+                assert_eq!(fit, BusyPeriodFit::ThreeMoment);
+                Ok(report_tagged(3.0))
+            });
+            assert_eq!(res.unwrap().short_response, 3.0);
+            assert_eq!(rec.recovery.attempts, 1);
+            assert!(!rec.recovery.degraded);
+            assert!(!rec.steered);
+        }
+
+        #[test]
+        fn tight_budget_steers_straight_to_mean_only() {
+            // Budget 100: the three-moment attempt fails after costing 60.
+            // Remaining 40 < 60 (the best estimate of the next rung's
+            // cost), so the ladder must skip two-moment entirely.
+            let clock = StepClock::new(0, 0);
+            let f = clock.as_fn();
+            let deadline = Deadline::start(&f, 100);
+            let mut tried = Vec::new();
+            let (res, rec) = run_fit_ladder_deadline(&deadline, |fit| {
+                tried.push(fit);
+                match fit {
+                    BusyPeriodFit::ThreeMoment => {
+                        clock.advance(60);
+                        Err(retryable())
+                    }
+                    BusyPeriodFit::MeanOnly => {
+                        clock.advance(10);
+                        Ok(report_tagged(1.0))
+                    }
+                    BusyPeriodFit::TwoMoment => panic!("steering must skip this rung"),
+                }
+            });
+            assert_eq!(
+                tried,
+                vec![BusyPeriodFit::ThreeMoment, BusyPeriodFit::MeanOnly]
+            );
+            assert_eq!(res.unwrap().short_response, 1.0);
+            assert!(rec.steered);
+            assert!(rec.recovery.degraded);
+            assert_eq!(rec.recovery.attempts, 2);
+            assert_eq!(rec.recovery.fit, BusyPeriodFit::MeanOnly);
+        }
+
+        #[test]
+        fn comfortable_budget_walks_every_rung_in_order() {
+            // Budget 1000, each failed attempt costs 60: after the
+            // three-moment failure 940 >= 60 remains, so the ladder walks
+            // through two-moment normally (no steering).
+            let clock = StepClock::new(0, 0);
+            let f = clock.as_fn();
+            let deadline = Deadline::start(&f, 1_000);
+            let mut tried = Vec::new();
+            let (res, rec) = run_fit_ladder_deadline(&deadline, |fit| {
+                tried.push(fit);
+                clock.advance(60);
+                if fit == BusyPeriodFit::MeanOnly {
+                    Ok(report_tagged(1.0))
+                } else {
+                    Err(retryable())
+                }
+            });
+            assert_eq!(tried, FIT_LADDER.to_vec());
+            assert!(res.is_ok());
+            assert!(!rec.steered, "nothing was skipped, only escalated");
+            assert!(rec.recovery.degraded);
+            assert_eq!(rec.recovery.attempts, 3);
+        }
+
+        #[test]
+        fn budget_exhausted_before_mean_only_times_out_at_that_stage() {
+            // The steered jump lands on mean-only with zero budget left:
+            // even the cheapest rung cannot start.
+            let clock = StepClock::new(0, 0);
+            let f = clock.as_fn();
+            let deadline = Deadline::start(&f, 100);
+            let (res, rec) = run_fit_ladder_deadline(&deadline, |fit| {
+                assert_eq!(fit, BusyPeriodFit::ThreeMoment);
+                clock.advance(100);
+                Err(retryable())
+            });
+            assert!(matches!(
+                res,
+                Err(AnalysisError::DeadlineExceeded {
+                    stage: "mean_only",
+                    budget_ns: 100,
+                })
+            ));
+            assert!(rec.steered);
+            assert_eq!(rec.recovery.attempts, 1);
+        }
+
+        #[test]
+        fn late_success_is_still_served() {
+            // The only attempt blows through the whole budget but
+            // succeeds: deadlines never discard computed answers.
+            let clock = StepClock::new(0, 0);
+            let f = clock.as_fn();
+            let deadline = Deadline::start(&f, 50);
+            let (res, rec) = run_fit_ladder_deadline(&deadline, |_| {
+                clock.advance(500);
+                Ok(report_tagged(3.0))
+            });
+            assert_eq!(res.unwrap().short_response, 3.0);
+            assert_eq!(rec.recovery.attempts, 1);
+            assert!(!rec.recovery.degraded);
+        }
+
+        #[test]
+        fn non_retryable_failure_ignores_the_remaining_budget() {
+            let clock = StepClock::new(0, 0);
+            let f = clock.as_fn();
+            let deadline = Deadline::start(&f, 1_000);
+            let (res, rec) = run_fit_ladder_deadline(&deadline, |_| {
+                Err(AnalysisError::Unstable {
+                    policy: "CS-CQ",
+                    rho_s: 1.9,
+                    rho_l: 0.5,
+                    rho_s_max: 1.5,
+                })
+            });
+            assert!(matches!(res, Err(AnalysisError::Unstable { .. })));
+            assert_eq!(rec.recovery.attempts, 1, "instability is terminal");
+            assert!(!rec.steered);
+        }
+
+        #[test]
+        fn end_to_end_deadline_analysis_is_bit_identical_to_unbudgeted() {
+            let cache = SolveCache::new();
+            let p = SystemParams::exponential(1.1, 1.0, 0.5, 1.0).unwrap();
+            let clock = StepClock::new(0, 0);
+            let f = clock.as_fn();
+            let deadline = Deadline::start(&f, u64::MAX);
+            let mut ws = Workspace::new();
+            let (res, rec) = analyze_cs_cq_deadline_cached_in(&p, &cache, &mut ws, &deadline);
+            let budgeted = res.unwrap();
+            let direct = cs_cq::analyze_cached(&p, BusyPeriodFit::ThreeMoment, &cache).unwrap();
+            assert_eq!(
+                budgeted.short_response.to_bits(),
+                direct.short_response.to_bits(),
+                "the deadline picks rungs, never changes what a rung computes"
+            );
+            assert_eq!(rec.recovery.attempts, 1);
+            assert!(!rec.steered);
+        }
     }
 
     #[test]

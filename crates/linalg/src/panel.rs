@@ -431,7 +431,7 @@ mod tests {
                 m[(i, j)] = (z % 2000) as f64 / 1000.0 - 1.0;
                 // Sprinkle exact zeros so the mul kernel's skip branch is
                 // exercised on both sides.
-                if z % 7 == 0 {
+                if z.is_multiple_of(7) {
                     m[(i, j)] = 0.0;
                 }
             }

@@ -1,0 +1,246 @@
+//! Admission control: a bounded work queue with structured load-shedding.
+//!
+//! The daemon never queues unboundedly. When the queue is full the client
+//! gets an immediate, structured rejection carrying a *retry-after hint*
+//! derived from the current backlog and an EWMA of recent service times —
+//! the client can back off intelligently instead of guessing. A closed
+//! queue (draining) sheds with a distinct reason so clients know not to
+//! retry this instance at all.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Why a job was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The queue is at capacity; retry after roughly this many ms.
+    QueueFull {
+        /// Backlog-derived backoff hint.
+        retry_after_ms: u64,
+    },
+    /// The daemon is draining and accepts no new work.
+    Draining,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    open: bool,
+}
+
+/// A bounded MPMC job queue with admission accounting.
+pub struct Admission<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+    workers: u64,
+    /// EWMA of per-job service time in ns (`0` = no sample yet).
+    ewma_service_ns: AtomicU64,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl<T> Admission<T> {
+    /// A queue holding at most `capacity` jobs, drained by `workers`
+    /// workers (the worker count scales the retry-after hint).
+    pub fn new(capacity: usize, workers: usize) -> Self {
+        Admission {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(capacity),
+                open: true,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            workers: workers.max(1) as u64,
+            ewma_service_ns: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admits `job` or sheds it with a structured reason.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Draining`] once [`Admission::close`] was called;
+    /// [`AdmitError::QueueFull`] at capacity, with a retry hint.
+    pub fn admit(&self, job: T) -> Result<(), AdmitError> {
+        let mut inner = self.lock();
+        if !inner.open {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            cyclesteal_obs::counter!("svc.admission.shed_draining");
+            return Err(AdmitError::Draining);
+        }
+        if inner.queue.len() >= self.capacity {
+            let depth = inner.queue.len() as u64;
+            drop(inner);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            cyclesteal_obs::counter!("svc.admission.shed_queue_full");
+            return Err(AdmitError::QueueFull {
+                retry_after_ms: self.retry_after_ms(depth),
+            });
+        }
+        inner.queue.push_back(job);
+        drop(inner);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        cyclesteal_obs::counter!("svc.admission.admitted");
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// empty (workers drain the backlog before exiting).
+    pub fn next(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(job) = inner.queue.pop_front() {
+                return Some(job);
+            }
+            if !inner.open {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops admission and wakes every blocked worker. Already-queued jobs
+    /// are still handed out.
+    pub fn close(&self) {
+        self.lock().open = false;
+        self.ready.notify_all();
+    }
+
+    /// `false` once draining has begun.
+    pub fn is_open(&self) -> bool {
+        self.lock().open
+    }
+
+    /// Current backlog length.
+    pub fn depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Feeds one completed job's service time into the EWMA
+    /// (`new = (7·old + sample) / 8`, seeded by the first sample).
+    pub fn record_service_ns(&self, ns: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .ewma_service_ns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+                Some(if old == 0 {
+                    ns.max(1)
+                } else {
+                    (old / 8).saturating_mul(7).saturating_add(ns / 8).max(1)
+                })
+            });
+    }
+
+    /// The backoff hint for a client seeing a full queue of `depth` jobs:
+    /// the backlog's expected drain time across the worker pool, floored
+    /// at 1 ms so clients never busy-spin.
+    fn retry_after_ms(&self, depth: u64) -> u64 {
+        let ewma = self.ewma_service_ns.load(Ordering::Relaxed);
+        if ewma == 0 {
+            return 1;
+        }
+        let drain_ns = depth.saturating_mul(ewma) / self.workers;
+        (drain_ns / 1_000_000).max(1)
+    }
+
+    /// `(admitted, shed, completed)` counters.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (
+            self.admitted.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.completed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_until_capacity_then_sheds_with_a_hint() {
+        let q = Admission::new(2, 1);
+        q.record_service_ns(4_000_000); // 4 ms EWMA seed
+        assert!(q.admit(1).is_ok());
+        assert!(q.admit(2).is_ok());
+        match q.admit(3) {
+            Err(AdmitError::QueueFull { retry_after_ms }) => {
+                // 2 queued × 4 ms / 1 worker = 8 ms.
+                assert_eq!(retry_after_ms, 8);
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        let (admitted, shed, _) = q.counts();
+        assert_eq!((admitted, shed), (2, 1));
+    }
+
+    #[test]
+    fn hint_floors_at_one_ms_without_samples() {
+        let q = Admission::new(1, 4);
+        q.admit(()).unwrap();
+        match q.admit(()) {
+            Err(AdmitError::QueueFull { retry_after_ms }) => assert_eq!(retry_after_ms, 1),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_drains_the_backlog_then_releases_workers() {
+        let q = Arc::new(Admission::new(8, 2));
+        q.admit(10).unwrap();
+        q.admit(11).unwrap();
+        q.close();
+        assert!(matches!(q.admit(12), Err(AdmitError::Draining)));
+        // Queued jobs still come out, then None.
+        assert_eq!(q.next(), Some(10));
+        assert_eq!(q.next(), Some(11));
+        assert_eq!(q.next(), None);
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_admit_and_on_close() {
+        let q = Arc::new(Admission::<u32>::new(4, 2));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let first = q2.next();
+            let second = q2.next();
+            (first, second)
+        });
+        // Give the consumer a moment to block, then feed and close.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.admit(99).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        let (first, second) = consumer.join().unwrap();
+        assert_eq!(first, Some(99));
+        assert_eq!(second, None);
+    }
+
+    #[test]
+    fn ewma_tracks_recent_service_times() {
+        let q = Admission::<()>::new(1, 1);
+        q.record_service_ns(8_000_000);
+        for _ in 0..50 {
+            q.record_service_ns(1_000_000);
+        }
+        let ewma = q.ewma_service_ns.load(Ordering::Relaxed);
+        assert!(
+            (900_000..2_000_000).contains(&ewma),
+            "EWMA should converge toward the recent 1 ms samples, got {ewma}"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! A crash-safe capacity-planning daemon over the cycle-stealing
+//! analyzers: a long-running TCP service that answers single scenario
+//! queries through [`cyclesteal_sweep::run_query`], with
+//!
+//! * **admission control** — a bounded queue ([`admission`]) and
+//!   per-connection in-flight caps; overload produces structured
+//!   load-shedding responses with retry-after hints, never unbounded
+//!   queueing;
+//! * **deadline budgets** — each query may carry `budget_ns`, which
+//!   starts at admission (queue wait counts) and steers the
+//!   busy-period-fit degradation ladder of `cyclesteal_core::recover`:
+//!   degraded answers are flagged, and a hopeless budget yields a
+//!   `timeout` failure record naming the stage it died at;
+//! * **a durable solve cache** — computed reports stream to a
+//!   checksummed write-ahead log and periodic snapshot ([`wal`]);
+//!   restart recovery truncates torn tails to the last valid record and
+//!   never serves a corrupted entry;
+//! * **graceful drain** — `SIGTERM` (or a `drain` request) stops
+//!   admission, finishes in-flight queries, compacts the WAL into a
+//!   fresh snapshot, and flushes an observability snapshot.
+//!
+//! The wire protocol is length-prefixed JSON frames ([`proto`],
+//! [`json`]); [`client::Client`] is the matching blocking client.
+//!
+//! Everything here is `std`-only — no external dependencies.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod admission;
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;
+pub mod wal;
+
+/// Kills the current process with raw `SIGKILL` — no unwinding, no
+/// destructors, no flushing. This is the crash-recovery gate's hammer:
+/// it simulates power loss at an arbitrary instruction boundary.
+#[cfg(unix)]
+pub(crate) fn raw_self_sigkill() -> ! {
+    extern "C" {
+        fn getpid() -> i32;
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    // SAFETY: getpid/kill are async-signal-safe libc calls with no
+    // preconditions; SIGKILL(9) cannot be caught, so this never returns.
+    unsafe {
+        kill(getpid(), 9);
+    }
+    unreachable!("SIGKILL did not terminate the process");
+}
+
+#[cfg(not(unix))]
+pub(crate) fn raw_self_sigkill() -> ! {
+    std::process::abort();
+}

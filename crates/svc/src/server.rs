@@ -1,0 +1,665 @@
+//! The daemon: accept loop, connection readers, worker pool, and the
+//! graceful-drain choreography.
+//!
+//! # Thread model
+//!
+//! * one **accept** thread (non-blocking listener polled every few ms so
+//!   it can observe drain/`SIGTERM` promptly);
+//! * one **reader** thread per connection (blocking frame reads; control
+//!   commands are answered inline, queries go through admission);
+//! * `workers` **worker** threads draining the bounded admission queue,
+//!   evaluating via [`cyclesteal_sweep::run_query`] and writing the
+//!   response frame back through the connection's write lock.
+//!
+//! # Determinism contract
+//!
+//! A successful query response is a pure function of the request: the
+//! row comes from the same quantized-key cache pipeline as a batch
+//! sweep, and the response JSON contains no timings, so byte-identical
+//! requests yield byte-identical responses across restarts, cache
+//! states, and crash recoveries. (Shed responses and `stats` are
+//! operational, not part of that contract.)
+//!
+//! # Drain sequence
+//!
+//! stop admission → finish queued + in-flight queries → compact the WAL
+//! into a snapshot → flush the obs snapshot → close connections.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cyclesteal_core::cache::SolveCache;
+use cyclesteal_core::recover::{Clock, Deadline, MonotonicClock};
+use cyclesteal_core::stability::Policy;
+use cyclesteal_sweep::{run_query, Evaluator, LongLaw, Point, QueryOutcome};
+
+use crate::admission::{AdmitError, Admission};
+use crate::json::{self, Value};
+use crate::proto;
+use crate::wal::{DurableCache, RecoveryReport};
+
+/// Tuning knobs for [`Server::start`]. `Default` is a small local
+/// instance on an OS-assigned port with durability disabled.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`"127.0.0.1:0"` for an OS-assigned port).
+    pub addr: String,
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Admission queue bound; beyond it queries are shed.
+    pub queue_capacity: usize,
+    /// Max queries a single connection may have queued or running.
+    pub per_conn_inflight: usize,
+    /// Report-cache LRU bound (`0` = unbounded).
+    pub cache_capacity: usize,
+    /// Durability directory; `None` runs memory-only.
+    pub data_dir: Option<PathBuf>,
+    /// Budget applied to queries that do not carry their own.
+    pub default_budget_ns: Option<u64>,
+    /// Test hook: sleep this long before evaluating each query (makes
+    /// overload and drain windows reproducible in harnesses).
+    pub slow_ms: u64,
+    /// Test hook: crash (torn WAL record + raw `SIGKILL`) after this many
+    /// WAL appends. See [`DurableCache::set_kill_after_appends`].
+    pub kill_after_appends: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            per_conn_inflight: 32,
+            cache_capacity: 0,
+            data_dir: None,
+            default_budget_ns: None,
+            slow_ms: 0,
+            kill_after_appends: None,
+        }
+    }
+}
+
+/// Set by the `SIGTERM` handler; polled by every accept loop.
+static SIGTERM_FLAG: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    // Only an atomic store: async-signal-safe.
+    SIGTERM_FLAG.store(true, Ordering::SeqCst);
+}
+
+/// Installs the process-wide `SIGTERM` handler that turns `SIGTERM` into
+/// a graceful drain of every [`Server`] in this process. Call once from
+/// the daemon binary; tests drive [`Server::drain`] directly instead.
+#[cfg(unix)]
+pub fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    // SAFETY: installing a handler that only stores to an AtomicBool.
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+/// No-op off unix (the drain request path still works).
+#[cfg(not(unix))]
+pub fn install_sigterm_handler() {}
+
+/// `true` once `SIGTERM` was received (for binaries that poll).
+pub fn sigterm_received() -> bool {
+    SIGTERM_FLAG.load(Ordering::SeqCst)
+}
+
+struct ConnState {
+    /// Handle used only to `shutdown()` the socket during drain.
+    stream: TcpStream,
+    /// Serialized writer: workers and the reader interleave frames.
+    writer: Mutex<TcpStream>,
+    /// Queries this connection currently has queued or running.
+    inflight: AtomicUsize,
+}
+
+impl ConnState {
+    fn send(&self, payload: &str) {
+        // A vanished client is not a server error; its in-flight answers
+        // are simply dropped.
+        let mut w = lock(&self.writer);
+        let _ = proto::write_frame(&mut *w, payload.as_bytes());
+    }
+}
+
+struct Job {
+    conn: Arc<ConnState>,
+    point: Point,
+    budget_ns: Option<u64>,
+    admitted_ns: u64,
+}
+
+struct Shared {
+    cache: SolveCache,
+    admission: Admission<Job>,
+    durable: Option<DurableCache>,
+    recovery: RecoveryReport,
+    draining: AtomicBool,
+    served: AtomicU64,
+    slow_ms: u64,
+    default_budget_ns: Option<u64>,
+}
+
+impl Shared {
+    /// Streams any newly computed reports to the WAL. Called by workers
+    /// after each query, outside the query's fault scope.
+    fn persist_new_reports(&self) {
+        let Some(durable) = &self.durable else {
+            return;
+        };
+        for (key, report) in self.cache.take_new_reports() {
+            if let Err(e) = durable.append(&key, &report) {
+                // The entry stays perfectly usable in memory; losing one
+                // WAL record only means recomputing it after a restart.
+                eprintln!("svc: WAL append failed (entry stays in memory): {e}");
+                cyclesteal_obs::counter!("svc.wal.append_failed");
+            }
+        }
+    }
+}
+
+/// What the drain left behind, returned by [`Server::join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Queries evaluated and answered over the server's lifetime (shed
+    /// rejections are not counted here).
+    pub served: u64,
+    /// Entries written to the final snapshot (`0` when memory-only).
+    pub compacted_entries: usize,
+}
+
+/// The live-connection registry: each reader thread paired with the
+/// connection state it serves, so drain can shut sockets and join.
+type ConnRegistry = Arc<Mutex<Vec<(Arc<ConnState>, JoinHandle<()>)>>>;
+
+/// A running daemon instance.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: ConnRegistry,
+    data_dir: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds, recovers the durable cache (when configured), and spawns
+    /// the accept and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures and durable-store I/O errors.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let cache = if config.cache_capacity > 0 {
+            SolveCache::with_capacity(config.cache_capacity)
+        } else {
+            SolveCache::new()
+        };
+        let mut recovery = RecoveryReport::default();
+        let durable = match &config.data_dir {
+            Some(dir) => {
+                let (durable, rec) = DurableCache::open(dir, &cache)?;
+                recovery = rec;
+                if let Some(n) = config.kill_after_appends {
+                    durable.set_kill_after_appends(n);
+                }
+                cache.enable_report_journal();
+                Some(durable)
+            }
+            None => None,
+        };
+
+        let shared = Arc::new(Shared {
+            cache,
+            admission: Admission::new(config.queue_capacity, config.workers),
+            durable,
+            recovery,
+            draining: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            slow_ms: config.slow_ms,
+            default_budget_ns: config.default_budget_ns,
+        });
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("svc-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            let per_conn = config.per_conn_inflight.max(1);
+            std::thread::Builder::new()
+                .name("svc-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &conns, per_conn))?
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+            conns,
+            data_dir: config.data_dir,
+        })
+    }
+
+    /// The actual bound address (resolves `:0` ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// What restart recovery found (all zeros when memory-only).
+    pub fn recovery(&self) -> RecoveryReport {
+        self.shared.recovery
+    }
+
+    /// Requests a graceful drain (same effect as `SIGTERM`): admission
+    /// stops immediately; [`Server::join`] completes the shutdown.
+    pub fn drain(&self) {
+        if !self.shared.draining.swap(true, Ordering::SeqCst) {
+            cyclesteal_obs::counter!("svc.drain.requested");
+        }
+        self.shared.admission.close();
+    }
+
+    /// Blocks until drain is requested (via [`Server::drain`], a client
+    /// `drain` command, or `SIGTERM`), then completes it: finishes
+    /// in-flight work, compacts the durable cache, writes the obs
+    /// snapshot, and closes every connection.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures while compacting the snapshot.
+    pub fn join(mut self) -> io::Result<DrainReport> {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // The accept loop exits only when draining (or SIGTERM, which it
+        // promotes to draining); make sure admission is closed even if
+        // drain() was never called explicitly.
+        self.shared.admission.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Workers are done: every admitted query is answered and its
+        // reports are journaled. Flush state.
+        let mut compacted = 0;
+        if let Some(durable) = &self.shared.durable {
+            let entries = self.shared.cache.export_reports();
+            compacted = entries.len();
+            durable.compact(&entries)?;
+        }
+        if let Some(dir) = &self.data_dir {
+            if let Some(snapshot) = cyclesteal_obs::snapshot_if_active() {
+                let _ = std::fs::write(dir.join("obs_snapshot.json"), snapshot.to_json());
+            }
+        }
+        // Now unblock the connection readers and collect them.
+        let conns = std::mem::take(&mut *lock(&self.conns));
+        for (conn, handle) in conns {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            let _ = handle.join();
+        }
+        cyclesteal_obs::counter!("svc.drain.completed");
+        Ok(DrainReport {
+            served: self.shared.served.load(Ordering::Relaxed),
+            compacted_entries: compacted,
+        })
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &ConnRegistry,
+    per_conn_inflight: usize,
+) {
+    loop {
+        if sigterm_received() {
+            // Promote the signal to a drain so readers shed new queries.
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.admission.close();
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Err(e) = register_conn(stream, shared, conns, per_conn_inflight) {
+                    eprintln!("svc: failed to set up connection: {e}");
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                eprintln!("svc: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+fn register_conn(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    conns: &ConnRegistry,
+    per_conn_inflight: usize,
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    let writer = stream.try_clone()?;
+    let reader = stream.try_clone()?;
+    let conn = Arc::new(ConnState {
+        stream,
+        writer: Mutex::new(writer),
+        inflight: AtomicUsize::new(0),
+    });
+    cyclesteal_obs::counter!("svc.conn.accepted");
+    let handle = {
+        let shared = Arc::clone(shared);
+        let conn = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name("svc-conn".to_string())
+            .spawn(move || reader_loop(reader, &conn, &shared, per_conn_inflight))?
+    };
+    lock(conns).push((conn, handle));
+    Ok(())
+}
+
+fn reader_loop(
+    mut reader: TcpStream,
+    conn: &Arc<ConnState>,
+    shared: &Arc<Shared>,
+    per_conn_inflight: usize,
+) {
+    loop {
+        let frame = match proto::read_frame(&mut reader) {
+            Ok(Some(bytes)) => bytes,
+            Ok(None) => return,
+            Err(_) => return, // includes the drain-time shutdown()
+        };
+        // `None` means the query was admitted; a worker will respond.
+        if let Some(response) = handle_frame(&frame, conn, shared, per_conn_inflight) {
+            conn.send(&response);
+        }
+    }
+}
+
+/// Handles one request frame; `Some(json)` responds inline, `None` means
+/// the request was queued and a worker owns the response.
+fn handle_frame(
+    frame: &[u8],
+    conn: &Arc<ConnState>,
+    shared: &Arc<Shared>,
+    per_conn_inflight: usize,
+) -> Option<String> {
+    let text = match std::str::from_utf8(frame) {
+        Ok(t) => t,
+        Err(_) => return Some(error_response("bad_request", "frame is not UTF-8")),
+    };
+    let doc = match json::parse(text) {
+        Ok(d) => d,
+        Err(e) => return Some(error_response("bad_request", &e.to_string())),
+    };
+    let cmd = doc.get("cmd").and_then(Value::as_str).unwrap_or("query");
+    match cmd {
+        "ping" => Some("{\"ok\": true, \"pong\": true}".to_string()),
+        "stats" => Some(stats_response(shared)),
+        "drain" => {
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.admission.close();
+            cyclesteal_obs::counter!("svc.drain.requested");
+            Some("{\"ok\": true, \"draining\": true}".to_string())
+        }
+        "query" => admit_query(&doc, conn, shared, per_conn_inflight),
+        other => Some(error_response(
+            "bad_request",
+            &format!("unknown cmd {other:?}"),
+        )),
+    }
+}
+
+fn admit_query(
+    doc: &Value,
+    conn: &Arc<ConnState>,
+    shared: &Arc<Shared>,
+    per_conn_inflight: usize,
+) -> Option<String> {
+    let point = match parse_point(doc) {
+        Ok(p) => p,
+        Err(reason) => return Some(error_response("bad_request", &reason)),
+    };
+    if shared.draining.load(Ordering::SeqCst) {
+        return Some(shed_response("draining", None));
+    }
+    // Per-client in-flight cap, taken optimistically and released on any
+    // rejection path below (or by the worker after responding).
+    let prev = conn.inflight.fetch_add(1, Ordering::SeqCst);
+    if prev >= per_conn_inflight {
+        conn.inflight.fetch_sub(1, Ordering::SeqCst);
+        cyclesteal_obs::counter!("svc.admission.shed_inflight_cap");
+        return Some(shed_response("inflight_cap", None));
+    }
+    let budget_ns = doc
+        .get("budget_ns")
+        .and_then(Value::as_u64)
+        .or(shared.default_budget_ns);
+    let job = Job {
+        conn: Arc::clone(conn),
+        point,
+        budget_ns,
+        admitted_ns: MonotonicClock.now_ns(),
+    };
+    match shared.admission.admit(job) {
+        Ok(()) => None,
+        Err(AdmitError::QueueFull { retry_after_ms }) => {
+            conn.inflight.fetch_sub(1, Ordering::SeqCst);
+            Some(shed_response("queue_full", Some(retry_after_ms)))
+        }
+        Err(AdmitError::Draining) => {
+            conn.inflight.fetch_sub(1, Ordering::SeqCst);
+            Some(shed_response("draining", None))
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let clock = MonotonicClock;
+    while let Some(job) = shared.admission.next() {
+        let t0 = clock.now_ns();
+        if shared.slow_ms > 0 {
+            std::thread::sleep(Duration::from_millis(shared.slow_ms));
+        }
+        let outcome = match job.budget_ns {
+            None => run_query(&job.point, &shared.cache, None),
+            Some(budget) => {
+                // The budget started at admission: subtract queue wait so
+                // a query that aged out in the queue times out honestly.
+                let waited = t0.saturating_sub(job.admitted_ns);
+                let remaining = budget.saturating_sub(waited);
+                let deadline = Deadline::start(&clock, remaining);
+                run_query(&job.point, &shared.cache, Some(&deadline))
+            }
+        };
+        shared.persist_new_reports();
+        job.conn.send(&query_response(&outcome));
+        job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        shared
+            .admission
+            .record_service_ns(clock.now_ns().saturating_sub(t0));
+        cyclesteal_obs::counter!("svc.query.served");
+    }
+}
+
+/// Builds the evaluation [`Point`] from a query document.
+fn parse_point(doc: &Value) -> Result<Point, String> {
+    let f = |key: &str, default: f64| -> Result<f64, String> {
+        match doc.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_f64()
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| format!("field {key:?} must be a finite number")),
+        }
+    };
+    let rho_s = doc
+        .get("rho_s")
+        .and_then(Value::as_f64)
+        .filter(|x| x.is_finite())
+        .ok_or("field \"rho_s\" (a finite number) is required")?;
+    let rho_l = doc
+        .get("rho_l")
+        .and_then(Value::as_f64)
+        .filter(|x| x.is_finite())
+        .ok_or("field \"rho_l\" (a finite number) is required")?;
+    let mean_s = f("mean_s", 1.0)?;
+    let long_mean = f("long_mean", 1.0)?;
+    let long_scv = f("long_scv", 1.0)?;
+    let policy = match doc.get("policy").and_then(Value::as_str).unwrap_or("cs_cq") {
+        "dedicated" => Policy::Dedicated,
+        "cs_id" => Policy::CsId,
+        "cs_cq" => Policy::CsCq,
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+    let hosts = match doc.get("hosts") {
+        None => (1, 1),
+        Some(v) => {
+            let arr = v.as_arr().ok_or("field \"hosts\" must be [k, m]")?;
+            let k = arr
+                .first()
+                .and_then(Value::as_u64)
+                .filter(|k| (1..=32).contains(k));
+            let m = arr
+                .get(1)
+                .and_then(Value::as_u64)
+                .filter(|m| (1..=32).contains(m));
+            match (k, m, arr.len()) {
+                (Some(k), Some(m), 2) => (k as usize, m as usize),
+                _ => return Err("field \"hosts\" must be [k, m] with 1 ≤ k, m ≤ 32".to_string()),
+            }
+        }
+    };
+    let extend_longs = match doc.get("extend_longs") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or("field \"extend_longs\" must be a bool")?,
+    };
+    let long = if (long_scv - 1.0).abs() < 1e-12 {
+        LongLaw::exponential(long_mean)
+    } else {
+        LongLaw::balanced(long_mean, long_scv)
+    }
+    .map_err(|e| format!("infeasible long-job law: {e}"))?;
+    Ok(Point {
+        rho_s,
+        rho_l,
+        mean_s,
+        long,
+        policy,
+        evaluator: Evaluator::Analysis,
+        extend_longs,
+        hosts,
+    })
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        // Rust's f64 Display is shortest-round-trip: deterministic and
+        // bit-faithful, the same convention as the sweep report writer.
+        Some(x) => format!("{x}"),
+        None => "null".to_string(),
+    }
+}
+
+/// The deterministic success-path response (see the module docs).
+fn query_response(outcome: &QueryOutcome) -> String {
+    let row = &outcome.row;
+    let failure = match &row.failure {
+        Some(f) => f.to_json(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"ok\": true, \"id\": {}, \"short_response\": {}, \"long_response\": {}, \"attempts\": {}, \"degraded\": {}, \"steered\": {}, \"failure\": {}}}",
+        json::escape(&row.id),
+        fmt_opt(row.short_response),
+        fmt_opt(row.long_response),
+        row.attempts,
+        row.degraded,
+        outcome.steered,
+        failure,
+    )
+}
+
+fn shed_response(reason: &str, retry_after_ms: Option<u64>) -> String {
+    let retry = match retry_after_ms {
+        Some(ms) => format!(", \"retry_after_ms\": {ms}"),
+        None => String::new(),
+    };
+    format!(
+        "{{\"ok\": false, \"error\": \"shed\", \"reason\": {}{}}}",
+        json::escape(reason),
+        retry
+    )
+}
+
+fn error_response(error: &str, detail: &str) -> String {
+    format!(
+        "{{\"ok\": false, \"error\": {}, \"detail\": {}}}",
+        json::escape(error),
+        json::escape(detail)
+    )
+}
+
+fn stats_response(shared: &Arc<Shared>) -> String {
+    let cache = shared.cache.stats();
+    let (admitted, shed, completed) = shared.admission.counts();
+    let rec = shared.recovery;
+    format!(
+        "{{\"ok\": true, \"stats\": {{\"served\": {}, \"queue_depth\": {}, \"admitted\": {}, \"shed\": {}, \"completed\": {}, \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"reports\": {}}}, \"recovery\": {{\"snapshot_entries\": {}, \"wal_entries\": {}, \"wal_truncated\": {}, \"snapshot_rejected\": {}}}}}}}",
+        shared.served.load(Ordering::Relaxed),
+        shared.admission.depth(),
+        admitted,
+        shed,
+        completed,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        shared.cache.report_len(),
+        rec.snapshot_entries,
+        rec.wal_entries,
+        rec.wal_truncated_to.is_some(),
+        rec.snapshot_rejected,
+    )
+}
+
+/// Locks a mutex, recovering from a poisoned lock (every protected
+/// structure here is consistent between operations).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}

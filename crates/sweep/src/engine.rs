@@ -216,7 +216,9 @@ fn evaluate(point: &Point, shared: &SolveCache) -> SweepRow {
         shared
     };
     match point.evaluator {
-        Evaluator::Analysis => evaluate_analysis(point, cache, &mut row),
+        Evaluator::Analysis => {
+            evaluate_analysis(point, cache, &mut row, None);
+        }
         Evaluator::Simulation {
             total_jobs,
             reps,
@@ -227,7 +229,7 @@ fn evaluate(point: &Point, shared: &SolveCache) -> SweepRow {
 }
 
 /// Classifies a solver error into the report taxonomy.
-fn classify(e: &AnalysisError) -> FailureKind {
+pub(crate) fn classify(e: &AnalysisError) -> FailureKind {
     match e {
         AnalysisError::Unstable { .. } => FailureKind::Unstable,
         AnalysisError::Truncated {
@@ -235,6 +237,9 @@ fn classify(e: &AnalysisError) -> FailureKind {
         } => FailureKind::Truncated {
             n_max: *n_max,
             tail_mass: *tail_mass,
+        },
+        AnalysisError::DeadlineExceeded { stage, .. } => FailureKind::Timeout {
+            stage: (*stage).to_string(),
         },
         AnalysisError::Param(DistError::NonFinite { site }) => FailureKind::NonFinite {
             site: (*site).to_string(),
@@ -280,7 +285,12 @@ fn classify_chain(c: &MarkovError) -> FailureKind {
 /// silent drop). The `(1, 1)` path never enters this function — those
 /// points keep the exact 2-host pipeline (and its bit-level behavior)
 /// they always had.
-fn evaluate_analysis_km(point: &Point, cache: &SolveCache, row: &mut SweepRow) {
+fn evaluate_analysis_km(
+    point: &Point,
+    cache: &SolveCache,
+    row: &mut SweepRow,
+    deadline: Option<&recover::Deadline<'_>>,
+) -> bool {
     let (k, m) = point.hosts;
     if point.policy != Policy::CsCq {
         row.record_failure(FailureKind::InfeasibleFit {
@@ -289,19 +299,19 @@ fn evaluate_analysis_km(point: &Point, cache: &SolveCache, row: &mut SweepRow) {
                 crate::grid::policy_name(point.policy)
             ),
         });
-        return;
+        return false;
     }
     if point.extend_longs {
         row.record_failure(FailureKind::InfeasibleFit {
             reason: "extend_longs has no long-only formula for (k, m) fleets".to_string(),
         });
-        return;
+        return false;
     }
     let hosts = match cs_cq_km::Hosts::new(k, m) {
         Ok(h) => h,
         Err(e) => {
             row.record_failure(classify(&e));
-            return;
+            return false;
         }
     };
     let params = match SystemParams::from_loads(
@@ -313,16 +323,30 @@ fn evaluate_analysis_km(point: &Point, cache: &SolveCache, row: &mut SweepRow) {
         Ok(p) => p,
         Err(e) => {
             row.record_failure(classify(&e));
-            return;
+            return false;
         }
     };
     // Same contract as the 2-host path: genuine (precheck) instability is
     // data, not a failure.
     if !stability::is_stable_km(k, m, point.rho_s, point.rho_l) {
-        return;
+        return false;
     }
-    let (res, rec) = WORKSPACE.with(|ws| {
-        recover::analyze_cs_cq_km_cached_in(hosts, &params, cache, &mut ws.borrow_mut())
+    let (res, rec, steered) = WORKSPACE.with(|ws| match deadline {
+        Some(d) => {
+            let (res, dr) = recover::analyze_cs_cq_km_deadline_cached_in(
+                hosts,
+                &params,
+                cache,
+                &mut ws.borrow_mut(),
+                d,
+            );
+            (res, dr.recovery, dr.steered)
+        }
+        None => {
+            let (res, rec) =
+                recover::analyze_cs_cq_km_cached_in(hosts, &params, cache, &mut ws.borrow_mut());
+            (res, rec, false)
+        }
     });
     row.attempts = rec.attempts;
     row.degraded = rec.degraded;
@@ -333,12 +357,25 @@ fn evaluate_analysis_km(point: &Point, cache: &SolveCache, row: &mut SweepRow) {
         }
         Err(e) => row.record_failure(classify(&e)),
     }
+    steered
 }
 
-fn evaluate_analysis(point: &Point, cache: &SolveCache, row: &mut SweepRow) {
+/// Evaluates an analysis point into `row`. With `deadline: Some`, the
+/// CS-CQ recovery ladder is budget-steered (see
+/// [`recover::analyze_cs_cq_deadline_cached_in`]); `None` is the sweep
+/// engine's un-budgeted path, bit-identical to what it always produced.
+/// Returns `true` when the deadline steered the ladder to a cheaper rung
+/// (always `false` un-budgeted).
+pub(crate) fn evaluate_analysis(
+    point: &Point,
+    cache: &SolveCache,
+    row: &mut SweepRow,
+    deadline: Option<&recover::Deadline<'_>>,
+) -> bool {
     if point.hosts != (1, 1) {
-        return evaluate_analysis_km(point, cache, row);
+        return evaluate_analysis_km(point, cache, row, deadline);
     }
+    let mut steered = false;
     let params = match SystemParams::from_loads(
         point.rho_s,
         point.mean_s,
@@ -348,7 +385,7 @@ fn evaluate_analysis(point: &Point, cache: &SolveCache, row: &mut SweepRow) {
         Ok(p) => p,
         Err(e) => {
             row.record_failure(classify(&e));
-            return;
+            return steered;
         }
     };
     // Theorem-1 precheck: a genuinely unstable point is data, not a
@@ -368,9 +405,23 @@ fn evaluate_analysis(point: &Point, cache: &SolveCache, row: &mut SweepRow) {
                 // Each worker thread owns one scratch workspace for the QBD
                 // solver; buffers are canonically reset on checkout, so rows
                 // stay bit-identical across thread counts and sweep orders.
-                let (res, rec) = WORKSPACE.with(|ws| {
-                    recover::analyze_cs_cq_cached_in(&params, cache, &mut ws.borrow_mut())
+                let (res, rec, s) = WORKSPACE.with(|ws| match deadline {
+                    Some(d) => {
+                        let (res, dr) = recover::analyze_cs_cq_deadline_cached_in(
+                            &params,
+                            cache,
+                            &mut ws.borrow_mut(),
+                            d,
+                        );
+                        (res, dr.recovery, dr.steered)
+                    }
+                    None => {
+                        let (res, rec) =
+                            recover::analyze_cs_cq_cached_in(&params, cache, &mut ws.borrow_mut());
+                        (res, rec, false)
+                    }
                 });
+                steered = s;
                 row.attempts = rec.attempts;
                 row.degraded = rec.degraded;
                 res.map(|r| cyclesteal_core::PolicyMeans {
@@ -408,9 +459,10 @@ fn evaluate_analysis(point: &Point, cache: &SolveCache, row: &mut SweepRow) {
             }
         };
     }
+    steered
 }
 
-fn evaluate_simulation(
+pub(crate) fn evaluate_simulation(
     point: &Point,
     total_jobs: u64,
     reps: usize,

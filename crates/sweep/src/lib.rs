@@ -39,11 +39,13 @@
 mod batch;
 mod engine;
 mod grid;
+mod query;
 mod report;
 
 pub use batch::BatchStats;
 pub use engine::{run, run_points, SweepOptions};
 pub use grid::{policy_name, Evaluator, GridSpec, LongLaw, Point};
+pub use query::{run_query, QueryOutcome};
 pub use report::{
     FailureCounts, FailureKind, PointFailure, SweepMetrics, SweepReport, SweepRow,
 };

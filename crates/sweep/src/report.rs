@@ -49,6 +49,16 @@ pub enum FailureKind {
         /// The boundary that caught the value (e.g. `"dist.busy.mg1"`).
         site: String,
     },
+    /// A deadline-budgeted query ran out of time before any rung of the
+    /// degradation ladder could produce an answer (the service layer's
+    /// admission deadline, not a numeric failure — retrying with a larger
+    /// budget would succeed).
+    Timeout {
+        /// The ladder stage the budget died at (a fit name such as
+        /// `"three_moment"`, or `"admission"` when the query expired in
+        /// the queue before evaluation started).
+        stage: String,
+    },
     /// The point's evaluation panicked; the worker caught the unwind at
     /// the point boundary and kept draining the queue.
     Panicked {
@@ -71,6 +81,7 @@ impl FailureKind {
             FailureKind::NoConvergence { .. } => "no_convergence",
             FailureKind::InfeasibleFit { .. } => "infeasible_fit",
             FailureKind::NonFinite { .. } => "non_finite",
+            FailureKind::Timeout { .. } => "timeout",
             FailureKind::Panicked { .. } => "panicked",
             FailureKind::Other { .. } => "other",
         }
@@ -85,6 +96,41 @@ pub struct PointFailure {
     /// Ladder rungs tried before giving up (`1` = failed first try with
     /// no applicable recovery).
     pub attempts: u32,
+}
+
+impl PointFailure {
+    /// The deterministic JSON object [`SweepReport::to_json`] embeds as a
+    /// row's `"failure"` field — public so other serializers (the service
+    /// layer's query responses) attribute failures byte-identically.
+    pub fn to_json(&self) -> String {
+        let detail = match &self.kind {
+            FailureKind::Unstable => String::new(),
+            FailureKind::Truncated { n_max, tail_mass } => {
+                format!(", \"n_max\": {n_max}, \"tail_mass\": {tail_mass}")
+            }
+            FailureKind::NoConvergence {
+                algorithm,
+                iterations,
+            } => format!(
+                ", \"algorithm\": {}, \"iterations\": {iterations}",
+                json_str(algorithm)
+            ),
+            FailureKind::InfeasibleFit { reason } => {
+                format!(", \"reason\": {}", json_str(reason))
+            }
+            FailureKind::NonFinite { site } => format!(", \"site\": {}", json_str(site)),
+            FailureKind::Timeout { stage } => format!(", \"stage\": {}", json_str(stage)),
+            FailureKind::Panicked { message } | FailureKind::Other { message } => {
+                format!(", \"message\": {}", json_str(message))
+            }
+        };
+        format!(
+            "{{\"kind\": {}{}, \"attempts\": {}}}",
+            json_str(self.kind.name()),
+            detail,
+            self.attempts
+        )
+    }
 }
 
 /// One evaluated grid point.
@@ -280,35 +326,10 @@ impl SweepReport {
 /// every field is either a tag, an integer, or an f64 printed with Rust's
 /// shortest-round-trip Display.
 fn failure_json(failure: &Option<PointFailure>) -> String {
-    let Some(f) = failure else {
-        return "null".to_string();
-    };
-    let detail = match &f.kind {
-        FailureKind::Unstable => String::new(),
-        FailureKind::Truncated { n_max, tail_mass } => {
-            format!(", \"n_max\": {n_max}, \"tail_mass\": {tail_mass}")
-        }
-        FailureKind::NoConvergence {
-            algorithm,
-            iterations,
-        } => format!(
-            ", \"algorithm\": {}, \"iterations\": {iterations}",
-            json_str(algorithm)
-        ),
-        FailureKind::InfeasibleFit { reason } => {
-            format!(", \"reason\": {}", json_str(reason))
-        }
-        FailureKind::NonFinite { site } => format!(", \"site\": {}", json_str(site)),
-        FailureKind::Panicked { message } | FailureKind::Other { message } => {
-            format!(", \"message\": {}", json_str(message))
-        }
-    };
-    format!(
-        "{{\"kind\": {}{}, \"attempts\": {}}}",
-        json_str(f.kind.name()),
-        detail,
-        f.attempts
-    )
+    match failure {
+        Some(f) => f.to_json(),
+        None => "null".to_string(),
+    }
 }
 
 /// Per-kind failure totals of a sweep run — the at-a-glance health
@@ -325,6 +346,8 @@ pub struct FailureCounts {
     pub infeasible_fit: u64,
     /// Non-finite taints ([`FailureKind::NonFinite`]).
     pub non_finite: u64,
+    /// Deadline budgets exhausted ([`FailureKind::Timeout`]).
+    pub timeout: u64,
     /// Caught panics ([`FailureKind::Panicked`]).
     pub panicked: u64,
     /// Everything else ([`FailureKind::Other`]).
@@ -343,6 +366,7 @@ impl FailureCounts {
                 FailureKind::NoConvergence { .. } => c.no_convergence += 1,
                 FailureKind::InfeasibleFit { .. } => c.infeasible_fit += 1,
                 FailureKind::NonFinite { .. } => c.non_finite += 1,
+                FailureKind::Timeout { .. } => c.timeout += 1,
                 FailureKind::Panicked { .. } => c.panicked += 1,
                 FailureKind::Other { .. } => c.other += 1,
             }
@@ -357,6 +381,7 @@ impl FailureCounts {
             + self.no_convergence
             + self.infeasible_fit
             + self.non_finite
+            + self.timeout
             + self.panicked
             + self.other
     }
@@ -482,6 +507,29 @@ mod tests {
         assert!(json.contains("\"attempts\": 3, \"degraded\": true"));
         assert!(json.contains("\"kind\": \"panicked\""));
         assert!(json.contains("a \\\"quoted\\\" cause"));
+    }
+
+    #[test]
+    fn timeout_failures_serialize_and_tally() {
+        let mut t = row("t", None);
+        t.record_failure(FailureKind::Timeout {
+            stage: "three_moment".into(),
+        });
+        assert_eq!(
+            t.failure.as_ref().unwrap().to_json(),
+            "{\"kind\": \"timeout\", \"stage\": \"three_moment\", \"attempts\": 1}"
+        );
+        let rep = SweepReport {
+            name: "t".into(),
+            rows: vec![t.clone()],
+            obs: None,
+        };
+        assert!(rep
+            .to_json()
+            .contains("\"kind\": \"timeout\", \"stage\": \"three_moment\""));
+        let counts = FailureCounts::tally(&[t]);
+        assert_eq!(counts.timeout, 1);
+        assert_eq!(counts.total(), 1);
     }
 
     #[test]

@@ -93,3 +93,43 @@ props! {
         assert_eq!(want, rep.to_json(), "shuffled input");
     }
 }
+
+/// The LRU-bounded cache gate: eviction changes *retention* (and
+/// therefore hit/miss counters), never *values* — a report is a pure
+/// function of its quantized key, so a sweep over a pathologically tiny
+/// cache must still emit byte-identical JSON at every thread count, in
+/// shuffled order, and on a warm replay.
+#[test]
+fn lru_bounded_cache_keeps_sweeps_bit_identical() {
+    let mut spec = GridSpec::analysis("evict_det", axis(0.2, 1.4, 5), axis(0.2, 0.7, 3));
+    spec.long_laws = vec![LongLaw::balanced(1.0, 4.0).unwrap()];
+    let points = spec.points();
+
+    let (baseline, _) = run_points("evict_det", &points, &SweepOptions::threads(1));
+    let want = baseline.to_json();
+
+    for threads in [1, 2, 8] {
+        for capacity in [1, 2, 7] {
+            let cache = Arc::new(SolveCache::with_capacity(capacity));
+            let opts = SweepOptions::threads(threads).with_cache(Arc::clone(&cache));
+            let (cold, _) = run_points("evict_det", &points, &opts);
+            assert_eq!(want, cold.to_json(), "threads={threads} capacity={capacity}");
+            // Replay on whatever survived eviction: still the same bytes.
+            let mut shuffled = points.clone();
+            shuffle(&mut shuffled, 0xE71C + capacity as u64);
+            let (warm, _) = run_points("evict_det", &shuffled, &opts);
+            assert_eq!(
+                want,
+                warm.to_json(),
+                "warm threads={threads} capacity={capacity}"
+            );
+            if capacity == 1 {
+                assert!(
+                    cache.stats().evictions > 0,
+                    "a 1-slot cache over {} points must evict",
+                    points.len()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Deterministic test clocks for budget/deadline logic.
+//!
+//! Production code reads time through an injected nanosecond source (e.g.
+//! `cyclesteal_core::recover::Clock`, which has a blanket impl for any
+//! `Fn() -> u64` closure). These clocks make such readings scripted: a
+//! test decides exactly what every reading returns, so every
+//! time-dependent branch — budget expiry, deadline steering, retry-after
+//! hints — is reproducible down to the bit on any machine, under any
+//! scheduler.
+//!
+//! [`StepClock`] covers both common scripts:
+//!
+//! * **Manual advance** (`step_ns = 0`): readings do not move time; the
+//!   test advances the clock explicitly with [`StepClock::advance`],
+//!   typically from inside a mocked unit of work to simulate its cost.
+//! * **Fixed cost per reading** (`step_ns > 0`): every reading moves time
+//!   forward by the step, modeling "each observation costs this much".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A deterministic monotonic clock: an atomic nanosecond counter that
+/// tests advance manually and/or per reading. Shareable across threads
+/// (all methods take `&self`).
+#[derive(Debug)]
+pub struct StepClock {
+    now: AtomicU64,
+    step: u64,
+}
+
+impl StepClock {
+    /// A clock reading `start_ns` first, advancing by `step_ns` on every
+    /// subsequent reading (`0` = readings never advance time).
+    pub fn new(start_ns: u64, step_ns: u64) -> Self {
+        StepClock {
+            now: AtomicU64::new(start_ns),
+            step: step_ns,
+        }
+    }
+
+    /// Current time; advances the clock by the per-reading step and
+    /// returns the value *before* the advance.
+    pub fn now_ns(&self) -> u64 {
+        self.now.fetch_add(self.step, Ordering::Relaxed)
+    }
+
+    /// Moves time forward by `ns` (saturating), e.g. to simulate the cost
+    /// of a mocked unit of work.
+    pub fn advance(&self, ns: u64) {
+        self.now
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
+                Some(t.saturating_add(ns))
+            })
+            .expect("fetch_update closure always returns Some");
+    }
+
+    /// A closure view of this clock, usable wherever an `Fn() -> u64`
+    /// nanosecond source is expected.
+    pub fn as_fn(&self) -> impl Fn() -> u64 + '_ {
+        move || self.now_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_advance_only() {
+        let c = StepClock::new(100, 0);
+        assert_eq!(c.now_ns(), 100);
+        assert_eq!(c.now_ns(), 100, "step 0: readings do not move time");
+        c.advance(50);
+        assert_eq!(c.now_ns(), 150);
+    }
+
+    #[test]
+    fn fixed_step_per_reading() {
+        let c = StepClock::new(0, 10);
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 10);
+        c.advance(100);
+        assert_eq!(c.now_ns(), 120);
+    }
+
+    #[test]
+    fn closure_view_reads_the_same_counter() {
+        let c = StepClock::new(7, 0);
+        let f = c.as_fn();
+        assert_eq!(f(), 7);
+        c.advance(3);
+        assert_eq!(f(), 10);
+    }
+
+    #[test]
+    fn advance_saturates() {
+        let c = StepClock::new(u64::MAX - 1, 0);
+        c.advance(100);
+        assert_eq!(c.now_ns(), u64::MAX);
+    }
+}

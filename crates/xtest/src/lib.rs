@@ -25,9 +25,12 @@
 
 //! A fourth layer, [`fault`], supports robustness testing: seeded,
 //! scope-keyed fault plans that production crates expose via the
-//! [`fault_point!`] macro (compiled out of release builds).
+//! [`fault_point!`] macro (compiled out of release builds); and a fifth,
+//! [`clock`], provides scripted nanosecond clocks so deadline/budget
+//! logic written against an injected time source tests deterministically.
 
 pub mod bench;
+pub mod clock;
 pub mod fault;
 pub mod prop;
 pub mod rng;

@@ -1,0 +1,153 @@
+//! The daemon's CLI driver — also the crash-recovery and overload
+//! harness used by `ci.sh`.
+//!
+//! Usage: `cargo run --release --example svc_client -- --addr HOST:PORT
+//! <command> [options]`
+//!
+//! Commands:
+//!
+//! * `ping` — liveness probe, prints `PONG`.
+//! * `stream` — send the deterministic seeded query stream (`--count N`,
+//!   default 12; `--budget-ns NS` optional) and print each raw response
+//!   on its own line. With `--tolerate-crash`, a connection that dies
+//!   mid-stream prints `CRASHED_AT_QUERY <i>` and exits 0 (the daemon
+//!   was SIGKILLed on purpose); without it, that is a failure.
+//! * `burst` — pipeline `--count N` identical queries on one connection
+//!   and print `BURST ok=<n> shed=<n>`; every shed response must be a
+//!   structured `queue_full`/`inflight_cap` rejection.
+//! * `drain` — request a graceful drain, print `DRAINING`.
+//!
+//! The `stream` output is deterministic (responses carry no timings), so
+//! harnesses byte-compare the output of a crashed-and-recovered daemon
+//! against a never-crashed one.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use cyclesteal_svc::client::{Client, QueryRequest};
+use cyclesteal_svc::json::{self, Value};
+use cyclesteal_svc::proto;
+
+/// The seeded stream: query `i` asks `rho_s = 0.80 + 0.05 i` at
+/// `rho_l = 0.5` — every point distinct, stable, and analysis-feasible.
+fn stream_request(i: usize, budget_ns: Option<u64>) -> QueryRequest {
+    QueryRequest {
+        rho_s: 0.80 + 0.05 * i as f64,
+        rho_l: 0.5,
+        budget_ns,
+        ..QueryRequest::default()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut addr = None;
+    let mut command = None;
+    let mut count = 12usize;
+    let mut budget_ns = None;
+    let mut tolerate_crash = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = || args.next().ok_or(format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--addr" => addr = Some(take()?),
+            "--count" => count = take()?.parse()?,
+            "--budget-ns" => budget_ns = Some(take()?.parse()?),
+            "--tolerate-crash" => tolerate_crash = true,
+            "ping" | "stream" | "burst" | "drain" => command = Some(arg),
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+    }
+    let addr = addr.ok_or("--addr HOST:PORT is required")?;
+    let command = command.ok_or("a command (ping|stream|burst|drain) is required")?;
+
+    match command.as_str() {
+        "ping" => {
+            let mut client = connect(&addr)?;
+            if client.ping()? {
+                println!("PONG");
+                Ok(())
+            } else {
+                Err("daemon did not pong".into())
+            }
+        }
+        "drain" => {
+            let mut client = connect(&addr)?;
+            client.drain()?;
+            println!("DRAINING");
+            Ok(())
+        }
+        "stream" => run_stream(&addr, count, budget_ns, tolerate_crash),
+        "burst" => run_burst(&addr, count),
+        _ => unreachable!(),
+    }
+}
+
+fn connect(addr: &str) -> Result<Client, Box<dyn std::error::Error>> {
+    let mut client = Client::connect(addr)?;
+    client.set_timeout(Some(Duration::from_secs(60)))?;
+    Ok(client)
+}
+
+fn run_stream(
+    addr: &str,
+    count: usize,
+    budget_ns: Option<u64>,
+    tolerate_crash: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut client = connect(addr)?;
+    let mut stdout = std::io::stdout();
+    for i in 0..count {
+        let req = stream_request(i, budget_ns);
+        match client.call_raw(&req.to_json()) {
+            Ok(raw) => writeln!(stdout, "{raw}")?,
+            Err(e) if tolerate_crash => {
+                // The daemon died mid-stream — the crash gate's kill
+                // hook. Report where and succeed; the harness restarts
+                // the daemon and replays.
+                writeln!(stdout, "CRASHED_AT_QUERY {i}")?;
+                let _ = e;
+                return Ok(());
+            }
+            Err(e) => return Err(format!("query {i} failed: {e}").into()),
+        }
+    }
+    Ok(())
+}
+
+fn run_burst(addr: &str, count: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_nodelay(true)?;
+    // All requests identical: the interesting output is the shed pattern.
+    let req = stream_request(6, None).to_json();
+    for _ in 0..count {
+        proto::write_frame(&mut stream, req.as_bytes())?;
+    }
+    let mut ok = 0u32;
+    let mut shed = 0u32;
+    for i in 0..count {
+        let frame = proto::read_frame(&mut stream)?
+            .ok_or_else(|| format!("connection closed before response {i}"))?;
+        let v = json::parse(std::str::from_utf8(&frame)?)?;
+        if v.get("ok").and_then(Value::as_bool) == Some(true) {
+            ok += 1;
+        } else {
+            let reason = v
+                .get("reason")
+                .and_then(Value::as_str)
+                .ok_or("shed response without a reason")?;
+            if !matches!(reason, "queue_full" | "inflight_cap" | "draining") {
+                return Err(format!("unexpected shed reason {reason:?}").into());
+            }
+            if reason == "queue_full" {
+                v.get("retry_after_ms")
+                    .and_then(Value::as_u64)
+                    .ok_or("queue_full shed without a retry_after_ms hint")?;
+            }
+            shed += 1;
+        }
+    }
+    println!("BURST ok={ok} shed={shed}");
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! The capacity-planning daemon binary: serve scenario queries over
+//! length-prefixed JSON/TCP until `SIGTERM` (or a client `drain`), then
+//! drain gracefully — finish in-flight work, compact the durable cache,
+//! flush the obs snapshot.
+//!
+//! Usage: `cargo run --release --example svc_daemon -- [options]`
+//!
+//! * `--addr HOST:PORT`        bind address (default `127.0.0.1:0`)
+//! * `--workers N`             worker threads (default 2)
+//! * `--queue N`               admission queue bound (default 64)
+//! * `--inflight N`            per-connection in-flight cap (default 32)
+//! * `--cache-capacity N`      report-cache LRU bound (default unbounded)
+//! * `--data-dir DIR`          enable the durable WAL + snapshot in DIR
+//! * `--default-budget-ns NS`  budget for queries that carry none
+//! * `--slow-ms MS`            test hook: delay each evaluation
+//! * `--kill-after-appends N`  test hook: torn-write + SIGKILL after N
+//!   WAL appends (the crash-recovery gate)
+//!
+//! The daemon prints `LISTENING <addr>` on stdout once ready (harnesses
+//! parse this to discover the `:0`-assigned port) and a drain summary on
+//! exit.
+
+use std::time::Duration;
+
+use cyclesteal_svc::server::{install_sigterm_handler, Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = || args.next().ok_or(format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--addr" => config.addr = take()?,
+            "--workers" => config.workers = take()?.parse()?,
+            "--queue" => config.queue_capacity = take()?.parse()?,
+            "--inflight" => config.per_conn_inflight = take()?.parse()?,
+            "--cache-capacity" => config.cache_capacity = take()?.parse()?,
+            "--data-dir" => config.data_dir = Some(take()?.into()),
+            "--default-budget-ns" => config.default_budget_ns = Some(take()?.parse()?),
+            "--slow-ms" => config.slow_ms = take()?.parse()?,
+            "--kill-after-appends" => config.kill_after_appends = Some(take()?.parse()?),
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    cyclesteal_obs::enable();
+
+    install_sigterm_handler();
+    let server = Server::start(config)?;
+    let rec = server.recovery();
+    println!("LISTENING {}", server.addr());
+    println!(
+        "recovered: {} snapshot + {} wal entries{}{}",
+        rec.snapshot_entries,
+        rec.wal_entries,
+        if rec.wal_truncated_to.is_some() {
+            " (torn tail truncated)"
+        } else {
+            ""
+        },
+        if rec.snapshot_rejected {
+            " (snapshot rejected)"
+        } else {
+            ""
+        },
+    );
+    // Keep stdout line-buffered output flowing for harnesses.
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+
+    // join() blocks in the accept loop until SIGTERM or a drain request.
+    let report = server.join()?;
+    println!(
+        "drained: served {} queries, compacted {} entries",
+        report.served, report.compacted_entries
+    );
+    // Give interleaved worker stderr a beat to flush under test harnesses.
+    std::thread::sleep(Duration::from_millis(10));
+    Ok(())
+}
