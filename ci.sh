@@ -23,6 +23,9 @@ cargo test -q -p cyclesteal-sweep --offline --test fault_injection
 echo "==> obs determinism (telemetry counts bit-identical across 1/2/8 threads)"
 cargo test -q -p cyclesteal-sweep --offline --features obs --test obs_determinism
 
+echo "==> svc telemetry e2e (healthz, scrape-vs-registry bit-match, slow log, periodic flush)"
+cargo test -q -p cyclesteal-svc --offline --features obs --test metrics
+
 echo "==> batch differential oracle (batched QBD solves bit-identical to scalar)"
 # The batched solver is a pure performance transform; these suites are the
 # oracle. Random same-shape/mixed-shape/frontier batches shrink on failure,
@@ -182,16 +185,62 @@ cmp "$SVC_TMP/recovered.txt" "$SVC_TMP/oracle.txt" \
     || { echo "crash gate: recovered answers differ from the never-crashed run" >&2; exit 1; }
 echo "crash gate: 6 entries recovered, torn tail truncated, 12 replayed answers bit-identical"
 
-echo "==> daemon overload smoke (slowed worker, bounded queue -> structured sheds)"
+echo "==> daemon overload smoke (slowed worker, bounded queue -> structured sheds, live scrape)"
 # 10x the daemon's drain rate: a 20-query burst into a 2-slot queue behind
 # one 40 ms/query worker. Admitted queries must all complete; the rest
 # must shed as structured queue_full rejections with retry hints (the
-# client asserts the shape of every shed response).
-"$SVC_DAEMON" --workers 1 --queue 2 --slow-ms 40 > "$SVC_TMP/d_overload.log" 2>&1 &
+# client asserts the shape of every shed response). The /metrics scrape
+# must tell the same story LIVE, mid-burst — not only after the dust
+# settles — and the body must be valid Prometheus exposition.
+"$SVC_DAEMON" --workers 1 --queue 2 --slow-ms 40 --metrics-addr 127.0.0.1:0 \
+    > "$SVC_TMP/d_overload.log" 2>&1 &
 svc_pid=$!
 svc_addr=$(svc_wait_addr "$SVC_TMP/d_overload.log")
-burst=$("$SVC_CLIENT" --addr "$svc_addr" burst --count 20)
+i=0
+while [ $i -lt 100 ]; do
+    metrics_addr=$(sed -n 's/^METRICS //p' "$SVC_TMP/d_overload.log")
+    [ -n "$metrics_addr" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$metrics_addr" ] || { echo "overload gate: daemon printed no METRICS addr" >&2; exit 1; }
+"$SVC_CLIENT" --addr "$svc_addr" burst --count 20 > "$SVC_TMP/burst.txt" &
+burst_pid=$!
+# The 40 ms/query worker holds the overload window open ~800 ms; poll the
+# scrape until the queue_full shed counter is visible while the burst is
+# still in flight. The client validates the exposition syntax each time.
+scraped_live=0
+i=0
+while [ $i -lt 60 ]; do
+    if "$SVC_CLIENT" --addr "$metrics_addr" metrics > "$SVC_TMP/scrape.txt" 2>/dev/null \
+        && grep -q '^svc_shed_total{reason="queue_full"} [1-9]' "$SVC_TMP/scrape.txt"; then
+        scraped_live=1
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.05
+done
+wait "$burst_pid"
+burst=$(cat "$SVC_TMP/burst.txt")
 echo "$burst"
+if [ "$scraped_live" -eq 1 ]; then
+    echo "overload gate: live scrape saw queue_full sheds mid-burst"
+else
+    # Machine-speed fallback: the burst outran the poll loop; the final
+    # scrape must still account for the sheds.
+    "$SVC_CLIENT" --addr "$metrics_addr" metrics > "$SVC_TMP/scrape.txt"
+    grep -q '^svc_shed_total{reason="queue_full"} [1-9]' "$SVC_TMP/scrape.txt" \
+        || { echo "overload gate: scrape never showed a queue_full shed" >&2; cat "$SVC_TMP/scrape.txt" >&2; exit 1; }
+    echo "overload gate: sheds confirmed on the post-burst scrape"
+fi
+grep -q "^METRICS_OK series=" "$SVC_TMP/scrape.txt" \
+    || { echo "overload gate: scrape body failed exposition validation" >&2; exit 1; }
+health=$("$SVC_CLIENT" --addr "$metrics_addr" health)
+echo "$health"
+case "$health" in
+    *"accepting=true"*) ;;
+    *) echo "overload gate: daemon must still be accepting after the burst" >&2; exit 1 ;;
+esac
 "$SVC_CLIENT" --addr "$svc_addr" drain > /dev/null
 wait "$svc_pid"
 echo "$burst" | awk '{

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod hist;
+pub mod prom;
 mod registry;
 mod snapshot;
 
@@ -54,9 +55,10 @@ pub use hist::{Hist, HIST_BUCKETS};
 pub use registry::{
     compiled, disable, enable, exclusive, flush_thread, is_active, record_counter,
     record_counter_owned, record_gauge_max, record_histogram, record_histogram_f64, reset,
-    snapshot, snapshot_if_active, span_enter, span_enter_root, Session, SpanGuard,
+    snapshot, snapshot_if_active, span_enter, span_enter_root, trace_begin, Session, SpanGuard,
+    TraceGuard,
 };
-pub use snapshot::{ObsSnapshot, SpanEntry};
+pub use snapshot::{DeltaWindow, ObsSnapshot, SpanEntry};
 
 /// Adds to a counter: `counter!("name")` adds 1, `counter!("name", n)`
 /// adds `n`. The name must be a `&'static str`; for runtime-built names
@@ -240,6 +242,58 @@ mod tests {
         let delta = s.snapshot().delta_since(&before);
         assert_eq!(delta.counter("d.c"), 7);
         assert_eq!(delta.counter("d.new"), 1);
+    }
+
+    #[test]
+    fn trace_capture_isolates_one_request_on_one_thread() {
+        let s = obs::Session::start();
+        obs::counter!("ambient", 100); // pre-trace noise on this thread
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                obs::counter!("other.thread", 50);
+                obs::flush_thread();
+            });
+        });
+        let trace = {
+            let t = obs::trace_begin();
+            obs::span_root!("query");
+            obs::counter!("q.work", 3);
+            obs::histogram!("q.iters", 7);
+            t.finish()
+        };
+        assert_eq!(trace.counter("q.work"), 3, "{:?}", trace);
+        assert_eq!(trace.span_count("query"), 0, "span still open at finish");
+        assert_eq!(trace.histogram("q.iters").unwrap().count, 1);
+        assert_eq!(trace.counter("ambient"), 0, "pre-trace work excluded");
+        assert_eq!(trace.counter("other.thread"), 0, "other threads excluded");
+        assert!(trace.gauges.is_empty(), "traces carry no gauges");
+        // The registry itself is untouched by the capture.
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("q.work"), 3);
+        assert_eq!(snap.counter("ambient"), 100);
+    }
+
+    #[test]
+    fn trace_capture_sees_spans_closed_inside_the_window() {
+        let s = obs::Session::start();
+        let t = obs::trace_begin();
+        {
+            obs::span_root!("query");
+            obs::counter!("q.work");
+        }
+        let trace = t.finish();
+        assert_eq!(trace.span_count("query"), 1);
+        drop(s);
+    }
+
+    #[test]
+    fn trace_capture_while_inactive_is_empty() {
+        let _x = obs::exclusive();
+        obs::reset();
+        assert!(!obs::is_active());
+        let t = obs::trace_begin();
+        obs::counter!("dead");
+        assert!(t.finish().is_empty());
     }
 
     #[test]

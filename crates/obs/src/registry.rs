@@ -201,20 +201,18 @@ mod imp {
         });
     }
 
-    /// Flushes the calling thread and snapshots the global table, sorted
-    /// by name/path.
-    pub fn snapshot() -> ObsSnapshot {
-        flush_thread();
-        let g = lock_global();
+    /// Converts one aggregation table into a sorted snapshot (BTreeMap
+    /// iteration order is already the sort order).
+    fn to_snapshot(a: &Aggregates) -> ObsSnapshot {
         ObsSnapshot {
-            counters: g
+            counters: a
                 .counters
                 .iter()
                 .map(|(k, v)| (k.to_string(), *v))
                 .collect(),
-            gauges: g.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
-            histograms: g.hists.iter().map(|(k, h)| (k.to_string(), h.clone())).collect(),
-            spans: g
+            gauges: a.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            histograms: a.hists.iter().map(|(k, h)| (k.to_string(), h.clone())).collect(),
+            spans: a
                 .spans
                 .iter()
                 .map(|(k, s)| SpanEntry {
@@ -223,6 +221,56 @@ mod imp {
                     total_ns: s.total_ns,
                 })
                 .collect(),
+        }
+    }
+
+    /// Flushes the calling thread and snapshots the global table, sorted
+    /// by name/path.
+    pub fn snapshot() -> ObsSnapshot {
+        flush_thread();
+        to_snapshot(&lock_global())
+    }
+
+    /// In-flight request-scoped trace capture; see [`trace_begin`].
+    #[must_use = "finish() returns the captured trace"]
+    pub struct TraceGuard {
+        baseline: Option<ObsSnapshot>,
+    }
+
+    /// Begins capturing everything the **calling thread** records between
+    /// now and [`TraceGuard::finish`] — the span tree and counters
+    /// attributable to the one piece of work (e.g. a daemon query) this
+    /// thread is about to run.
+    ///
+    /// The capture is a baseline/delta over the thread-local buffer, so
+    /// it costs two local-table snapshots and no global locking, and
+    /// concurrent work on other threads never leaks into the trace. The
+    /// one caveat: calling [`flush_thread`] or [`snapshot`] *on the
+    /// capturing thread* mid-capture empties the local buffer and
+    /// truncates the trace (the delta saturates at zero) — flush after
+    /// `finish()`, not before.
+    pub fn trace_begin() -> TraceGuard {
+        if !is_active() {
+            return TraceGuard { baseline: None };
+        }
+        TraceGuard {
+            baseline: Some(with_local(|b| to_snapshot(&b.agg))),
+        }
+    }
+
+    impl TraceGuard {
+        /// Ends the capture, returning only what this thread recorded
+        /// since [`trace_begin`]. Empty when the runtime was off at begin.
+        pub fn finish(self) -> ObsSnapshot {
+            let Some(base) = self.baseline else {
+                return ObsSnapshot::default();
+            };
+            let now = with_local(|b| to_snapshot(&b.agg));
+            let mut d = now.delta_since(&base);
+            // Gauges pass through delta_since as cumulative values; a
+            // request trace has no meaningful high-water marks, drop them.
+            d.gauges.clear();
+            d
         }
     }
 
@@ -467,12 +515,30 @@ mod imp {
     pub fn span_enter_root(_name: &'static str) -> SpanGuard {
         SpanGuard
     }
+
+    /// Zero-sized trace capture (recording runtime not compiled).
+    #[must_use = "finish() returns the captured trace"]
+    pub struct TraceGuard;
+
+    /// No-op (recording runtime not compiled).
+    #[inline(always)]
+    pub fn trace_begin() -> TraceGuard {
+        TraceGuard
+    }
+
+    impl TraceGuard {
+        /// Always the empty snapshot (recording runtime not compiled).
+        #[inline(always)]
+        pub fn finish(self) -> ObsSnapshot {
+            ObsSnapshot::default()
+        }
+    }
 }
 
 pub use imp::{
     disable, enable, flush_thread, is_active, record_counter, record_counter_owned,
     record_gauge_max, record_histogram, record_histogram_f64, reset, snapshot,
-    snapshot_if_active, span_enter, span_enter_root, SpanGuard,
+    snapshot_if_active, span_enter, span_enter_root, trace_begin, SpanGuard, TraceGuard,
 };
 
 /// RAII session for tests and tools: takes the exclusive lock, resets the

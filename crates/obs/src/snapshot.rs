@@ -80,6 +80,19 @@ fn hist_json(h: &Hist) -> String {
             let _ = write!(s, "\"{i}\":{n}");
         }
     }
+    // Inclusive upper bound of each emitted bucket, so consumers (and
+    // the Prometheus renderer) never hard-code the bit-length ladder.
+    s.push_str("},\"le\":{");
+    let mut first = true;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n > 0 {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\"{i}\":{}", Hist::bucket_bounds(i).1);
+        }
+    }
     s.push_str("}}");
     s
 }
@@ -253,6 +266,41 @@ impl ObsSnapshot {
         s
     }
 
+    /// Compact single-line JSON of a **request trace**: counters, span
+    /// count/total_ns pairs, and histograms. Embedded verbatim in the
+    /// daemon's slow-query log, so it must stay one line.
+    pub fn trace_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}:{}", json_str(name), v);
+        }
+        s.push_str("},\"spans\":{");
+        for (i, e) in self.spans.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{}:{{\"count\":{},\"total_ns\":{}}}",
+                json_str(&e.path),
+                e.count,
+                e.total_ns
+            );
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}:{}", json_str(name), hist_json(h));
+        }
+        s.push_str("}}");
+        s
+    }
+
     /// Flamegraph "collapsed stack" text: one `path total_ns` line per
     /// span path, sorted by path. Feed directly to `flamegraph.pl` or any
     /// compatible renderer (the weight is nanoseconds).
@@ -311,6 +359,42 @@ impl ObsSnapshot {
             }
         }
         s
+    }
+}
+
+/// A scrape window over a cumulative registry: [`DeltaWindow::advance`]
+/// returns what changed since the previous call without ever resetting
+/// the registry itself.
+///
+/// This is the piece that lets two *consumers* coexist: a Prometheus
+/// scraper wants cumulative monotone counters (it computes rates itself),
+/// while a local "what happened in the last N seconds" view wants deltas.
+/// Both read the same registry; the window keeps its own baseline, so
+/// neither disturbs the other.
+#[derive(Debug, Default)]
+pub struct DeltaWindow {
+    last: ObsSnapshot,
+}
+
+impl DeltaWindow {
+    /// A window whose first [`advance`](DeltaWindow::advance) reports
+    /// everything recorded so far.
+    pub fn new() -> DeltaWindow {
+        DeltaWindow::default()
+    }
+
+    /// Feeds the window the latest cumulative snapshot and returns the
+    /// delta since the previous `advance` (gauges pass through as
+    /// current values — a high-water mark has no meaningful delta).
+    pub fn advance(&mut self, current: ObsSnapshot) -> ObsSnapshot {
+        let d = current.delta_since(&self.last);
+        self.last = current;
+        d
+    }
+
+    /// The cumulative snapshot the window last advanced to.
+    pub fn baseline(&self) -> &ObsSnapshot {
+        &self.last
     }
 }
 
@@ -394,6 +478,38 @@ mod tests {
         assert!(d.histograms.is_empty(), "unchanged histogram dropped");
         assert_eq!(d.span_count("root;leaf"), 2);
         assert_eq!(d.gauges, after.gauges, "gauges pass through");
+    }
+
+    #[test]
+    fn hist_json_pairs_every_bucket_with_its_upper_bound() {
+        let j = sample().counts_json();
+        // Values 3 and 300 land in buckets 2 and 9 whose inclusive upper
+        // bounds are 3 and 511.
+        assert!(j.contains("\"buckets\":{\"2\":1,\"9\":1},\"le\":{\"2\":3,\"9\":511}"), "{j}");
+    }
+
+    #[test]
+    fn delta_window_reports_only_new_work_per_advance() {
+        let mut w = DeltaWindow::new();
+        let first = w.advance(sample());
+        assert_eq!(first.counter("a.hits"), 7, "first advance sees all");
+        let unchanged = w.advance(sample());
+        assert!(unchanged.counters.is_empty(), "no new work, no counters");
+        assert_eq!(unchanged.gauges, sample().gauges, "gauges pass through");
+        let mut grown = sample();
+        grown.counters[0].1 = 9;
+        let d = w.advance(grown);
+        assert_eq!(d.counter("a.hits"), 2);
+        assert_eq!(w.baseline().counter("a.hits"), 9);
+    }
+
+    #[test]
+    fn trace_json_is_single_line_and_complete() {
+        let t = sample().trace_json();
+        assert!(!t.contains('\n'));
+        assert!(t.contains("\"a.hits\":7"), "{t}");
+        assert!(t.contains("\"root;leaf\":{\"count\":4,\"total_ns\":400}"), "{t}");
+        assert!(t.contains("\"iters\":{\"count\":2"), "{t}");
     }
 
     #[test]

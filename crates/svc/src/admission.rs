@@ -38,6 +38,8 @@ pub struct Admission<T> {
     ewma_service_ns: AtomicU64,
     admitted: AtomicU64,
     shed: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_draining: AtomicU64,
     completed: AtomicU64,
 }
 
@@ -56,6 +58,8 @@ impl<T> Admission<T> {
             ewma_service_ns: AtomicU64::new(0),
             admitted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_draining: AtomicU64::new(0),
             completed: AtomicU64::new(0),
         }
     }
@@ -74,14 +78,16 @@ impl<T> Admission<T> {
         let mut inner = self.lock();
         if !inner.open {
             self.shed.fetch_add(1, Ordering::Relaxed);
-            cyclesteal_obs::counter!("svc.admission.shed_draining");
+            self.shed_draining.fetch_add(1, Ordering::Relaxed);
+            cyclesteal_obs::counter!("svc.admission.shed|reason=draining");
             return Err(AdmitError::Draining);
         }
         if inner.queue.len() >= self.capacity {
             let depth = inner.queue.len() as u64;
             drop(inner);
             self.shed.fetch_add(1, Ordering::Relaxed);
-            cyclesteal_obs::counter!("svc.admission.shed_queue_full");
+            self.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            cyclesteal_obs::counter!("svc.admission.shed|reason=queue_full");
             return Err(AdmitError::QueueFull {
                 retry_after_ms: self.retry_after_ms(depth),
             });
@@ -163,6 +169,20 @@ impl<T> Admission<T> {
             self.shed.load(Ordering::Relaxed),
             self.completed.load(Ordering::Relaxed),
         )
+    }
+
+    /// Sheds split by reason: `(queue_full, draining)`.
+    pub fn shed_reasons(&self) -> (u64, u64) {
+        (
+            self.shed_queue_full.load(Ordering::Relaxed),
+            self.shed_draining.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The current EWMA of per-job service time in ns (`0` = no sample
+    /// yet). This is the estimate that prices `retry_after_ms`.
+    pub fn ewma_ns(&self) -> u64 {
+        self.ewma_service_ns.load(Ordering::Relaxed)
     }
 }
 

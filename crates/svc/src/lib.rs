@@ -17,7 +17,13 @@
 //!   never serves a corrupted entry;
 //! * **graceful drain** — `SIGTERM` (or a `drain` request) stops
 //!   admission, finishes in-flight queries, compacts the WAL into a
-//!   fresh snapshot, and flushes an observability snapshot.
+//!   fresh snapshot, and flushes an observability snapshot;
+//! * **live telemetry** — an optional second listener serves Prometheus
+//!   text exposition at `GET /metrics` and admission state at
+//!   `GET /healthz` ([`metrics`]), the obs snapshot flushes to disk
+//!   periodically (not just at drain), and queries slower than a
+//!   configured threshold append structured JSON lines (with a captured
+//!   per-query trace) to `slow_queries.jsonl`.
 //!
 //! The wire protocol is length-prefixed JSON frames ([`proto`],
 //! [`json`]); [`client::Client`] is the matching blocking client.
@@ -30,6 +36,7 @@
 pub mod admission;
 pub mod client;
 pub mod json;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 pub mod wal;

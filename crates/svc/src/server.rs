@@ -9,7 +9,20 @@
 //!   commands are answered inline, queries go through admission);
 //! * `workers` **worker** threads draining the bounded admission queue,
 //!   evaluating via [`cyclesteal_sweep::run_query`] and writing the
-//!   response frame back through the connection's write lock.
+//!   response frame back through the connection's write lock;
+//! * optionally one **metrics** thread (same non-blocking accept/poll
+//!   shape as the main listener) answering HTTP `GET /metrics` and
+//!   `GET /healthz` — reads only, so a scrape can never block or reorder
+//!   query traffic — and one **obs-flush** thread writing the registry
+//!   snapshot to `obs_snapshot.json` every few seconds (tmp + atomic
+//!   rename), so a `SIGKILL` loses at most one flush interval of
+//!   telemetry.
+//!
+//! # Scrape visibility
+//!
+//! Workers flush their thread-local obs buffers *before* writing each
+//! response frame: once a client has seen an answer, a subsequent
+//! `/metrics` scrape is guaranteed to include that query's records.
 //!
 //! # Determinism contract
 //!
@@ -25,21 +38,24 @@
 //! stop admission → finish queued + in-flight queries → compact the WAL
 //! into a snapshot → flush the obs snapshot → close connections.
 
-use std::io;
+use std::fs::File;
+use std::io::{self, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use cyclesteal_core::cache::SolveCache;
 use cyclesteal_core::recover::{Clock, Deadline, MonotonicClock};
 use cyclesteal_core::stability::Policy;
+use cyclesteal_obs::ObsSnapshot;
 use cyclesteal_sweep::{run_query, Evaluator, LongLaw, Point, QueryOutcome};
 
 use crate::admission::{AdmitError, Admission};
 use crate::json::{self, Value};
+use crate::metrics::{self, NativeMetrics};
 use crate::proto;
 use crate::wal::{DurableCache, RecoveryReport};
 
@@ -67,6 +83,17 @@ pub struct ServerConfig {
     /// Test hook: crash (torn WAL record + raw `SIGKILL`) after this many
     /// WAL appends. See [`DurableCache::set_kill_after_appends`].
     pub kill_after_appends: Option<u64>,
+    /// Bind address of the HTTP metrics/health listener; `None` disables
+    /// it (`"127.0.0.1:0"` for an OS-assigned port).
+    pub metrics_addr: Option<String>,
+    /// Queries whose admission-to-response time meets this threshold
+    /// append one JSON line to `slow_queries.jsonl` in `data_dir` (`0`
+    /// logs every query; `None` disables; requires `data_dir`).
+    pub slow_log_ms: Option<u64>,
+    /// Seconds between periodic atomic flushes of `obs_snapshot.json`
+    /// (`0` disables; only meaningful with `data_dir` and live obs
+    /// recording).
+    pub obs_flush_secs: u64,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +108,9 @@ impl Default for ServerConfig {
             default_budget_ns: None,
             slow_ms: 0,
             kill_after_appends: None,
+            metrics_addr: None,
+            slow_log_ms: None,
+            obs_flush_secs: 5,
         }
     }
 }
@@ -139,6 +169,9 @@ struct Job {
     conn: Arc<ConnState>,
     point: Point,
     budget_ns: Option<u64>,
+    /// When the reader picked the frame off the socket.
+    received_ns: u64,
+    /// When admission accepted the job (budgets start here).
     admitted_ns: u64,
 }
 
@@ -151,6 +184,20 @@ struct Shared {
     served: AtomicU64,
     slow_ms: u64,
     default_budget_ns: Option<u64>,
+    /// Workers currently evaluating (not blocked on the queue).
+    busy_workers: AtomicUsize,
+    /// Worker-pool size, for `/healthz` and `svc_workers`.
+    workers: usize,
+    /// Per-connection-cap sheds (admission only counts its own reasons).
+    shed_inflight_cap: AtomicU64,
+    /// Open handle on `slow_queries.jsonl` (serialized line appends).
+    slow_log: Option<Mutex<File>>,
+    /// Admission-to-response threshold in ms; `0` logs every query.
+    slow_log_ms: Option<u64>,
+    /// Slow-log lines written (the `svc_slow_queries_total` series).
+    slow_logged: AtomicU64,
+    /// Tells the metrics and obs-flush threads to exit.
+    stop: AtomicBool,
 }
 
 impl Shared {
@@ -167,6 +214,84 @@ impl Shared {
                 eprintln!("svc: WAL append failed (entry stays in memory): {e}");
                 cyclesteal_obs::counter!("svc.wal.append_failed");
             }
+        }
+    }
+
+    /// Collects every natively-maintained metric for one scrape.
+    fn native_metrics(&self) -> NativeMetrics {
+        let cache = self.cache.stats();
+        let (admitted, _, completed) = self.admission.counts();
+        let (shed_queue_full, shed_draining) = self.admission.shed_reasons();
+        let wal = self.durable.as_ref().map(DurableCache::stats).unwrap_or_default();
+        NativeMetrics {
+            served: self.served.load(Ordering::Relaxed),
+            admitted,
+            completed,
+            shed_queue_full,
+            shed_draining,
+            shed_inflight_cap: self.shed_inflight_cap.load(Ordering::Relaxed),
+            slow_queries: self.slow_logged.load(Ordering::Relaxed),
+            queue_depth: self.admission.depth() as u64,
+            busy_workers: self.busy_workers.load(Ordering::SeqCst) as u64,
+            workers: self.workers as u64,
+            draining: u64::from(self.draining.load(Ordering::SeqCst)),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_reports: self.cache.report_len() as u64,
+            wal_appends: wal.appends,
+            wal_bytes: wal.bytes,
+            wal_fsyncs: wal.fsyncs,
+            ewma_service_ns: self.admission.ewma_ns(),
+        }
+    }
+
+    /// Appends one slow-query record when the query's admission-to-last-
+    /// byte-computed time meets the configured threshold. One compact
+    /// JSON line: identity, per-stage timings, outcome shape, and the
+    /// captured per-query obs trace.
+    fn maybe_slow_log(&self, job: &Job, outcome: &QueryOutcome, t0: u64, t1: u64, trace: &ObsSnapshot) {
+        let Some(threshold_ms) = self.slow_log_ms else {
+            return;
+        };
+        let total_ns = t1.saturating_sub(job.admitted_ns);
+        if total_ns < threshold_ms.saturating_mul(1_000_000) {
+            return;
+        }
+        let Some(file) = &self.slow_log else {
+            return;
+        };
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis());
+        let row = &outcome.row;
+        let budget = match job.budget_ns {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        };
+        let headroom = match job.budget_ns {
+            Some(b) => i128::from(b).saturating_sub(i128::from(total_ns)).to_string(),
+            None => "null".to_string(),
+        };
+        let failure = match &row.failure {
+            Some(f) => f.to_json(),
+            None => "null".to_string(),
+        };
+        let line = format!(
+            "{{\"ts_ms\":{ts_ms},\"id\":{},\"admission_wait_ns\":{},\"queue_wait_ns\":{},\"service_ns\":{},\"total_ns\":{total_ns},\"budget_ns\":{budget},\"headroom_ns\":{headroom},\"attempts\":{},\"degraded\":{},\"steered\":{},\"failure\":{failure},\"trace\":{}}}",
+            json::escape(&row.id),
+            job.admitted_ns.saturating_sub(job.received_ns),
+            t0.saturating_sub(job.admitted_ns),
+            t1.saturating_sub(t0),
+            row.attempts,
+            row.degraded,
+            outcome.steered,
+            trace.trace_json(),
+        );
+        let mut f = lock(file);
+        if writeln!(f, "{line}").is_ok() {
+            self.slow_logged.fetch_add(1, Ordering::Relaxed);
+            cyclesteal_obs::counter!("svc.slow_log.records");
         }
     }
 }
@@ -188,9 +313,12 @@ type ConnRegistry = Arc<Mutex<Vec<(Arc<ConnState>, JoinHandle<()>)>>>;
 /// A running daemon instance.
 pub struct Server {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Metrics listener and obs-flush threads (exit on `Shared::stop`).
+    aux: Vec<JoinHandle<()>>,
     conns: ConnRegistry,
     data_dir: Option<PathBuf>,
 }
@@ -226,6 +354,15 @@ impl Server {
             None => None,
         };
 
+        let slow_log = match (&config.data_dir, config.slow_log_ms) {
+            (Some(dir), Some(_)) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .append(true)
+                    .create(true)
+                    .open(dir.join("slow_queries.jsonl"))?,
+            )),
+            _ => None,
+        };
         let shared = Arc::new(Shared {
             cache,
             admission: Admission::new(config.queue_capacity, config.workers),
@@ -235,6 +372,13 @@ impl Server {
             served: AtomicU64::new(0),
             slow_ms: config.slow_ms,
             default_budget_ns: config.default_budget_ns,
+            busy_workers: AtomicUsize::new(0),
+            workers: config.workers.max(1),
+            shed_inflight_cap: AtomicU64::new(0),
+            slow_log,
+            slow_log_ms: config.slow_log_ms,
+            slow_logged: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
         });
 
         let workers = (0..config.workers.max(1))
@@ -256,11 +400,45 @@ impl Server {
                 .spawn(move || accept_loop(&listener, &shared, &conns, per_conn))?
         };
 
+        let mut aux = Vec::new();
+        let metrics_addr = match &config.metrics_addr {
+            None => None,
+            Some(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                let bound = listener.local_addr()?;
+                let shared = Arc::clone(&shared);
+                aux.push(
+                    std::thread::Builder::new()
+                        .name("svc-metrics".to_string())
+                        .spawn(move || metrics_loop(&listener, &shared))?,
+                );
+                Some(bound)
+            }
+        };
+        if let Some(dir) = &config.data_dir {
+            if config.obs_flush_secs > 0 {
+                let shared = Arc::clone(&shared);
+                let dir = dir.clone();
+                let period = Duration::from_secs(config.obs_flush_secs);
+                aux.push(
+                    std::thread::Builder::new()
+                        .name("svc-obs-flush".to_string())
+                        .spawn(move || obs_flush_loop(&shared, &dir, period))?,
+                );
+            }
+        }
+
+        // Make recovery-time obs records (WAL truncation, snapshot
+        // rejection) visible to scrapes before the first query arrives.
+        cyclesteal_obs::flush_thread();
         Ok(Server {
             addr,
+            metrics_addr,
             shared,
             accept: Some(accept),
             workers,
+            aux,
             conns,
             data_dir: config.data_dir,
         })
@@ -269,6 +447,11 @@ impl Server {
     /// The actual bound address (resolves `:0` ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The metrics listener's bound address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// What restart recovery found (all zeros when memory-only).
@@ -313,9 +496,13 @@ impl Server {
             durable.compact(&entries)?;
         }
         if let Some(dir) = &self.data_dir {
-            if let Some(snapshot) = cyclesteal_obs::snapshot_if_active() {
-                let _ = std::fs::write(dir.join("obs_snapshot.json"), snapshot.to_json());
-            }
+            let _ = write_obs_snapshot(dir);
+        }
+        // Stop the metrics listener and periodic flusher; the final
+        // snapshot above already supersedes anything they would write.
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for h in self.aux.drain(..) {
+            let _ = h.join();
         }
         // Now unblock the connection readers and collect them.
         let conns = std::mem::take(&mut *lock(&self.conns));
@@ -324,6 +511,7 @@ impl Server {
             let _ = handle.join();
         }
         cyclesteal_obs::counter!("svc.drain.completed");
+        cyclesteal_obs::flush_thread();
         Ok(DrainReport {
             served: self.shared.served.load(Ordering::Relaxed),
             compacted_entries: compacted,
@@ -406,6 +594,9 @@ fn reader_loop(
         if let Some(response) = handle_frame(&frame, conn, shared, per_conn_inflight) {
             conn.send(&response);
         }
+        // Reader-side records (admission sheds, drain requests) become
+        // scrape-visible as soon as the client has its answer.
+        cyclesteal_obs::flush_thread();
     }
 }
 
@@ -449,6 +640,7 @@ fn admit_query(
     shared: &Arc<Shared>,
     per_conn_inflight: usize,
 ) -> Option<String> {
+    let received_ns = MonotonicClock.now_ns();
     let point = match parse_point(doc) {
         Ok(p) => p,
         Err(reason) => return Some(error_response("bad_request", &reason)),
@@ -461,7 +653,8 @@ fn admit_query(
     let prev = conn.inflight.fetch_add(1, Ordering::SeqCst);
     if prev >= per_conn_inflight {
         conn.inflight.fetch_sub(1, Ordering::SeqCst);
-        cyclesteal_obs::counter!("svc.admission.shed_inflight_cap");
+        shared.shed_inflight_cap.fetch_add(1, Ordering::Relaxed);
+        cyclesteal_obs::counter!("svc.admission.shed|reason=inflight_cap");
         return Some(shed_response("inflight_cap", None));
     }
     let budget_ns = doc
@@ -472,6 +665,7 @@ fn admit_query(
         conn: Arc::clone(conn),
         point,
         budget_ns,
+        received_ns,
         admitted_ns: MonotonicClock.now_ns(),
     };
     match shared.admission.admit(job) {
@@ -490,10 +684,14 @@ fn admit_query(
 fn worker_loop(shared: &Arc<Shared>) {
     let clock = MonotonicClock;
     while let Some(job) = shared.admission.next() {
+        shared.busy_workers.fetch_add(1, Ordering::SeqCst);
         let t0 = clock.now_ns();
         if shared.slow_ms > 0 {
             std::thread::sleep(Duration::from_millis(shared.slow_ms));
         }
+        // Everything this thread records between here and finish() is
+        // the query's own trace (slow-log attachment).
+        let trace = cyclesteal_obs::trace_begin();
         let outcome = match job.budget_ns {
             None => run_query(&job.point, &shared.cache, None),
             Some(budget) => {
@@ -505,15 +703,39 @@ fn worker_loop(shared: &Arc<Shared>) {
                 run_query(&job.point, &shared.cache, Some(&deadline))
             }
         };
+        let trace = trace.finish();
+        let t1 = clock.now_ns();
+        // Per-stage latency split, all in microseconds: how long admission
+        // took to accept the frame, how long the job queued, how long
+        // evaluation ran, and how much budget was left at the end.
+        cyclesteal_obs::histogram!(
+            "svc.query.admission_wait_us",
+            job.admitted_ns.saturating_sub(job.received_ns) / 1_000
+        );
+        cyclesteal_obs::histogram!(
+            "svc.query.queue_wait_us",
+            t0.saturating_sub(job.admitted_ns) / 1_000
+        );
+        cyclesteal_obs::histogram!("svc.query.service_us", t1.saturating_sub(t0) / 1_000);
+        if let Some(budget) = job.budget_ns {
+            cyclesteal_obs::histogram!(
+                "svc.query.deadline_headroom_us",
+                budget.saturating_sub(t1.saturating_sub(job.admitted_ns)) / 1_000
+            );
+        }
+        cyclesteal_obs::counter!("svc.query.served");
         shared.persist_new_reports();
+        shared.maybe_slow_log(&job, &outcome, t0, t1, &trace);
+        // Flush before the response frame: once the client has its
+        // answer, any scrape must already include this query's records.
+        cyclesteal_obs::flush_thread();
         job.conn.send(&query_response(&outcome));
         job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
         shared.served.fetch_add(1, Ordering::Relaxed);
-        shared
-            .admission
-            .record_service_ns(clock.now_ns().saturating_sub(t0));
-        cyclesteal_obs::counter!("svc.query.served");
+        shared.admission.record_service_ns(t1.saturating_sub(t0));
+        shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
     }
+    cyclesteal_obs::flush_thread();
 }
 
 /// Builds the evaluation [`Point`] from a query document.
@@ -656,6 +878,115 @@ fn stats_response(shared: &Arc<Shared>) -> String {
         rec.wal_truncated_to.is_some(),
         rec.snapshot_rejected,
     )
+}
+
+/// The metrics listener: same non-blocking accept/poll shape as the main
+/// accept loop, serving one HTTP request per connection. Scrapes keep
+/// working during drain (an operator watching an overload event must not
+/// go blind at the interesting moment); the thread exits on
+/// `Shared::stop`, after the final obs snapshot is on disk.
+fn metrics_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => serve_metrics_conn(stream, shared),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                eprintln!("svc: metrics accept error: {e}");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+fn serve_metrics_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let path = match metrics::read_request_path(&mut stream) {
+        Ok(Ok(p)) => p,
+        Ok(Err(msg)) => {
+            let _ = metrics::write_http_response(&mut stream, "400 Bad Request", "text/plain", &msg);
+            return;
+        }
+        Err(_) => return,
+    };
+    let result = match path.as_str() {
+        "/metrics" => {
+            let native = shared.native_metrics();
+            let obs = cyclesteal_obs::snapshot_if_active();
+            let body = metrics::render(&native, obs.as_ref());
+            metrics::write_http_response(&mut stream, "200 OK", metrics::METRICS_CONTENT_TYPE, &body)
+        }
+        "/healthz" => {
+            let body = healthz_response(shared);
+            metrics::write_http_response(&mut stream, "200 OK", "application/json", &body)
+        }
+        other => metrics::write_http_response(
+            &mut stream,
+            "404 Not Found",
+            "text/plain",
+            &format!("no route {other}\n"),
+        ),
+    };
+    if let Err(e) = result {
+        eprintln!("svc: metrics response failed: {e}");
+    }
+}
+
+/// Admission-state summary for load balancers and probes: is this
+/// instance accepting, and how loaded is it right now.
+fn healthz_response(shared: &Arc<Shared>) -> String {
+    let draining = shared.draining.load(Ordering::SeqCst);
+    let depth = shared.admission.depth();
+    let busy = shared.busy_workers.load(Ordering::SeqCst);
+    format!(
+        "{{\"ok\": true, \"accepting\": {}, \"draining\": {draining}, \"queue_depth\": {depth}, \"busy_workers\": {busy}, \"inflight\": {}, \"workers\": {}, \"served\": {}}}",
+        !draining,
+        depth + busy,
+        shared.workers,
+        shared.served.load(Ordering::Relaxed),
+    )
+}
+
+/// Writes the current obs snapshot to `obs_snapshot.json` in `dir` via a
+/// temp file + atomic rename, so readers never see a torn document. A
+/// no-op when recording is inactive.
+fn write_obs_snapshot(dir: &Path) -> io::Result<()> {
+    let Some(snapshot) = cyclesteal_obs::snapshot_if_active() else {
+        return Ok(());
+    };
+    let tmp = dir.join("obs_snapshot.tmp");
+    std::fs::write(&tmp, snapshot.to_json())?;
+    std::fs::rename(&tmp, dir.join("obs_snapshot.json"))
+}
+
+/// Periodically flushes the obs snapshot so a `SIGKILL`'d daemon leaves
+/// at-most-one-interval-stale telemetry instead of none (the snapshot
+/// used to be written only at graceful drain). Polls `Shared::stop` every
+/// 50 ms so drain doesn't wait out a long flush interval.
+fn obs_flush_loop(shared: &Arc<Shared>, dir: &Path, period: Duration) {
+    let tick = Duration::from_millis(50);
+    let mut since_flush = Duration::ZERO;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(tick);
+        since_flush += tick;
+        if since_flush >= period {
+            since_flush = Duration::ZERO;
+            if let Err(e) = write_obs_snapshot(dir) {
+                eprintln!("svc: periodic obs snapshot failed: {e}");
+            }
+        }
+    }
 }
 
 /// Locks a mutex, recovering from a poisoned lock (every protected

@@ -248,9 +248,26 @@ pub fn decode_snapshot(bytes: &[u8]) -> Option<Vec<(ReportKey, CsCqReport)>> {
 struct WalFile {
     file: File,
     appends: u64,
+    /// Record bytes (header + payload) appended through this handle.
+    bytes: u64,
+    /// `sync_data`/`sync_all` calls issued through this handle.
+    fsyncs: u64,
     /// Test hook: after this many successful appends, write a *partial*
     /// record and raw-`SIGKILL` the process — the crash-recovery gate.
     kill_after_appends: Option<u64>,
+}
+
+/// Write-side counters of one [`DurableCache`] handle, for the daemon's
+/// `/metrics` endpoint. All exclude recovered history: they count what
+/// *this process* wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalStats {
+    /// Records appended.
+    pub appends: u64,
+    /// Record bytes (header + payload) appended.
+    pub bytes: u64,
+    /// Disk syncs issued (appends and compactions).
+    pub fsyncs: u64,
 }
 
 /// The persistence half of the daemon's [`SolveCache`]: owns the WAL file
@@ -344,6 +361,8 @@ impl DurableCache {
                 wal: Mutex::new(WalFile {
                     file,
                     appends: 0,
+                    bytes: 0,
+                    fsyncs: 0,
                     kill_after_appends: None,
                 }),
             },
@@ -384,6 +403,8 @@ impl DurableCache {
         wal.file.write_all(&rec)?;
         wal.file.sync_data()?;
         wal.appends += 1;
+        wal.bytes += rec.len() as u64;
+        wal.fsyncs += 1;
         cyclesteal_obs::counter!("svc.wal.append");
         Ok(())
     }
@@ -392,6 +413,16 @@ impl DurableCache {
     /// history).
     pub fn appends(&self) -> u64 {
         lock(&self.wal).appends
+    }
+
+    /// Write-side counters of this handle (appends, bytes, fsyncs).
+    pub fn stats(&self) -> WalStats {
+        let wal = lock(&self.wal);
+        WalStats {
+            appends: wal.appends,
+            bytes: wal.bytes,
+            fsyncs: wal.fsyncs,
+        }
     }
 
     /// Writes `entries` as a new snapshot (temp file + atomic rename) and
@@ -421,6 +452,8 @@ impl DurableCache {
         wal.file.set_len(WAL_MAGIC.len() as u64)?;
         wal.file.seek(SeekFrom::End(0))?;
         wal.file.sync_data()?;
+        // Snapshot sync + directory sync + WAL-reset sync.
+        wal.fsyncs += 3;
         cyclesteal_obs::counter!("svc.wal.compact");
         Ok(())
     }
@@ -595,6 +628,24 @@ mod tests {
         assert!(rec3.snapshot_rejected);
         assert_eq!(rec3.snapshot_entries, 0);
         assert!(cache3.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_stats_count_appends_bytes_and_fsyncs() {
+        let dir = tmp_dir("stats");
+        let cache = SolveCache::new();
+        let (durable, _) = DurableCache::open(&dir, &cache).unwrap();
+        assert_eq!(durable.stats(), WalStats::default());
+        let (k, r) = sample_entry(1);
+        durable.append(&k, &r).unwrap();
+        let s = durable.stats();
+        assert_eq!(s.appends, 1);
+        assert_eq!(s.bytes, (RECORD_HEADER + RECORD_LEN) as u64);
+        assert_eq!(s.fsyncs, 1);
+        durable.compact(&[]).unwrap();
+        assert_eq!(durable.stats().fsyncs, 4, "compact adds three syncs");
+        assert_eq!(durable.stats().appends, 1, "compact is not an append");
         let _ = fs::remove_dir_all(&dir);
     }
 

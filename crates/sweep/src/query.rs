@@ -84,19 +84,28 @@ pub fn run_query(point: &Point, cache: &SolveCache, deadline: Option<&Deadline<'
     } else {
         cache
     };
-    let steered = match point.evaluator {
-        Evaluator::Analysis => engine::evaluate_analysis(point, cache, &mut row, deadline),
-        Evaluator::Simulation {
-            total_jobs,
-            reps,
-            base_seed,
-        } => {
-            // Simulations have no intermediate rungs to steer; the
-            // admission check above is the only deadline decision.
-            engine::evaluate_simulation(point, total_jobs, reps, base_seed, &mut row);
-            false
+    let steered = {
+        // Separates evaluation proper from admission/cache plumbing in
+        // per-query traces and the daemon's span series.
+        cyclesteal_obs::span!("sweep.query.evaluate");
+        match point.evaluator {
+            Evaluator::Analysis => engine::evaluate_analysis(point, cache, &mut row, deadline),
+            Evaluator::Simulation {
+                total_jobs,
+                reps,
+                base_seed,
+            } => {
+                // Simulations have no intermediate rungs to steer; the
+                // admission check above is the only deadline decision.
+                engine::evaluate_simulation(point, total_jobs, reps, base_seed, &mut row);
+                false
+            }
         }
     };
+    cyclesteal_obs::histogram!("sweep.query.attempts", u64::from(row.attempts));
+    if row.degraded {
+        cyclesteal_obs::counter!("sweep.query.degraded");
+    }
     if matches!(
         row.failure,
         Some(crate::report::PointFailure {

@@ -16,6 +16,10 @@
 //!   and print `BURST ok=<n> shed=<n>`; every shed response must be a
 //!   structured `queue_full`/`inflight_cap` rejection.
 //! * `drain` — request a graceful drain, print `DRAINING`.
+//! * `metrics` — scrape `GET /metrics` from `--addr` (the daemon's
+//!   *metrics* address), validate the Prometheus exposition syntax, and
+//!   print `METRICS_OK series=<n>` followed by the body.
+//! * `health` — fetch `GET /healthz` and print one `HEALTH ...` line.
 //!
 //! The `stream` output is deterministic (responses carry no timings), so
 //! harnesses byte-compare the output of a crashed-and-recovered daemon
@@ -25,8 +29,10 @@ use std::io::Write as _;
 use std::net::TcpStream;
 use std::time::Duration;
 
+use cyclesteal_obs::prom;
 use cyclesteal_svc::client::{Client, QueryRequest};
 use cyclesteal_svc::json::{self, Value};
+use cyclesteal_svc::metrics;
 use cyclesteal_svc::proto;
 
 /// The seeded stream: query `i` asks `rho_s = 0.80 + 0.05 i` at
@@ -54,12 +60,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--count" => count = take()?.parse()?,
             "--budget-ns" => budget_ns = Some(take()?.parse()?),
             "--tolerate-crash" => tolerate_crash = true,
-            "ping" | "stream" | "burst" | "drain" => command = Some(arg),
+            "ping" | "stream" | "burst" | "drain" | "metrics" | "health" => command = Some(arg),
             other => return Err(format!("unknown argument {other:?}").into()),
         }
     }
     let addr = addr.ok_or("--addr HOST:PORT is required")?;
-    let command = command.ok_or("a command (ping|stream|burst|drain) is required")?;
+    let command =
+        command.ok_or("a command (ping|stream|burst|drain|metrics|health) is required")?;
 
     match command.as_str() {
         "ping" => {
@@ -79,8 +86,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         "stream" => run_stream(&addr, count, budget_ns, tolerate_crash),
         "burst" => run_burst(&addr, count),
+        "metrics" => run_metrics(&addr),
+        "health" => run_health(&addr),
         _ => unreachable!(),
     }
+}
+
+/// Scrapes `/metrics`, validates the exposition, and prints it. Exits
+/// non-zero on a syntactically invalid body — this is the CI gate's
+/// format check.
+fn run_metrics(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let body = metrics::http_get(addr, "/metrics")?;
+    let series = prom::check_exposition(&body).map_err(|e| format!("invalid exposition: {e}"))?;
+    println!("METRICS_OK series={series}");
+    print!("{body}");
+    Ok(())
+}
+
+/// Fetches `/healthz` and prints the admission state as one line.
+fn run_health(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let body = metrics::http_get(addr, "/healthz")?;
+    let v = json::parse(&body)?;
+    let field = |key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("healthz response missing {key:?}: {body}"))
+    };
+    let flag = |key: &str| -> Result<bool, String> {
+        v.get(key)
+            .and_then(Value::as_bool)
+            .ok_or_else(|| format!("healthz response missing {key:?}: {body}"))
+    };
+    println!(
+        "HEALTH accepting={} draining={} queue_depth={} busy_workers={} inflight={} workers={} served={}",
+        flag("accepting")?,
+        flag("draining")?,
+        field("queue_depth")?,
+        field("busy_workers")?,
+        field("inflight")?,
+        field("workers")?,
+        field("served")?,
+    );
+    Ok(())
 }
 
 fn connect(addr: &str) -> Result<Client, Box<dyn std::error::Error>> {

@@ -12,13 +12,18 @@
 //! * `--cache-capacity N`      report-cache LRU bound (default unbounded)
 //! * `--data-dir DIR`          enable the durable WAL + snapshot in DIR
 //! * `--default-budget-ns NS`  budget for queries that carry none
+//! * `--metrics-addr HOST:PORT` serve HTTP `GET /metrics` + `/healthz`
+//! * `--slow-log-ms MS`        log queries slower than MS to
+//!   `slow_queries.jsonl` in the data dir (`0` logs every query)
+//! * `--obs-flush-secs N`      seconds between periodic obs-snapshot
+//!   flushes (default 5; `0` disables)
 //! * `--slow-ms MS`            test hook: delay each evaluation
 //! * `--kill-after-appends N`  test hook: torn-write + SIGKILL after N
 //!   WAL appends (the crash-recovery gate)
 //!
 //! The daemon prints `LISTENING <addr>` on stdout once ready (harnesses
-//! parse this to discover the `:0`-assigned port) and a drain summary on
-//! exit.
+//! parse this to discover the `:0`-assigned port), `METRICS <addr>` when
+//! a metrics listener is configured, and a drain summary on exit.
 
 use std::time::Duration;
 
@@ -37,6 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--cache-capacity" => config.cache_capacity = take()?.parse()?,
             "--data-dir" => config.data_dir = Some(take()?.into()),
             "--default-budget-ns" => config.default_budget_ns = Some(take()?.parse()?),
+            "--metrics-addr" => config.metrics_addr = Some(take()?),
+            "--slow-log-ms" => config.slow_log_ms = Some(take()?.parse()?),
+            "--obs-flush-secs" => config.obs_flush_secs = take()?.parse()?,
             "--slow-ms" => config.slow_ms = take()?.parse()?,
             "--kill-after-appends" => config.kill_after_appends = Some(take()?.parse()?),
             other => return Err(format!("unknown option {other:?}").into()),
@@ -50,6 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = Server::start(config)?;
     let rec = server.recovery();
     println!("LISTENING {}", server.addr());
+    if let Some(metrics) = server.metrics_addr() {
+        println!("METRICS {metrics}");
+    }
     println!(
         "recovered: {} snapshot + {} wal entries{}{}",
         rec.snapshot_entries,
