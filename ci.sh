@@ -187,11 +187,14 @@ echo "crash gate: 6 entries recovered, torn tail truncated, 12 replayed answers 
 
 echo "==> daemon overload smoke (slowed worker, bounded queue -> structured sheds, live scrape)"
 # 10x the daemon's drain rate: a 20-query burst into a 2-slot queue behind
-# one 40 ms/query worker. Admitted queries must all complete; the rest
-# must shed as structured queue_full rejections with retry hints (the
-# client asserts the shape of every shed response). The /metrics scrape
-# must tell the same story LIVE, mid-burst — not only after the dust
-# settles — and the body must be valid Prometheus exposition.
+# one 40 ms/query worker — with micro-batching at its default (on), so the
+# shed/hint/probe contracts are exercised through the batched drain loop.
+# Admitted queries must all complete; the rest must shed as structured
+# queue_full rejections with retry hints (the client asserts the shape of
+# every shed response AND that every queue_full hint is >= 1 ms — the
+# EWMA-priced floor). The /metrics scrape must tell the same story LIVE,
+# mid-burst — not only after the dust settles — and the body must be
+# valid Prometheus exposition.
 "$SVC_DAEMON" --workers 1 --queue 2 --slow-ms 40 --metrics-addr 127.0.0.1:0 \
     > "$SVC_TMP/d_overload.log" 2>&1 &
 svc_pid=$!
@@ -220,6 +223,13 @@ while [ $i -lt 60 ]; do
     i=$((i + 1))
     sleep 0.05
 done
+if [ "$scraped_live" -eq 1 ]; then
+    # Probe consistency while the burst is still draining: the health
+    # command itself exits non-zero if `queue_depth + in_service` ever
+    # undercounts `admitted - completed` (the popped-but-unclaimed race).
+    "$SVC_CLIENT" --addr "$metrics_addr" health > /dev/null \
+        || { echo "overload gate: mid-burst healthz undercounted in-flight work" >&2; exit 1; }
+fi
 wait "$burst_pid"
 burst=$(cat "$SVC_TMP/burst.txt")
 echo "$burst"
@@ -248,5 +258,86 @@ echo "$burst" | awk '{
     if (a[2] < 1) { print "overload gate: no admitted query completed"; exit 1 }
     if (b[2] < 1) { print "overload gate: nothing was shed under 10x load"; exit 1 }
 }'
+
+echo "==> batched serving gate (byte-identity vs --no-batch, >=1.2x burst throughput)"
+# The tentpole's acceptance gate, end to end over real TCP: the same
+# pipelined burst of 128 distinct heavy (2, 2)-fleet points (rho_s from
+# 2.0 up, where the QBD solve dominates construction and framing)
+# against a batching daemon (--batch 64: one wakeup can drain the whole
+# burst) and a --no-batch daemon. At one worker responses arrive in
+# admission order, so the transcripts must be byte-identical (cmp); at
+# four workers completion order races, so the client sorts both sides
+# (--sorted) before the compare. The batching run must also prove it
+# actually coalesced (svc_batch_width > 1 on the scrape) and clear 1.2x
+# the scalar run's client-measured points/sec; both throughput numbers
+# land in crates/bench/BENCH_svc_batch.json.
+#
+# Each side runs BATCH_REPS interleaved rounds (a fresh daemon per
+# round, so every round is a cold-cache burst) and the gate compares
+# best-of pps. Wall-clock on a shared/virtualized CI host is noisy in
+# exactly one direction -- steal time slows a round, never speeds it --
+# so per-side maxima estimate the undisturbed throughput; means or
+# single rounds would gate on scheduler luck instead of the pipeline.
+BATCH_COUNT=128
+BATCH_REPS=6
+
+# Runs one daemon + pipeline burst: svc_batch_run <tag> <workers> <daemon-flags...>
+svc_batch_run() {
+    tag=$1; wrk=$2; shift 2
+    "$SVC_DAEMON" --workers "$wrk" --queue 256 --inflight 256 \
+        --metrics-addr 127.0.0.1:0 "$@" > "$SVC_TMP/d_$tag.log" 2>&1 &
+    svc_pid=$!
+    svc_addr=$(svc_wait_addr "$SVC_TMP/d_$tag.log")
+    bm_addr=$(sed -n 's/^METRICS //p' "$SVC_TMP/d_$tag.log")
+    sort_flag=""
+    [ "$wrk" -gt 1 ] && sort_flag="--sorted"
+    "$SVC_CLIENT" --addr "$svc_addr" pipeline --count "$BATCH_COUNT" --hosts 2,2 \
+        --rho-base 2.0 $sort_flag \
+        > "$SVC_TMP/pipe_$tag.txt" 2> "$SVC_TMP/pipe_$tag.stderr"
+    "$SVC_CLIENT" --addr "$bm_addr" metrics > "$SVC_TMP/scrape_$tag.txt"
+    "$SVC_CLIENT" --addr "$svc_addr" drain > /dev/null
+    wait "$svc_pid"
+    grep "^PIPELINE " "$SVC_TMP/pipe_$tag.stderr"
+    grep -q "^PIPELINE n=$BATCH_COUNT ok=$BATCH_COUNT " "$SVC_TMP/pipe_$tag.stderr" \
+        || { echo "batch gate[$tag]: burst did not fully serve" >&2; exit 1; }
+}
+
+r=1
+while [ "$r" -le "$BATCH_REPS" ]; do
+    svc_batch_run "batched$r" 1 --batch 64
+    svc_batch_run "scalar$r" 1 --no-batch
+    # Identity must hold on every round, not just a lucky one.
+    cmp "$SVC_TMP/pipe_batched$r.txt" "$SVC_TMP/pipe_scalar$r.txt" \
+        || { echo "batch gate: batched responses differ from --no-batch at 1 worker (round $r)" >&2; exit 1; }
+    # Every batching round must have genuinely coalesced at least one wakeup.
+    grep -q '^svc_batch_width \([2-9]\|[0-9][0-9]\)' "$SVC_TMP/scrape_batched$r.txt" \
+        || { echo "batch gate: svc_batch_width never exceeded 1 (round $r)" >&2; exit 1; }
+    r=$((r + 1))
+done
+grep '^svc_batch_width ' "$SVC_TMP/scrape_batched1.txt"
+
+svc_batch_run batched_w4 4 --batch 64
+svc_batch_run scalar_w4 4 --no-batch
+cmp "$SVC_TMP/pipe_batched_w4.txt" "$SVC_TMP/pipe_scalar_w4.txt" \
+    || { echo "batch gate: batched responses differ from --no-batch at 4 workers" >&2; exit 1; }
+echo "batch gate: $BATCH_COUNT responses byte-identical at 1 and 4 workers"
+
+pps_b=$(cat "$SVC_TMP"/pipe_batched[0-9].stderr \
+    | sed -n 's/^PIPELINE .* pps=\([0-9.]*\).*/\1/p' | sort -g | tail -1)
+pps_s=$(cat "$SVC_TMP"/pipe_scalar[0-9].stderr \
+    | sed -n 's/^PIPELINE .* pps=\([0-9.]*\).*/\1/p' | sort -g | tail -1)
+awk -v b="$pps_b" -v s="$pps_s" -v r="$BATCH_REPS" 'BEGIN {
+    if (b == "" || s == "" || s <= 0) { print "batch gate: missing pipeline throughput"; exit 1 }
+    printf "daemon burst throughput (best of %d): scalar %.1f points/s, batched %.1f points/s (%.2fx)\n", r, s, b, b / s
+    if (b < 1.2 * s) { print "batch gate: batched burst must clear 1.2x --no-batch throughput"; exit 1 }
+}'
+{
+    printf '{\n  "harness": "cyclesteal-xtest",\n  "version": 1,\n'
+    printf '  "name": "svc_batch",\n  "quick": false,\n  "results": [],\n  "metrics": [\n'
+    printf '    {"id": "points_per_sec/daemon_burst_scalar", "value": %s},\n' "$pps_s"
+    printf '    {"id": "points_per_sec/daemon_burst_batched", "value": %s}\n' "$pps_b"
+    printf '  ]\n}\n'
+} > crates/bench/BENCH_svc_batch.json
+[ -s crates/bench/BENCH_svc_batch.json ] || { echo "missing bench output BENCH_svc_batch.json" >&2; exit 1; }
 
 echo "==> OK"

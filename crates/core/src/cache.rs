@@ -6,14 +6,18 @@
 //! work repeat verbatim: the `B_L` and `B_{N+1}` busy-period fits depend
 //! only on `(λ_L, long moments, μ_S)` — constant along a whole `ρ_S`
 //! sweep — and identical grid points (re-runs, overlapping grids) repeat
-//! the entire QBD `R`-matrix iteration. [`SolveCache`] memoizes three
+//! the entire QBD `R`-matrix iteration. [`SolveCache`] memoizes four
 //! layers:
 //!
 //! 1. **Coxian moment fits** (`dist::match3`), keyed by the bit pattern of
 //!    the target moment triple and the fit order;
-//! 2. **QBD solutions** (the `R`-matrix iteration plus boundary solve),
+//! 2. **QBD plans** (the built-but-unsolved chain), keyed by the quantized
+//!    workload parameters — so a chain constructed by a batch presolve is
+//!    *reused* by the evaluation that follows instead of being assembled a
+//!    second time;
+//! 3. **QBD solutions** (the `R`-matrix iteration plus boundary solve),
 //!    keyed by [`cyclesteal_markov::Qbd::signature`];
-//! 3. **whole CS-CQ reports**, keyed by the quantized workload parameters.
+//! 4. **whole CS-CQ reports**, keyed by the quantized workload parameters.
 //!
 //! # Why determinism survives parallelism
 //!
@@ -403,6 +407,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
 #[derive(Debug)]
 pub struct SolveCache {
     fits: Memo<FitKey, (Ph, MatchQuality)>,
+    plans: Memo<ReportKey, Qbd>,
     solutions: Memo<u128, QbdSolution>,
     reports: Memo<ReportKey, CsCqReport>,
     /// When enabled ([`SolveCache::enable_report_journal`]), every report
@@ -444,6 +449,13 @@ impl SolveCache {
                 "core.cache.fit.evicted",
                 capacity,
             ),
+            plans: Memo::new(
+                "core.cache.plan.hit",
+                "core.cache.plan.miss",
+                "core.cache.plan.poison_recovered",
+                "core.cache.plan.evicted",
+                capacity,
+            ),
             solutions: Memo::new(
                 "core.cache.qbd.hit",
                 "core.cache.qbd.miss",
@@ -471,7 +483,12 @@ impl SolveCache {
     /// Current hit/miss/poison-recovery/eviction counters, all layers
     /// combined.
     pub fn stats(&self) -> CacheStats {
-        let layers = [&self.fits as &dyn MemoStats, &self.solutions, &self.reports];
+        let layers = [
+            &self.fits as &dyn MemoStats,
+            &self.plans,
+            &self.solutions,
+            &self.reports,
+        ];
         let mut stats = CacheStats::default();
         for layer in layers {
             let (h, m, p, e) = layer.counts();
@@ -485,7 +502,7 @@ impl SolveCache {
 
     /// Number of memoized entries across all layers.
     pub fn len(&self) -> usize {
-        self.fits.len() + self.solutions.len() + self.reports.len()
+        self.fits.len() + self.plans.len() + self.solutions.len() + self.reports.len()
     }
 
     /// `true` when nothing has been memoized yet.
@@ -502,6 +519,23 @@ impl SolveCache {
     ) -> Result<(Ph, MatchQuality), AnalysisError> {
         let key = (m.mean().to_bits(), m.m2().to_bits(), m.m3().to_bits(), tag);
         self.fits.get_or_compute(key, compute)
+    }
+
+    /// Memoized QBD *construction*: the built-but-unsolved chain, keyed by
+    /// the same quantized workload key as the whole report. Assembling a
+    /// chain (PH block algebra, layout enumeration) is a pure function of
+    /// the snapped workload, so the first builder's chain is bit-identical
+    /// to what any later caller would assemble — which lets a batch
+    /// presolve and the evaluation that follows it share ONE construction
+    /// instead of building the same chain twice. Callers must only use
+    /// this for the Poisson-arrival analysis path: the key carries no
+    /// arrival-MAP information.
+    pub(crate) fn qbd_plan(
+        &self,
+        key: ReportKey,
+        compute: impl FnOnce() -> Result<Qbd, AnalysisError>,
+    ) -> Result<Qbd, AnalysisError> {
+        self.plans.get_or_compute(key, compute)
     }
 
     /// Memoized QBD solution, keyed by the chain's content signature so
@@ -524,7 +558,15 @@ impl SolveCache {
     /// against earlier sweeps through a shared cache without disturbing
     /// the hit/miss counters.
     pub fn has_qbd_solution(&self, qbd: &Qbd) -> bool {
-        self.solutions.contains(&qbd.signature())
+        self.has_qbd_solution_keyed(qbd.signature())
+    }
+
+    /// [`Self::has_qbd_solution`] for a caller that already computed the
+    /// chain's [`Qbd::signature`]. Hashing every block of a chain is not
+    /// free, so the batch planner computes each signature once and keys
+    /// all of its sorting, deduplication, and cache traffic off that.
+    pub fn has_qbd_solution_keyed(&self, signature: u128) -> bool {
+        self.solutions.contains(&signature)
     }
 
     /// Seeds the QBD layer with an externally computed solution (the sweep
@@ -535,9 +577,15 @@ impl SolveCache {
     /// already present the existing value wins and `sol` is discarded
     /// (both are pure functions of the signature, hence identical).
     pub fn seed_qbd_solution(&self, qbd: &Qbd, sol: QbdSolution) {
+        self.seed_qbd_solution_keyed(qbd.signature(), sol);
+    }
+
+    /// [`Self::seed_qbd_solution`] for a caller that already computed the
+    /// chain's [`Qbd::signature`]. Same once-per-key protocol.
+    pub fn seed_qbd_solution_keyed(&self, signature: u128, sol: QbdSolution) {
         let seeded = self
             .solutions
-            .get_or_compute(qbd.signature(), || Ok::<_, AnalysisError>(sol));
+            .get_or_compute(signature, || Ok::<_, AnalysisError>(sol));
         debug_assert!(seeded.is_ok(), "seeding cannot fail");
     }
 
@@ -742,16 +790,18 @@ mod tests {
         let sol = qbd.solve().unwrap();
         cache.seed_qbd_solution(&qbd, sol);
         assert!(cache.has_qbd_solution(&qbd));
-        // Planner: 2 fit misses; seed: 1 qbd miss (the once-per-key
-        // protocol counts the seed as the key's designated compute).
+        // Planner: 1 plan miss + 2 fit misses; seed: 1 qbd miss (the
+        // once-per-key protocol counts the seed as the key's designated
+        // compute).
         let before = cache.stats();
-        assert_eq!((before.hits, before.misses), (0, 3), "{before:?}");
+        assert_eq!((before.hits, before.misses), (0, 4), "{before:?}");
 
         let via_cache = cs_cq::analyze_cached(&p, BusyPeriodFit::ThreeMoment, &cache).unwrap();
         // The analysis recomputes nothing the planner covered: one report
-        // miss, and hits on both fits and the seeded QBD solution.
+        // miss, and hits on both fits, the planned chain, and the seeded
+        // QBD solution.
         let after = cache.stats();
-        assert_eq!((after.hits, after.misses), (3, 4), "{after:?}");
+        assert_eq!((after.hits, after.misses), (4, 5), "{after:?}");
         let direct = cs_cq::analyze(&p).unwrap();
         assert_eq!(
             via_cache.short_response.to_bits(),
@@ -762,10 +812,11 @@ mod tests {
             via_cache.long_response.to_bits(),
             direct.long_response.to_bits()
         );
-        // Seeding an already-present key is a no-op hit, not a new miss.
+        // Seeding an already-present key is a no-op hit, not a new miss
+        // (and replanning hits the plan layer instead of rebuilding).
         let again = cs_cq::plan_qbd_cached(&p, BusyPeriodFit::ThreeMoment, &cache).unwrap();
         cache.seed_qbd_solution(&again, again.solve().unwrap());
-        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().misses, 5);
     }
 
     #[test]

@@ -325,7 +325,16 @@ fn analyze_inner(
     let (bl_ph, bl_match) = fit_busy_period_cached(bl_moments(params)?, fit, cache)?;
     let (bn_ph, bn_match) = fit_busy_period_cached(bn_moments(params)?, fit, cache)?;
     let chain = ChainLayout::new(&bl_ph, &bn_ph);
-    let qbd = build_qbd(params, &chain, &bl_ph, &bn_ph, arrivals)?;
+    let qbd = match cache {
+        // The plan key carries no arrival-MAP information, so it is only
+        // sound on the cached path, which always drives the chain with
+        // Poisson arrivals at the snapped `lambda_s` (see
+        // [`analyze_cached_in`]; [`analyze_map`] passes no cache).
+        Some(c) => c.qbd_plan(report_key(params, fit), || {
+            build_qbd(params, &chain, &bl_ph, &bn_ph, arrivals)
+        })?,
+        None => build_qbd(params, &chain, &bl_ph, &bn_ph, arrivals)?,
+    };
     let sol = match cache {
         Some(c) => c.qbd_solution(&qbd, ws)?,
         None => qbd.solve_in(ws)?,
@@ -540,11 +549,13 @@ pub fn plan_qbd_cached(
             rho_s_max: stability::max_rho_s(Policy::CsCq, rho_l),
         });
     }
-    let (bl_ph, _) = fit_busy_period_cached(bl_moments(&snapped)?, fit, Some(cache))?;
-    let (bn_ph, _) = fit_busy_period_cached(bn_moments(&snapped)?, fit, Some(cache))?;
-    let chain = ChainLayout::new(&bl_ph, &bn_ph);
-    let arrivals = Map::poisson(snapped.lambda_s())?;
-    build_qbd(&snapped, &chain, &bl_ph, &bn_ph, &arrivals)
+    cache.qbd_plan(report_key(&snapped, fit), || {
+        let (bl_ph, _) = fit_busy_period_cached(bl_moments(&snapped)?, fit, Some(cache))?;
+        let (bn_ph, _) = fit_busy_period_cached(bn_moments(&snapped)?, fit, Some(cache))?;
+        let chain = ChainLayout::new(&bl_ph, &bn_ph);
+        let arrivals = Map::poisson(snapped.lambda_s())?;
+        build_qbd(&snapped, &chain, &bl_ph, &bn_ph, &arrivals)
+    })
 }
 
 /// Moments of `B_L`: the ordinary M/G/1 busy period of long jobs.

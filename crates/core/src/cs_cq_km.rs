@@ -247,8 +247,10 @@ pub fn plan_qbd_cached(
     if !stability::is_stable_km(hosts.k, hosts.m, rho_s, rho_l) {
         return Err(unstable_error(hosts, rho_s, rho_l));
     }
-    let fits = fit_slot_busy_periods(hosts, &snapped, fit, Some(cache))?;
-    build_qbd(hosts, &snapped, fits.as_ref().map(|f| (&f.0 .0, &f.1 .0)))
+    cache.qbd_plan(report_key(hosts, &snapped, fit), || {
+        let fits = fit_slot_busy_periods(hosts, &snapped, fit, Some(cache))?;
+        build_qbd(hosts, &snapped, fits.as_ref().map(|f| (&f.0 .0, &f.1 .0)))
+    })
 }
 
 /// Moments of a slot's `B_L`: the M/G/1 busy period of the slot's own
@@ -342,7 +344,16 @@ fn analyze_inner(
     let fits = fit_slot_busy_periods(hosts, params, fit, cache)?;
     let phs = fits.as_ref().map(|f| (&f.0 .0, &f.1 .0));
     let layout = KmLayout::new(hosts, phs);
-    let qbd = build_with_layout(&layout, params, phs)?;
+    let qbd = match cache {
+        // Sound because the cached path always sees the same snapped
+        // workload the key encodes (see [`analyze_cached_in`]); a plan
+        // seeded by a batch presolve is reused here instead of assembling
+        // the block matrices a second time.
+        Some(c) => c.qbd_plan(report_key(hosts, params, fit), || {
+            build_with_layout(&layout, params, phs)
+        })?,
+        None => build_with_layout(&layout, params, phs)?,
+    };
     let sol = match cache {
         Some(c) => c.qbd_solution(&qbd, ws)?,
         None => qbd.solve_in(ws)?,
@@ -915,14 +926,15 @@ mod tests {
         let sol = qbd.solve().unwrap();
         cache.seed_qbd_solution(&qbd, sol);
         assert!(cache.has_qbd_solution(&qbd));
-        // Planner: 2 fit misses; seed: 1 qbd miss.
+        // Planner: 1 plan miss + 2 fit misses; seed: 1 qbd miss.
         let before = cache.stats();
-        assert_eq!((before.hits, before.misses), (0, 3), "{before:?}");
+        assert_eq!((before.hits, before.misses), (0, 4), "{before:?}");
         let via_cache =
             analyze_cached(hosts, &p, BusyPeriodFit::ThreeMoment, &cache).unwrap();
-        // Analysis: one report miss; hits on both fits and the seeded QBD.
+        // Analysis: one report miss; hits on both fits, the planned
+        // chain, and the seeded QBD.
         let after = cache.stats();
-        assert_eq!((after.hits, after.misses), (3, 4), "{after:?}");
+        assert_eq!((after.hits, after.misses), (4, 5), "{after:?}");
         let direct = analyze(hosts, &p).unwrap();
         assert_eq!(
             via_cache.short_response.to_bits(),

@@ -6,6 +6,18 @@
 //! the client can back off intelligently instead of guessing. A closed
 //! queue (draining) sheds with a distinct reason so clients know not to
 //! retry this instance at all.
+//!
+//! # Accounting invariant
+//!
+//! A job admitted but not yet completed is *always* visible to probes: it
+//! is either still queued (`depth`) or claimed by a worker
+//! (`in_service`). The claim happens **inside** the dequeue's critical
+//! section — there is no instant where a popped job has left the queue
+//! but not yet been counted in service, so a health probe can never
+//! watch the queue drain while the daemon "looks idle". [`Admission::snapshot`]
+//! reads the counters in an order that preserves the
+//! `depth + in_service >= admitted - completed` direction under
+//! concurrent admits and completions.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,6 +40,22 @@ struct Inner<T> {
     open: bool,
 }
 
+/// One consistent read of the admission load counters, taken by
+/// [`Admission::snapshot`] in race-safe order (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionSnapshot {
+    /// Jobs ever admitted to the queue.
+    pub admitted: u64,
+    /// Jobs currently queued, not yet claimed by a worker.
+    pub depth: u64,
+    /// Jobs claimed by workers and not yet completed.
+    pub in_service: u64,
+    /// Workers currently holding at least one claimed job.
+    pub busy_workers: u64,
+    /// Jobs completed by workers.
+    pub completed: u64,
+}
+
 /// A bounded MPMC job queue with admission accounting.
 pub struct Admission<T> {
     inner: Mutex<Inner<T>>,
@@ -41,6 +69,14 @@ pub struct Admission<T> {
     shed_queue_full: AtomicU64,
     shed_draining: AtomicU64,
     completed: AtomicU64,
+    /// Jobs dequeued by a worker but not yet completed. Incremented inside
+    /// the dequeue critical section, decremented by `record_service_ns`
+    /// *after* `completed` — both orderings keep a concurrent snapshot
+    /// from undercounting live work.
+    in_service: AtomicU64,
+    /// Workers currently holding claimed jobs (claimed with the dequeue,
+    /// released by `release_worker`).
+    busy_workers: AtomicU64,
 }
 
 impl<T> Admission<T> {
@@ -61,6 +97,8 @@ impl<T> Admission<T> {
             shed_queue_full: AtomicU64::new(0),
             shed_draining: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            in_service: AtomicU64::new(0),
+            busy_workers: AtomicU64::new(0),
         }
     }
 
@@ -94,7 +132,9 @@ impl<T> Admission<T> {
         }
         inner.queue.push_back(job);
         drop(inner);
-        self.admitted.fetch_add(1, Ordering::Relaxed);
+        // After the push: a snapshot reading `admitted` first and `depth`
+        // second can only over-estimate live work, never under-estimate.
+        self.admitted.fetch_add(1, Ordering::SeqCst);
         cyclesteal_obs::counter!("svc.admission.admitted");
         self.ready.notify_one();
         Ok(())
@@ -102,20 +142,56 @@ impl<T> Admission<T> {
 
     /// Blocks for the next job; `None` once the queue is closed *and*
     /// empty (workers drain the backlog before exiting).
+    ///
+    /// Claims the calling worker busy and the job in-service atomically
+    /// with the pop (see [`Admission::next_batch`]); the caller owns a
+    /// matching [`Admission::release_worker`] and, per job,
+    /// [`Admission::record_service_ns`].
     pub fn next(&self) -> Option<T> {
+        self.next_batch(1).pop()
+    }
+
+    /// Blocks for work, then drains up to `max` queued jobs in one lock
+    /// acquisition — the daemon's micro-batching seam. Returns the jobs
+    /// in admission order; empty once the queue is closed *and* empty
+    /// (workers drain the backlog before exiting).
+    ///
+    /// The worker-busy claim and the per-job in-service claims happen
+    /// **inside** the same critical section that pops the jobs, so a
+    /// concurrent [`Admission::snapshot`] never sees queue depth drop
+    /// without the corresponding in-service work appearing — the fix for
+    /// the probe race where a saturated daemon scraped as idle. The
+    /// caller must call [`Admission::release_worker`] after finishing the
+    /// batch and [`Admission::record_service_ns`] once per job.
+    pub fn next_batch(&self, max: usize) -> Vec<T> {
+        let max = max.max(1);
         let mut inner = self.lock();
         loop {
-            if let Some(job) = inner.queue.pop_front() {
-                return Some(job);
+            if !inner.queue.is_empty() {
+                let n = inner.queue.len().min(max);
+                let jobs: Vec<T> = inner.queue.drain(..n).collect();
+                // Claimed while still holding the queue lock: any probe
+                // that no longer sees these jobs in `depth` already sees
+                // them in `in_service`.
+                self.in_service.fetch_add(n as u64, Ordering::SeqCst);
+                self.busy_workers.fetch_add(1, Ordering::SeqCst);
+                return jobs;
             }
             if !inner.open {
-                return None;
+                return Vec::new();
             }
             inner = self
                 .ready
                 .wait(inner)
                 .unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Releases the busy-worker claim taken by [`Admission::next`] /
+    /// [`Admission::next_batch`]. Called once per dequeue, after every
+    /// job of the batch is finished.
+    pub fn release_worker(&self) {
+        self.busy_workers.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Stops admission and wakes every blocked worker. Already-queued jobs
@@ -135,10 +211,17 @@ impl<T> Admission<T> {
         self.lock().queue.len()
     }
 
-    /// Feeds one completed job's service time into the EWMA
-    /// (`new = (7·old + sample) / 8`, seeded by the first sample).
+    /// Marks one claimed job complete and feeds its service time into the
+    /// EWMA (`new = (7·old + sample) / 8`, seeded by the **whole** first
+    /// sample so the very first retry hint already prices one full
+    /// service time instead of an 8×-too-cheap warm-up estimate).
+    ///
+    /// `completed` is incremented *before* the in-service claim is
+    /// dropped: a snapshot between the two sees the job on both sides
+    /// (overcounting live work), never on neither.
     pub fn record_service_ns(&self, ns: u64) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::SeqCst);
+        self.in_service.fetch_sub(1, Ordering::SeqCst);
         let _ = self
             .ewma_service_ns
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
@@ -160,6 +243,40 @@ impl<T> Admission<T> {
         }
         let drain_ns = depth.saturating_mul(ewma) / self.workers;
         (drain_ns / 1_000_000).max(1)
+    }
+
+    /// One probe-consistent load snapshot. The read order is load-bearing:
+    /// `admitted` first, then queue depth (under the lock), then
+    /// `in_service`, then `completed` last. Together with the write
+    /// orderings (push before `admitted`, claims inside the dequeue lock,
+    /// `completed` before the in-service release) this guarantees
+    /// `depth + in_service >= admitted - completed` for every snapshot,
+    /// no matter how admits, dequeues, and completions interleave — a
+    /// probe can overcount a job mid-handoff, but admitted-unfinished
+    /// work is never invisible.
+    pub fn snapshot(&self) -> AdmissionSnapshot {
+        let admitted = self.admitted.load(Ordering::SeqCst);
+        let depth = self.lock().queue.len() as u64;
+        let in_service = self.in_service.load(Ordering::SeqCst);
+        let busy_workers = self.busy_workers.load(Ordering::SeqCst);
+        let completed = self.completed.load(Ordering::SeqCst);
+        AdmissionSnapshot {
+            admitted,
+            depth,
+            in_service,
+            busy_workers,
+            completed,
+        }
+    }
+
+    /// Workers currently holding claimed jobs.
+    pub fn busy_workers(&self) -> u64 {
+        self.busy_workers.load(Ordering::SeqCst)
+    }
+
+    /// Jobs claimed by workers and not yet completed.
+    pub fn in_service(&self) -> u64 {
+        self.in_service.load(Ordering::SeqCst)
     }
 
     /// `(admitted, shed, completed)` counters.
@@ -216,6 +333,91 @@ mod tests {
             Err(AdmitError::QueueFull { retry_after_ms }) => assert_eq!(retry_after_ms, 1),
             other => panic!("expected QueueFull, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn first_sample_seeds_the_whole_service_time_into_the_first_hint() {
+        // Regression for the warm-up bug class where the first sample is
+        // folded in at 1/8 EWMA weight: the very first shed hint must
+        // already price one whole observed service time, not ns/8.
+        let q = Admission::new(1, 1);
+        q.record_service_ns(8_000_000); // one 8 ms observation, nothing else
+        assert_eq!(q.ewma_ns(), 8_000_000, "EWMA must seed at full weight");
+        q.admit(()).unwrap();
+        match q.admit(()) {
+            Err(AdmitError::QueueFull { retry_after_ms }) => {
+                // depth 1 × 8 ms / 1 worker: the hint prices the full
+                // first service time.
+                assert_eq!(retry_after_ms, 8);
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sub_millisecond_backlog_never_hints_zero() {
+        // depth 1 × 0.2 ms / 1 worker rounds to 0 ms in integer math; a
+        // zero hint would tell shed clients to hammer a saturated daemon
+        // immediately. The hint must clamp to >= 1 ms.
+        let q = Admission::new(1, 1);
+        q.record_service_ns(200_000); // 0.2 ms: a fast, warmed-up service
+        q.admit(()).unwrap();
+        match q.admit(()) {
+            Err(AdmitError::QueueFull { retry_after_ms }) => {
+                assert!(retry_after_ms >= 1, "hint must never be 0, got {retry_after_ms}");
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn next_batch_drains_up_to_max_in_admission_order() {
+        let q = Admission::new(8, 1);
+        for i in 0..5 {
+            q.admit(i).unwrap();
+        }
+        let batch = q.next_batch(3);
+        assert_eq!(batch, vec![0, 1, 2]);
+        let rest = q.next_batch(16);
+        assert_eq!(rest, vec![3, 4], "a short queue drains whole");
+        q.close();
+        assert!(q.next_batch(4).is_empty(), "closed and empty ends the worker");
+    }
+
+    #[test]
+    fn claimed_work_is_never_invisible_to_snapshots() {
+        let q = Admission::new(16, 2);
+        for i in 0..6 {
+            q.admit(i).unwrap();
+        }
+        let check = |q: &Admission<i32>, note: &str| {
+            let s = q.snapshot();
+            assert!(
+                s.depth + s.in_service >= s.admitted - s.completed,
+                "{note}: {s:?} undercounts admitted-but-unfinished work"
+            );
+            s
+        };
+        let s = check(&q, "all queued");
+        assert_eq!((s.depth, s.in_service, s.busy_workers), (6, 0, 0));
+
+        // The pop and the claims are one critical section: right after
+        // next_batch returns, the jobs have moved columns, not vanished.
+        let batch = q.next_batch(4);
+        assert_eq!(batch.len(), 4);
+        let s = check(&q, "batch claimed");
+        assert_eq!((s.depth, s.in_service, s.busy_workers), (2, 4, 1));
+
+        q.record_service_ns(1_000_000);
+        let s = check(&q, "one completed");
+        assert_eq!((s.depth, s.in_service, s.completed), (2, 3, 1));
+
+        for _ in 1..4 {
+            q.record_service_ns(1_000_000);
+        }
+        q.release_worker();
+        let s = check(&q, "batch finished");
+        assert_eq!((s.in_service, s.busy_workers, s.completed), (0, 0, 4));
     }
 
     #[test]

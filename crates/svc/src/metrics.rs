@@ -54,8 +54,13 @@ pub struct NativeMetrics {
     pub slow_queries: u64,
     /// Current admission-queue backlog.
     pub queue_depth: u64,
-    /// Workers currently evaluating a query.
+    /// Workers currently holding at least one claimed job.
     pub busy_workers: u64,
+    /// Jobs claimed by workers but not yet completed. With batched
+    /// drains a busy worker may hold several, so `queue_depth +
+    /// in_service` (not `+ busy_workers`) is the true count of
+    /// admitted-but-unfinished work.
+    pub in_service: u64,
     /// Worker-pool size.
     pub workers: u64,
     /// `1` while draining, else `0`.
@@ -76,6 +81,29 @@ pub struct NativeMetrics {
     pub wal_fsyncs: u64,
     /// EWMA of per-query service time in ns (prices `retry_after_ms`).
     pub ewma_service_ns: u64,
+    /// Worker wakeups that drained more than one job.
+    pub batch_drains: u64,
+    /// High-water mark of jobs drained in a single worker wakeup.
+    pub batch_width_max: u64,
+    /// Points handed to the batch presolve planner.
+    pub batch_presolved: u64,
+    /// Presolved points deduplicated against an identical solve
+    /// signature in the same drain (or already cached).
+    pub batch_dedup_hits: u64,
+    /// Distinct uncached chains the presolve planned.
+    pub batch_unique: u64,
+    /// Chains solved inside batched (≥ 2 lane) groups.
+    pub batch_batched: u64,
+    /// Chains whose shape group degenerated to a scalar solve.
+    pub batch_scalar: u64,
+    /// Solutions seeded into the shared cache by presolves.
+    pub batch_seeded: u64,
+    /// Jobs excluded from a presolve because their deadline had already
+    /// expired at drain time.
+    pub batch_skipped_deadline: u64,
+    /// Points excluded from a presolve because the armed fault plan
+    /// targets their scope.
+    pub batch_skipped_fault: u64,
 }
 
 impl NativeMetrics {
@@ -102,9 +130,33 @@ impl NativeMetrics {
         counter(&mut s, "svc_wal_appends_total", self.wal_appends);
         counter(&mut s, "svc_wal_bytes_total", self.wal_bytes);
         counter(&mut s, "svc_wal_fsyncs_total", self.wal_fsyncs);
+        counter(&mut s, "svc_batch_drains_total", self.batch_drains);
+        counter(&mut s, "svc_batch_presolved_total", self.batch_presolved);
+        counter(&mut s, "svc_batch_dedup_hits_total", self.batch_dedup_hits);
+        counter(&mut s, "svc_batch_unique_total", self.batch_unique);
+        counter(&mut s, "svc_batch_batched_total", self.batch_batched);
+        counter(&mut s, "svc_batch_scalar_total", self.batch_scalar);
+        counter(&mut s, "svc_batch_seeded_total", self.batch_seeded);
+        let _ = writeln!(s, "# TYPE svc_batch_skipped_total counter");
+        let _ = writeln!(
+            s,
+            "svc_batch_skipped_total{{reason=\"deadline\"}} {}",
+            self.batch_skipped_deadline
+        );
+        let _ = writeln!(
+            s,
+            "svc_batch_skipped_total{{reason=\"fault\"}} {}",
+            self.batch_skipped_fault
+        );
         gauge(&mut s, "svc_queue_depth", self.queue_depth);
         gauge(&mut s, "svc_busy_workers", self.busy_workers);
-        gauge(&mut s, "svc_inflight", self.queue_depth + self.busy_workers);
+        gauge(&mut s, "svc_in_service", self.in_service);
+        // Admitted-but-unfinished work. A batching worker can hold
+        // several in-service jobs, so this sums jobs, not workers.
+        gauge(&mut s, "svc_inflight", self.queue_depth + self.in_service);
+        // High-water mark, not a live value: a single post-burst scrape
+        // can tell whether any wakeup ever coalesced multiple queries.
+        gauge(&mut s, "svc_batch_width", self.batch_width_max);
         gauge(&mut s, "svc_workers", self.workers);
         gauge(&mut s, "svc_draining", self.draining);
         gauge(&mut s, "svc_cache_reports", self.cache_reports);
@@ -208,19 +260,31 @@ mod tests {
             shed_queue_full: 3,
             queue_depth: 2,
             busy_workers: 1,
+            in_service: 4,
+            batch_width_max: 7,
+            batch_skipped_deadline: 5,
             ..NativeMetrics::default()
         };
         let text = m.render();
         let n = check_exposition(&text).expect("native series must be valid");
-        assert!(n >= 18, "expected every native series, got {n}");
+        assert!(n >= 30, "expected every native series, got {n}");
         let series = parse_exposition(&text).unwrap();
         let shed = series
             .iter()
             .find(|s| s.name == "svc_shed_total" && s.label("reason") == Some("queue_full"))
             .unwrap();
         assert_eq!(shed.value, 3.0);
+        // A batching worker can hold several jobs, so the inflight gauge
+        // sums jobs (depth + in_service), never workers.
         let inflight = series.iter().find(|s| s.name == "svc_inflight").unwrap();
-        assert_eq!(inflight.value, 3.0, "queue_depth + busy_workers");
+        assert_eq!(inflight.value, 6.0, "queue_depth + in_service");
+        let width = series.iter().find(|s| s.name == "svc_batch_width").unwrap();
+        assert_eq!(width.value, 7.0, "drain-width high-water mark");
+        let skipped = series
+            .iter()
+            .find(|s| s.name == "svc_batch_skipped_total" && s.label("reason") == Some("deadline"))
+            .unwrap();
+        assert_eq!(skipped.value, 5.0);
     }
 
     #[test]

@@ -51,7 +51,7 @@ use cyclesteal_core::cache::SolveCache;
 use cyclesteal_core::recover::{Clock, Deadline, MonotonicClock};
 use cyclesteal_core::stability::Policy;
 use cyclesteal_obs::ObsSnapshot;
-use cyclesteal_sweep::{run_query, Evaluator, LongLaw, Point, QueryOutcome};
+use cyclesteal_sweep::{presolve_points, run_query, Evaluator, LongLaw, Point, QueryOutcome};
 
 use crate::admission::{AdmitError, Admission};
 use crate::json::{self, Value};
@@ -94,6 +94,12 @@ pub struct ServerConfig {
     /// (`0` disables; only meaningful with `data_dir` and live obs
     /// recording).
     pub obs_flush_secs: u64,
+    /// Micro-batching width: the most jobs one worker wakeup drains from
+    /// the admission queue to presolve through the batched
+    /// factor-once/solve-many pipeline before answering each query
+    /// individually. `1` (or `0`) disables batching — the scalar control
+    /// configuration; responses are byte-identical either way.
+    pub batch_max: usize,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +117,7 @@ impl Default for ServerConfig {
             metrics_addr: None,
             slow_log_ms: None,
             obs_flush_secs: 5,
+            batch_max: 16,
         }
     }
 }
@@ -184,10 +191,12 @@ struct Shared {
     served: AtomicU64,
     slow_ms: u64,
     default_budget_ns: Option<u64>,
-    /// Workers currently evaluating (not blocked on the queue).
-    busy_workers: AtomicUsize,
     /// Worker-pool size, for `/healthz` and `svc_workers`.
     workers: usize,
+    /// Micro-batch drain width (1 = scalar serving).
+    batch_max: usize,
+    /// Native accounting of the micro-batching plane.
+    batch: BatchCounters,
     /// Per-connection-cap sheds (admission only counts its own reasons).
     shed_inflight_cap: AtomicU64,
     /// Open handle on `slow_queries.jsonl` (serialized line appends).
@@ -198,6 +207,36 @@ struct Shared {
     slow_logged: AtomicU64,
     /// Tells the metrics and obs-flush threads to exit.
     stop: AtomicBool,
+}
+
+/// Native counters for the serving-side micro-batch plane (the
+/// `svc_batch_*` series). Like the rest of [`NativeMetrics`]'s sources,
+/// plain atomics so `/metrics` answers even without the `obs` feature.
+#[derive(Default)]
+struct BatchCounters {
+    /// Worker wakeups that drained more than one job.
+    drains: AtomicU64,
+    /// Most jobs ever drained in one worker wakeup.
+    width_max: AtomicU64,
+    /// Jobs whose points entered a batch presolve.
+    presolved: AtomicU64,
+    /// Presolved points that needed no new solve: duplicate signature
+    /// within the batch, already cached, or not plannable.
+    dedup_hits: AtomicU64,
+    /// Distinct uncached chains the presolve actually solved.
+    unique: AtomicU64,
+    /// Chains solved inside >= 2-lane batched groups.
+    batched: AtomicU64,
+    /// Chains whose shape group degenerated to a scalar solve.
+    scalar: AtomicU64,
+    /// Solutions seeded into the shared cache.
+    seeded: AtomicU64,
+    /// Jobs excluded from presolve because their deadline had already
+    /// expired at drain time (they still time out with `stage:
+    /// "admission"`, spending no solver work).
+    skipped_deadline: AtomicU64,
+    /// Points excluded because the armed fault plan targets their scope.
+    skipped_fault: AtomicU64,
 }
 
 impl Shared {
@@ -220,19 +259,24 @@ impl Shared {
     /// Collects every natively-maintained metric for one scrape.
     fn native_metrics(&self) -> NativeMetrics {
         let cache = self.cache.stats();
-        let (admitted, _, completed) = self.admission.counts();
+        // One probe-consistent admission read: the snapshot's internal
+        // ordering guarantees `queue_depth + in_service` never undercounts
+        // admitted-but-unfinished work, whatever the workers are doing.
+        let adm = self.admission.snapshot();
         let (shed_queue_full, shed_draining) = self.admission.shed_reasons();
         let wal = self.durable.as_ref().map(DurableCache::stats).unwrap_or_default();
+        let batch = &self.batch;
         NativeMetrics {
             served: self.served.load(Ordering::Relaxed),
-            admitted,
-            completed,
+            admitted: adm.admitted,
+            completed: adm.completed,
             shed_queue_full,
             shed_draining,
             shed_inflight_cap: self.shed_inflight_cap.load(Ordering::Relaxed),
             slow_queries: self.slow_logged.load(Ordering::Relaxed),
-            queue_depth: self.admission.depth() as u64,
-            busy_workers: self.busy_workers.load(Ordering::SeqCst) as u64,
+            queue_depth: adm.depth,
+            busy_workers: adm.busy_workers,
+            in_service: adm.in_service,
             workers: self.workers as u64,
             draining: u64::from(self.draining.load(Ordering::SeqCst)),
             cache_hits: cache.hits,
@@ -243,6 +287,16 @@ impl Shared {
             wal_bytes: wal.bytes,
             wal_fsyncs: wal.fsyncs,
             ewma_service_ns: self.admission.ewma_ns(),
+            batch_drains: batch.drains.load(Ordering::Relaxed),
+            batch_width_max: batch.width_max.load(Ordering::Relaxed),
+            batch_presolved: batch.presolved.load(Ordering::Relaxed),
+            batch_dedup_hits: batch.dedup_hits.load(Ordering::Relaxed),
+            batch_unique: batch.unique.load(Ordering::Relaxed),
+            batch_batched: batch.batched.load(Ordering::Relaxed),
+            batch_scalar: batch.scalar.load(Ordering::Relaxed),
+            batch_seeded: batch.seeded.load(Ordering::Relaxed),
+            batch_skipped_deadline: batch.skipped_deadline.load(Ordering::Relaxed),
+            batch_skipped_fault: batch.skipped_fault.load(Ordering::Relaxed),
         }
     }
 
@@ -372,8 +426,9 @@ impl Server {
             served: AtomicU64::new(0),
             slow_ms: config.slow_ms,
             default_budget_ns: config.default_budget_ns,
-            busy_workers: AtomicUsize::new(0),
             workers: config.workers.max(1),
+            batch_max: config.batch_max.max(1),
+            batch: BatchCounters::default(),
             shed_inflight_cap: AtomicU64::new(0),
             slow_log,
             slow_log_ms: config.slow_log_ms,
@@ -621,10 +676,15 @@ fn handle_frame(
         "ping" => Some("{\"ok\": true, \"pong\": true}".to_string()),
         "stats" => Some(stats_response(shared)),
         "drain" => {
+            // Ack *before* arming the drain: the moment `draining` is
+            // set, [`Server::join`] races this reader to `shutdown()`
+            // the socket, and the requester must not lose its
+            // acknowledgement to that race.
+            conn.send("{\"ok\": true, \"draining\": true}");
             shared.draining.store(true, Ordering::SeqCst);
             shared.admission.close();
             cyclesteal_obs::counter!("svc.drain.requested");
-            Some("{\"ok\": true, \"draining\": true}".to_string())
+            None
         }
         "query" => admit_query(&doc, conn, shared, per_conn_inflight),
         other => Some(error_response(
@@ -683,59 +743,133 @@ fn admit_query(
 
 fn worker_loop(shared: &Arc<Shared>) {
     let clock = MonotonicClock;
-    while let Some(job) = shared.admission.next() {
-        shared.busy_workers.fetch_add(1, Ordering::SeqCst);
-        let t0 = clock.now_ns();
-        if shared.slow_ms > 0 {
-            std::thread::sleep(Duration::from_millis(shared.slow_ms));
+    loop {
+        // One wakeup drains up to batch_max compatible jobs. The busy
+        // claim happens inside the pop's critical section (in
+        // `Admission::next_batch`), so a health probe never catches the
+        // instant between "left the queue" and "being worked on".
+        let jobs = shared.admission.next_batch(shared.batch_max);
+        if jobs.is_empty() {
+            break;
         }
-        // Everything this thread records between here and finish() is
-        // the query's own trace (slow-log attachment).
-        let trace = cyclesteal_obs::trace_begin();
-        let outcome = match job.budget_ns {
-            None => run_query(&job.point, &shared.cache, None),
-            Some(budget) => {
-                // The budget started at admission: subtract queue wait so
-                // a query that aged out in the queue times out honestly.
-                let waited = t0.saturating_sub(job.admitted_ns);
-                let remaining = budget.saturating_sub(waited);
-                let deadline = Deadline::start(&clock, remaining);
-                run_query(&job.point, &shared.cache, Some(&deadline))
-            }
-        };
-        let trace = trace.finish();
-        let t1 = clock.now_ns();
-        // Per-stage latency split, all in microseconds: how long admission
-        // took to accept the frame, how long the job queued, how long
-        // evaluation ran, and how much budget was left at the end.
-        cyclesteal_obs::histogram!(
-            "svc.query.admission_wait_us",
-            job.admitted_ns.saturating_sub(job.received_ns) / 1_000
-        );
-        cyclesteal_obs::histogram!(
-            "svc.query.queue_wait_us",
-            t0.saturating_sub(job.admitted_ns) / 1_000
-        );
-        cyclesteal_obs::histogram!("svc.query.service_us", t1.saturating_sub(t0) / 1_000);
-        if let Some(budget) = job.budget_ns {
-            cyclesteal_obs::histogram!(
-                "svc.query.deadline_headroom_us",
-                budget.saturating_sub(t1.saturating_sub(job.admitted_ns)) / 1_000
-            );
+        if jobs.len() > 1 {
+            presolve_batch(shared, &jobs, &clock);
         }
-        cyclesteal_obs::counter!("svc.query.served");
-        shared.persist_new_reports();
-        shared.maybe_slow_log(&job, &outcome, t0, t1, &trace);
-        // Flush before the response frame: once the client has its
-        // answer, any scrape must already include this query's records.
-        cyclesteal_obs::flush_thread();
-        job.conn.send(&query_response(&outcome));
-        job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
-        shared.served.fetch_add(1, Ordering::Relaxed);
-        shared.admission.record_service_ns(t1.saturating_sub(t0));
-        shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
+        for job in jobs {
+            serve_query(shared, job, &clock);
+        }
+        shared.admission.release_worker();
     }
     cyclesteal_obs::flush_thread();
+}
+
+/// The micro-batch presolve of one drained job batch: dedupe the batch's
+/// points by quantized solve signature, solve the same-shape groups
+/// through the factor-once/solve-many pipeline, and seed the shared
+/// cache — so the per-query evaluations below find their chains already
+/// solved. A seeded solution is bit-identical to what the scalar path
+/// would compute (the PR 6 contract), so responses cannot change; only
+/// the shared factorization work does.
+fn presolve_batch(shared: &Arc<Shared>, jobs: &[Job], clock: &MonotonicClock) {
+    shared.batch.drains.fetch_add(1, Ordering::Relaxed);
+    shared.batch.width_max.fetch_max(jobs.len() as u64, Ordering::Relaxed);
+    let now = clock.now_ns();
+    // A job whose budget already expired in the queue must spend no
+    // solver work: exclude it here; its own run_query below attributes
+    // the `timeout { stage: "admission" }` record exactly as when
+    // serving scalar.
+    let points: Vec<Point> = jobs
+        .iter()
+        .filter(|job| match job.budget_ns {
+            Some(budget) => now.saturating_sub(job.admitted_ns) < budget,
+            None => true,
+        })
+        .map(|job| job.point)
+        .collect();
+    let expired = (jobs.len() - points.len()) as u64;
+    if expired > 0 {
+        shared
+            .batch
+            .skipped_deadline
+            .fetch_add(expired, Ordering::Relaxed);
+    }
+    if points.len() < 2 {
+        return; // nothing left to coalesce; the scalar path is optimal
+    }
+    let stats = {
+        cyclesteal_obs::span!("svc.batch.presolve");
+        // Fault-planned points are excluded inside (same per-query fault
+        // scopes run_query enters), so injections neither poison nor get
+        // masked by the shared cache.
+        presolve_points(&points, &shared.cache)
+    };
+    let batch = &shared.batch;
+    batch.presolved.fetch_add(points.len() as u64, Ordering::Relaxed);
+    batch
+        .dedup_hits
+        .fetch_add((points.len() - stats.unique) as u64, Ordering::Relaxed);
+    batch.unique.fetch_add(stats.unique as u64, Ordering::Relaxed);
+    batch.batched.fetch_add(stats.batched as u64, Ordering::Relaxed);
+    batch.scalar.fetch_add(stats.scalar as u64, Ordering::Relaxed);
+    batch.seeded.fetch_add(stats.seeded as u64, Ordering::Relaxed);
+    batch
+        .skipped_fault
+        .fetch_add(stats.skipped_faulted as u64, Ordering::Relaxed);
+}
+
+/// Evaluates and answers one admitted query — the scalar serving path,
+/// byte-identical whether or not a presolve warmed the cache first.
+fn serve_query(shared: &Arc<Shared>, job: Job, clock: &MonotonicClock) {
+    let t0 = clock.now_ns();
+    if shared.slow_ms > 0 {
+        std::thread::sleep(Duration::from_millis(shared.slow_ms));
+    }
+    // Everything this thread records between here and finish() is
+    // the query's own trace (slow-log attachment).
+    let trace = cyclesteal_obs::trace_begin();
+    let outcome = match job.budget_ns {
+        None => run_query(&job.point, &shared.cache, None),
+        Some(budget) => {
+            // The budget started at admission: subtract queue wait so
+            // a query that aged out in the queue times out honestly.
+            let waited = t0.saturating_sub(job.admitted_ns);
+            let remaining = budget.saturating_sub(waited);
+            let deadline = Deadline::start(clock, remaining);
+            run_query(&job.point, &shared.cache, Some(&deadline))
+        }
+    };
+    let trace = trace.finish();
+    let t1 = clock.now_ns();
+    // Per-stage latency split, all in microseconds: how long admission
+    // took to accept the frame, how long the job queued, how long
+    // evaluation ran, and how much budget was left at the end.
+    cyclesteal_obs::histogram!(
+        "svc.query.admission_wait_us",
+        job.admitted_ns.saturating_sub(job.received_ns) / 1_000
+    );
+    cyclesteal_obs::histogram!(
+        "svc.query.queue_wait_us",
+        t0.saturating_sub(job.admitted_ns) / 1_000
+    );
+    cyclesteal_obs::histogram!("svc.query.service_us", t1.saturating_sub(t0) / 1_000);
+    if let Some(budget) = job.budget_ns {
+        cyclesteal_obs::histogram!(
+            "svc.query.deadline_headroom_us",
+            budget.saturating_sub(t1.saturating_sub(job.admitted_ns)) / 1_000
+        );
+    }
+    cyclesteal_obs::counter!("svc.query.served");
+    shared.persist_new_reports();
+    shared.maybe_slow_log(&job, &outcome, t0, t1, &trace);
+    // Flush before the response frame: once the client has its
+    // answer, any scrape must already include this query's records.
+    cyclesteal_obs::flush_thread();
+    job.conn.send(&query_response(&outcome));
+    job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
+    shared.served.fetch_add(1, Ordering::Relaxed);
+    // Also drops the job's in-service claim (after `completed` is
+    // counted, so probes never undercount).
+    shared.admission.record_service_ns(t1.saturating_sub(t0));
 }
 
 /// Builds the evaluation [`Point`] from a query document.
@@ -942,14 +1076,24 @@ fn serve_metrics_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
 
 /// Admission-state summary for load balancers and probes: is this
 /// instance accepting, and how loaded is it right now.
+///
+/// The load figures come from one probe-consistent
+/// [`Admission::snapshot`], whose write/read ordering guarantees
+/// `queue_depth + in_service >= admitted - completed` — a worker claims
+/// work *inside* the dequeue critical section, so a popped-but-unstarted
+/// job can never make a probe report the instance idler than it is.
 fn healthz_response(shared: &Arc<Shared>) -> String {
     let draining = shared.draining.load(Ordering::SeqCst);
-    let depth = shared.admission.depth();
-    let busy = shared.busy_workers.load(Ordering::SeqCst);
+    let adm = shared.admission.snapshot();
     format!(
-        "{{\"ok\": true, \"accepting\": {}, \"draining\": {draining}, \"queue_depth\": {depth}, \"busy_workers\": {busy}, \"inflight\": {}, \"workers\": {}, \"served\": {}}}",
+        "{{\"ok\": true, \"accepting\": {}, \"draining\": {draining}, \"queue_depth\": {}, \"busy_workers\": {}, \"in_service\": {}, \"inflight\": {}, \"admitted\": {}, \"completed\": {}, \"workers\": {}, \"served\": {}}}",
         !draining,
-        depth + busy,
+        adm.depth,
+        adm.busy_workers,
+        adm.in_service,
+        adm.depth + adm.in_service,
+        adm.admitted,
+        adm.completed,
         shared.workers,
         shared.served.load(Ordering::Relaxed),
     )

@@ -243,6 +243,72 @@ fn scrape_obs_section_bit_matches_the_registry_snapshot() {
     drop(session);
 }
 
+/// Probes sampled mid-burst never undercount admitted-but-unfinished
+/// work: `queue_depth + in_service >= admitted - completed` at every
+/// instant. This is the regression gate for the healthz race where a
+/// worker popped a job *before* claiming busy — a probe landing in that
+/// gap saw an idle daemon holding invisible work.
+#[test]
+fn probes_never_undercount_admitted_but_unfinished_work() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 64,
+        slow_ms: 5,
+        batch_max: 4,
+        ..telemetry_config()
+    })
+    .expect("start");
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    const BURST: usize = 16;
+    for i in 0..BURST {
+        let req = QueryRequest {
+            rho_s: 0.55 + 0.01 * i as f64,
+            ..QueryRequest::default()
+        }
+        .to_json();
+        proto::write_frame(&mut stream, req.as_bytes()).expect("send");
+    }
+
+    // Hammer both probe surfaces while the slowed worker drains the
+    // burst; every sample must satisfy the accounting invariant.
+    let mut samples = 0u32;
+    loop {
+        let v = healthz(&server);
+        let field = |k: &str| v.get(k).and_then(Value::as_u64).expect(k);
+        let (depth, in_service) = (field("queue_depth"), field("in_service"));
+        let (admitted, completed) = (field("admitted"), field("completed"));
+        assert!(
+            depth + in_service >= admitted.saturating_sub(completed),
+            "healthz undercounts: depth={depth} in_service={in_service} \
+             admitted={admitted} completed={completed}"
+        );
+        let parsed = prom::parse_exposition(&scrape(&server)).expect("scrape");
+        let gauge = |name: &str| series_value(&parsed, name, &[]).expect(name);
+        assert!(
+            gauge("svc_inflight")
+                >= gauge("svc_admitted_total") - gauge("svc_completed_total"),
+            "scrape undercounts in-flight work"
+        );
+        samples += 1;
+        if field("served") >= BURST as u64 {
+            break;
+        }
+    }
+    assert!(samples > 1, "the burst must have been probed mid-flight");
+
+    for i in 0..BURST {
+        proto::read_frame(&mut stream)
+            .expect("read")
+            .unwrap_or_else(|| panic!("no response {i}"));
+    }
+    server.drain();
+    server.join().expect("join");
+}
+
 /// With a zero threshold every query lands in `slow_queries.jsonl` as
 /// one parseable line carrying identity, stage timings, and the trace.
 #[test]

@@ -74,7 +74,42 @@ pub struct BatchStats {
 /// the presolve — are independent of the sweep's thread count.
 pub(crate) fn presolve(points: &[Point], cache: &SolveCache, ws: &mut Workspace) -> BatchStats {
     let mut stats = BatchStats::default();
-    let mut planned: Vec<Qbd> = Vec::new();
+    let planned = plan(points, cache, &mut stats);
+    solve_and_seed(planned, cache, ws, &mut stats);
+    stats
+}
+
+/// The query-stream presolve entry: plan, batch-solve, and seed the
+/// chains of `points` on the calling thread, using the calling thread's
+/// scratch [`Workspace`] (the same per-thread workspace
+/// [`crate::run_query`] evaluates with).
+///
+/// This is the seam a serving daemon shares with the sweep engine: a
+/// worker that drained several compatible queries hands their points
+/// here, then answers each query individually through the ordinary
+/// scalar path — which now finds every planned chain already in `cache`.
+/// The bit-identity argument of the module docs applies unchanged: a
+/// seeded solution is the same bits the per-query evaluation would have
+/// computed itself, deadline or no deadline, so batching can coalesce a
+/// burst's factorizations without moving a byte of any response.
+///
+/// Fault-planned points are skipped exactly as in a sweep presolve
+/// (their ids are the same canonical per-point fault scopes `run_query`
+/// enters), so injected failures neither poison the shared cache nor get
+/// masked by a clean presolve.
+pub fn presolve_points(points: &[Point], cache: &SolveCache) -> BatchStats {
+    crate::engine::WORKSPACE.with(|ws| presolve(points, cache, &mut ws.borrow_mut()))
+}
+
+/// The planning half of a presolve: filter to batch-eligible points,
+/// build each chain through the exact cached construction path
+/// evaluation uses, and return the uncached plans (tallying `stats`).
+/// Each plan carries its [`Qbd::signature`], computed exactly once here —
+/// hashing every block of a chain costs tens of microseconds, so the
+/// solving half keys all sorting, deduplication, and seeding off the
+/// precomputed value instead of rehashing per comparison.
+fn plan(points: &[Point], cache: &SolveCache, stats: &mut BatchStats) -> Vec<(u128, Qbd)> {
+    let mut planned: Vec<(u128, Qbd)> = Vec::new();
     for point in points {
         if point.evaluator != Evaluator::Analysis || point.policy != Policy::CsCq {
             continue;
@@ -123,26 +158,37 @@ pub(crate) fn presolve(points: &[Point], cache: &SolveCache, ws: &mut Workspace)
         let Ok(qbd) = qbd else {
             continue;
         };
-        if !cache.has_qbd_solution(&qbd) {
-            planned.push(qbd);
+        let signature = qbd.signature();
+        if !cache.has_qbd_solution_keyed(signature) {
+            planned.push((signature, qbd));
         }
     }
+    planned
+}
 
+/// The solving half of a presolve: canonicalize, group by shape, solve
+/// through the batched pipeline, and seed successful solutions.
+fn solve_and_seed(
+    mut planned: Vec<(u128, Qbd)>,
+    cache: &SolveCache,
+    ws: &mut Workspace,
+    stats: &mut BatchStats,
+) {
     // Canonical order: group same-shape chains together, deduplicate by
     // signature. Sorting by (shape, signature) makes the grouping — and
     // therefore every stat — independent of the input permutation;
     // batch *composition* cannot affect results because every batched
     // kernel is per-lane independent.
-    planned.sort_by_key(|q| (q.boundary_dim(), q.phase_dim(), q.signature()));
-    planned.dedup_by_key(|q| q.signature());
+    planned.sort_by_key(|(sig, q)| (q.boundary_dim(), q.phase_dim(), *sig));
+    planned.dedup_by_key(|(sig, _)| *sig);
     stats.unique = planned.len();
 
     let mut group = planned.as_slice();
-    while let Some(first) = group.first() {
+    while let Some((_, first)) = group.first() {
         let shape = (first.boundary_dim(), first.phase_dim());
         let len = group
             .iter()
-            .take_while(|q| (q.boundary_dim(), q.phase_dim()) == shape)
+            .take_while(|(_, q)| (q.boundary_dim(), q.phase_dim()) == shape)
             .count();
         let (shaped, rest) = group.split_at(len);
         group = rest;
@@ -153,17 +199,16 @@ pub(crate) fn presolve(points: &[Point], cache: &SolveCache, ws: &mut Workspace)
             } else {
                 stats.scalar += chunk.len();
             }
-            let refs: Vec<&Qbd> = chunk.iter().collect();
+            let refs: Vec<&Qbd> = chunk.iter().map(|(_, q)| q).collect();
             let results = Qbd::solve_batch_in(&refs, ws);
-            for (qbd, result) in chunk.iter().zip(results) {
+            for ((signature, _), result) in chunk.iter().zip(results) {
                 if let Ok(sol) = result {
-                    cache.seed_qbd_solution(qbd, sol);
+                    cache.seed_qbd_solution_keyed(*signature, sol);
                     stats.seeded += 1;
                 }
             }
         }
     }
-    stats
 }
 
 #[cfg(test)]

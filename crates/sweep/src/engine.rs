@@ -186,8 +186,10 @@ thread_local! {
     /// Per-worker scratch workspace for the QBD solver. One lives on each
     /// pool thread (and one on the caller's thread for serial sweeps); the
     /// solver resets every buffer it checks out, so reuse across points
-    /// never changes a row.
-    static WORKSPACE: std::cell::RefCell<Workspace> = std::cell::RefCell::new(Workspace::new());
+    /// never changes a row. `pub(crate)` so the query-stream presolve
+    /// entry ([`crate::presolve_points`]) shares the calling thread's
+    /// workspace with the evaluations that follow it.
+    pub(crate) static WORKSPACE: std::cell::RefCell<Workspace> = std::cell::RefCell::new(Workspace::new());
 }
 
 /// Evaluates one point into its row. Points that violate the Theorem-1

@@ -42,7 +42,7 @@ mod grid;
 mod query;
 mod report;
 
-pub use batch::BatchStats;
+pub use batch::{presolve_points, BatchStats};
 pub use engine::{run, run_points, SweepOptions};
 pub use grid::{policy_name, Evaluator, GridSpec, LongLaw, Point};
 pub use query::{run_query, QueryOutcome};

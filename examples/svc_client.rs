@@ -14,7 +14,22 @@
 //!   was SIGKILLed on purpose); without it, that is a failure.
 //! * `burst` — pipeline `--count N` identical queries on one connection
 //!   and print `BURST ok=<n> shed=<n>`; every shed response must be a
-//!   structured `queue_full`/`inflight_cap` rejection.
+//!   structured `queue_full`/`inflight_cap` rejection, and every
+//!   `queue_full` hint must be at least 1 ms (a 0 ms hint would tell
+//!   clients to hammer a congested daemon).
+//! * `pipeline` — pipeline `--count N` *distinct* same-shape queries
+//!   (`--hosts K,M` selects the fleet, default `1,1`; `--rho-base X`
+//!   sets the lightest short load, default 0.55 — pick a heavier base,
+//!   inside the fleet's stability region, when the benchmark should be
+//!   dominated by solver work) on one connection,
+//!   print each raw response on stdout, and print a
+//!   `PIPELINE n=<n> ok=<n> elapsed_ns=<ns> pps=<rate>` timing summary
+//!   on stderr. With `--sorted`, response lines are sorted before
+//!   printing so multi-worker runs (which complete out of order) can be
+//!   byte-compared against a single-worker baseline. Run the daemon
+//!   with `--inflight >= N` so nothing sheds; the batched-vs-scalar
+//!   byte-identity gate and the `BENCH_svc_batch` burst benchmark are
+//!   both built on this command.
 //! * `drain` — request a graceful drain, print `DRAINING`.
 //! * `metrics` — scrape `GET /metrics` from `--addr` (the daemon's
 //!   *metrics* address), validate the Prometheus exposition syntax, and
@@ -52,6 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut count = 12usize;
     let mut budget_ns = None;
     let mut tolerate_crash = false;
+    let mut sorted = false;
+    let mut hosts = (1usize, 1usize);
+    let mut rho_base = 0.55f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = || args.next().ok_or(format!("{arg} needs a value"));
@@ -60,13 +78,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--count" => count = take()?.parse()?,
             "--budget-ns" => budget_ns = Some(take()?.parse()?),
             "--tolerate-crash" => tolerate_crash = true,
-            "ping" | "stream" | "burst" | "drain" | "metrics" | "health" => command = Some(arg),
+            "--sorted" => sorted = true,
+            "--hosts" => {
+                let v = take()?;
+                let (k, m) = v
+                    .split_once(',')
+                    .ok_or_else(|| format!("--hosts wants K,M, got {v:?}"))?;
+                hosts = (k.trim().parse()?, m.trim().parse()?);
+            }
+            "--rho-base" => rho_base = take()?.parse()?,
+            "ping" | "stream" | "burst" | "pipeline" | "drain" | "metrics" | "health" => {
+                command = Some(arg)
+            }
             other => return Err(format!("unknown argument {other:?}").into()),
         }
     }
     let addr = addr.ok_or("--addr HOST:PORT is required")?;
-    let command =
-        command.ok_or("a command (ping|stream|burst|drain|metrics|health) is required")?;
+    let command = command
+        .ok_or("a command (ping|stream|burst|pipeline|drain|metrics|health) is required")?;
 
     match command.as_str() {
         "ping" => {
@@ -86,6 +115,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         "stream" => run_stream(&addr, count, budget_ns, tolerate_crash),
         "burst" => run_burst(&addr, count),
+        "pipeline" => run_pipeline(&addr, count, hosts, rho_base, budget_ns, sorted),
         "metrics" => run_metrics(&addr),
         "health" => run_health(&addr),
         _ => unreachable!(),
@@ -117,11 +147,21 @@ fn run_health(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
             .and_then(Value::as_bool)
             .ok_or_else(|| format!("healthz response missing {key:?}: {body}"))
     };
+    let (queue_depth, in_service) = (field("queue_depth")?, field("in_service")?);
+    let (admitted, completed) = (field("admitted")?, field("completed")?);
+    // The probe-consistency invariant the admission accounting
+    // guarantees: claimed-but-unfinished work is never invisible.
+    if queue_depth + in_service < admitted.saturating_sub(completed) {
+        return Err(format!(
+            "healthz undercounts: queue_depth={queue_depth} + in_service={in_service} \
+             < admitted={admitted} - completed={completed}"
+        )
+        .into());
+    }
     println!(
-        "HEALTH accepting={} draining={} queue_depth={} busy_workers={} inflight={} workers={} served={}",
+        "HEALTH accepting={} draining={} queue_depth={queue_depth} busy_workers={} in_service={in_service} inflight={} admitted={admitted} completed={completed} workers={} served={}",
         flag("accepting")?,
         flag("draining")?,
-        field("queue_depth")?,
         field("busy_workers")?,
         field("inflight")?,
         field("workers")?,
@@ -188,13 +228,84 @@ fn run_burst(addr: &str, count: usize) -> Result<(), Box<dyn std::error::Error>>
                 return Err(format!("unexpected shed reason {reason:?}").into());
             }
             if reason == "queue_full" {
-                v.get("retry_after_ms")
+                let hint = v
+                    .get("retry_after_ms")
                     .and_then(Value::as_u64)
                     .ok_or("queue_full shed without a retry_after_ms hint")?;
+                // A 0 ms hint invites an immediate retry storm; the
+                // admission pricer floors every hint at 1 ms even when
+                // the backlog drains in microseconds.
+                if hint == 0 {
+                    return Err("queue_full shed hinted retry_after_ms=0".into());
+                }
             }
             shed += 1;
         }
     }
     println!("BURST ok={ok} shed={shed}");
+    Ok(())
+}
+
+/// The pipelined query for slot `i`: distinct stable loads on one fleet
+/// shape, so a drained batch shares QBD shapes (batchable) without ever
+/// sharing solve signatures (no dedup shortcuts hiding solver work).
+fn pipeline_request(
+    i: usize,
+    hosts: (usize, usize),
+    rho_base: f64,
+    budget_ns: Option<u64>,
+) -> QueryRequest {
+    QueryRequest {
+        rho_s: rho_base + 0.005 * i as f64,
+        rho_l: 0.5,
+        hosts,
+        budget_ns,
+        ..QueryRequest::default()
+    }
+}
+
+fn run_pipeline(
+    addr: &str,
+    count: usize,
+    hosts: (usize, usize),
+    rho_base: f64,
+    budget_ns: Option<u64>,
+    sorted: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_nodelay(true)?;
+    let start = std::time::Instant::now();
+    for i in 0..count {
+        let req = pipeline_request(i, hosts, rho_base, budget_ns).to_json();
+        proto::write_frame(&mut stream, req.as_bytes())?;
+    }
+    let mut lines = Vec::with_capacity(count);
+    let mut ok = 0usize;
+    for i in 0..count {
+        let frame = proto::read_frame(&mut stream)?
+            .ok_or_else(|| format!("connection closed before response {i}"))?;
+        let raw = std::str::from_utf8(&frame)?.to_string();
+        let v = json::parse(&raw)?;
+        if v.get("ok").and_then(Value::as_bool) == Some(true) {
+            ok += 1;
+        }
+        lines.push(raw);
+    }
+    let elapsed = start.elapsed();
+    if sorted {
+        lines.sort();
+    }
+    let mut stdout = std::io::stdout();
+    for line in &lines {
+        writeln!(stdout, "{line}")?;
+    }
+    // Timing on stderr so stdout stays a pure, byte-comparable response
+    // transcript.
+    eprintln!(
+        "PIPELINE n={count} ok={ok} elapsed_ns={} pps={:.1}",
+        elapsed.as_nanos(),
+        count as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
     Ok(())
 }

@@ -12,6 +12,10 @@
 //! * `--cache-capacity N`      report-cache LRU bound (default unbounded)
 //! * `--data-dir DIR`          enable the durable WAL + snapshot in DIR
 //! * `--default-budget-ns NS`  budget for queries that carry none
+//! * `--batch N`               max jobs a worker wakeup drains and
+//!   presolves through the batched QBD pipeline (default 16)
+//! * `--no-batch`              shorthand for `--batch 1`: every job is
+//!   served purely scalar (the byte-identity comparison baseline)
 //! * `--metrics-addr HOST:PORT` serve HTTP `GET /metrics` + `/healthz`
 //! * `--slow-log-ms MS`        log queries slower than MS to
 //!   `slow_queries.jsonl` in the data dir (`0` logs every query)
@@ -42,6 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--cache-capacity" => config.cache_capacity = take()?.parse()?,
             "--data-dir" => config.data_dir = Some(take()?.into()),
             "--default-budget-ns" => config.default_budget_ns = Some(take()?.parse()?),
+            "--batch" => config.batch_max = take()?.parse()?,
+            "--no-batch" => config.batch_max = 1,
             "--metrics-addr" => config.metrics_addr = Some(take()?),
             "--slow-log-ms" => config.slow_log_ms = Some(take()?.parse()?),
             "--obs-flush-secs" => config.obs_flush_secs = take()?.parse()?,
